@@ -1,0 +1,138 @@
+//===-- bench/ablation_policy.cpp - Recording-granularity spectrum -------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// The paper's §7 names "a spectrum of recording granularities to bridge
+// the gap between our sparse approach and stricter approaches in a
+// configurable manner" as future work. RecordPolicy is that spectrum;
+// this ablation walks it — nothing → scheduling only → sparse network →
+// full — on two applications with opposite needs:
+//
+//  * the Figure 2 network client, whose replay needs the network but not
+//    the allocator;
+//  * the §5.5 layout-dependent program, whose replay needs the allocator.
+//
+// For each (app, policy) it reports demo size and replay fidelity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/figures/Figures.h"
+#include "apps/layout/Layout.h"
+#include "support/Diag.h"
+
+using namespace tsr;
+using namespace tsr::bench;
+
+namespace {
+
+struct Fidelity {
+  size_t DemoBytes = 0;
+  bool Hard = false;
+  bool Faithful = false;
+};
+
+// Side-channel the app lambdas fill from their RunReport (the bench is
+// single-threaded).
+Demo LastDemo;
+DesyncKind LastDesync = DesyncKind::None;
+
+/// Records App under Policy, replays it in a *different* world, and
+/// compares the observable.
+template <typename App>
+Fidelity tryPolicy(const RecordPolicy &Policy, App RunApp,
+                   uint64_t EnvSalt) {
+  Fidelity F;
+  Demo D;
+  uint64_t Recorded = 0;
+  {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         Policy);
+    C.Seed0 = 41;
+    C.Seed1 = 42;
+    C.Env.Seed0 = 1000 + EnvSalt; // recording world
+    C.Env.Seed1 = 2000 + EnvSalt;
+    Session S(C);
+    Recorded = RunApp(S);
+    D = LastDemo;
+  }
+  uint64_t Replayed = 0;
+  {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                         Policy);
+    C.ReplayDemo = &D;
+    C.Env.Seed0 = 5000 + EnvSalt; // a different world: replay must not
+    C.Env.Seed1 = 6000 + EnvSalt; // depend on unrecorded luck
+    Session S(C);
+    Replayed = RunApp(S);
+  }
+  F.DemoBytes = D.totalSize();
+  F.Hard = LastDesync == DesyncKind::Hard;
+  F.Faithful = !F.Hard && Replayed == Recorded;
+  return F;
+}
+
+} // namespace
+
+int main() {
+  quietWarnings(true); // desyncs are data points here, not problems
+
+  struct PolicyStep {
+    const char *Name;
+    RecordPolicy Policy;
+  };
+  const PolicyStep Spectrum[] = {
+      {"none (schedule only)", RecordPolicy::none()},
+      {"game (net, no ioctl)", RecordPolicy::game()},
+      {"httpd (sparse)", RecordPolicy::httpd()},
+      {"full (rr-like)", RecordPolicy::full()},
+  };
+
+  auto Fig2 = [](Session &S) -> uint64_t {
+    S.env().addPeer("server", figures::makeFig2Server(10),
+                    figures::Fig2ServerPort);
+    figures::Fig2Result R;
+    RunReport Rep = S.run([&] { R = figures::figure2Client(10); });
+    LastDemo = Rep.RecordedDemo;
+    LastDesync = Rep.Desync;
+    return R.PayloadHash ^ (static_cast<uint64_t>(R.Processed) << 56);
+  };
+  auto Layout = [](Session &S) -> uint64_t {
+    layout::LayoutResult R;
+    RunReport Rep = S.run([&] { R = layout::run(48); });
+    LastDemo = Rep.RecordedDemo;
+    LastDesync = Rep.Desync;
+    return R.OrderHash;
+  };
+
+  std::printf("Recording-granularity spectrum (paper §7 future work)\n\n");
+  const std::vector<int> Widths = {22, 12, 24, 12, 24};
+  printRule(Widths);
+  printRow({"Policy", "fig2 bytes", "fig2 replay", "layout bytes",
+            "layout replay"},
+           Widths);
+  printRule(Widths);
+  for (const PolicyStep &Step : Spectrum) {
+    const Fidelity A = tryPolicy(Step.Policy, Fig2, 1);
+    const Fidelity B = tryPolicy(Step.Policy, Layout, 2);
+    auto Verdict = [](const Fidelity &F) -> std::string {
+      if (F.Hard)
+        return "HARD DESYNC";
+      return F.Faithful ? "faithful" : "soft divergence";
+    };
+    printRow({Step.Name, fmt(static_cast<double>(A.DemoBytes), 0),
+              Verdict(A), fmt(static_cast<double>(B.DemoBytes), 0),
+              Verdict(B)},
+             Widths);
+  }
+  printRule(Widths);
+  std::printf(
+      "\nReading: each application has a *minimum* sufficient granularity "
+      "— the\nnetwork client needs the sparse network set, the "
+      "layout-dependent program\nneeds the full set — and recording less "
+      "than that diverges while recording\nmore only costs bytes. This is "
+      "the configurable spectrum §7 calls for.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===-- bench/demo_size.cpp - Demo size scaling (E6) ---------------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Reproduces the demo-size observations of Sections 5.2 and 5.4: demo
+// size grows linearly with the number of httpd requests (the paper
+// measures ~4.8 KB/request for tsan11rec and ~0.3 KB/request + 3.6 MB
+// constant for rr), and per-stream breakdowns show where the bytes go
+// (the game's demo was dominated by SYSCALL data).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/game/Game.h"
+#include "apps/httpd/Httpd.h"
+
+using namespace tsr;
+using namespace tsr::bench;
+
+namespace {
+
+Demo recordHttpd(StrategyKind K, int Requests) {
+  SessionConfig C = presets::tsan11rec(K, Mode::Record,
+                                       RecordPolicy::httpd());
+  seedFor(C, static_cast<uint64_t>(Requests), 3);
+  Session S(C);
+  const int Conns = 10;
+  S.env().addPeer("ab", httpd::makeLoadGen(8080, Conns, Requests / Conns));
+  httpd::HttpdConfig HC;
+  HC.Workers = 10;
+  HC.TotalRequests = Requests;
+  RunReport R = S.run([&] { (void)httpd::runServer(HC); });
+  return R.RecordedDemo;
+}
+
+void printBreakdown(const char *Label, const Demo &D, int Unit) {
+  std::printf("  %-22s total=%8zu  META=%zu QUEUE=%zu SIGNAL=%zu "
+              "SYSCALL=%zu ASYNC=%zu",
+              Label, D.totalSize(), D.streamSize(StreamKind::Meta),
+              D.streamSize(StreamKind::Queue),
+              D.streamSize(StreamKind::Signal),
+              D.streamSize(StreamKind::Syscall),
+              D.streamSize(StreamKind::Async));
+  if (Unit)
+    std::printf("  (%.1f B/request)",
+                static_cast<double>(D.totalSize()) / Unit);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Demo size scaling (Sections 5.2 / 5.4)\n\n");
+
+  std::printf("MiniHttpd, queue strategy, sparse policy:\n");
+  std::vector<int> Sizes = {100, 200, 400, 800};
+  double PrevBytes = 0;
+  int PrevReqs = 0;
+  for (int Requests : Sizes) {
+    Demo D = recordHttpd(StrategyKind::Queue, Requests);
+    printBreakdown(
+        bench::fmt(Requests, 0).append(" requests").c_str(), D, Requests);
+    if (PrevReqs) {
+      const double Marginal = (static_cast<double>(D.totalSize()) -
+                               PrevBytes) /
+                              (Requests - PrevReqs);
+      std::printf("  %-22s marginal cost: %.1f B/request\n", "", Marginal);
+    }
+    PrevBytes = static_cast<double>(D.totalSize());
+    PrevReqs = Requests;
+  }
+
+  std::printf("\nMiniHttpd, random strategy (no QUEUE stream — the "
+              "schedule lives in the seeds):\n");
+  {
+    Demo D = recordHttpd(StrategyKind::Random, 400);
+    printBreakdown("400 requests", D, 400);
+  }
+
+  std::printf("\nMiniGame multiplayer, queue strategy, game policy "
+              "(SYSCALL-dominated like the paper's 6.5 of 8 MB):\n");
+  {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         RecordPolicy::game());
+    seedFor(C, 4, 17);
+    Session S(C);
+    S.env().addPeer("server", game::makeGameServer(false),
+                    game::GameServerPort);
+    game::GameConfig GC;
+    GC.Frames = 300;
+    GC.FpsCap = 0;
+    GC.Multiplayer = true;
+    RunReport R = S.run([&] { (void)game::runGame(GC); });
+    printBreakdown("300 frames", R.RecordedDemo, 0);
+    const size_t Sys = R.RecordedDemo.streamSize(StreamKind::Syscall);
+    std::printf("  SYSCALL share: %.0f%%\n",
+                100.0 * Sys / R.RecordedDemo.totalSize());
+  }
+
+  std::printf("\nPaper shape check: httpd demo size grows linearly with "
+              "requests; the random\nstrategy stores no schedule data "
+              "(Section 4.2); the game demo is dominated\nby syscall "
+              "payloads (Section 5.4).\n");
+  return 0;
+}

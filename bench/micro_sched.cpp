@@ -1,0 +1,137 @@
+//===-- bench/micro_sched.cpp - Runtime primitive microbenchmarks --------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// google-benchmark microbenchmarks for the runtime's primitives: the
+// Wait()/Tick() critical-section turnaround, atomic-model operations,
+// shadow-memory accesses, mutex round-trips, demo codec throughput and
+// PRNG draws. These quantify the constant factors behind the table
+// benches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+#include "support/Rle.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tsr;
+
+namespace {
+
+SessionConfig quietConfig(StrategyKind K) {
+  SessionConfig C = presets::tsan11rec(K);
+  C.Seed0 = 5;
+  C.Seed1 = 6;
+  C.Env.Seed0 = 7;
+  C.Env.Seed1 = 8;
+  C.LivenessIntervalMs = 0;
+  return C;
+}
+
+/// Runs Fn(iterations) once inside a session and reports per-op time.
+template <typename Fn>
+void runInSession(benchmark::State &State, StrategyKind K, Fn Body) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Session S(quietConfig(K));
+    State.ResumeTiming();
+    S.run([&] { Body(State.range(0)); });
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+
+void BM_AtomicLoadStore(benchmark::State &State) {
+  runInSession(State, StrategyKind::Queue, [](int64_t N) {
+    Atomic<int> A(0);
+    for (int64_t I = 0; I != N; ++I) {
+      A.store(static_cast<int>(I), std::memory_order_release);
+      benchmark::DoNotOptimize(A.load(std::memory_order_acquire));
+    }
+  });
+}
+BENCHMARK(BM_AtomicLoadStore)->Arg(2000);
+
+void BM_MutexRoundTrip(benchmark::State &State) {
+  runInSession(State, StrategyKind::Queue, [](int64_t N) {
+    Mutex M;
+    for (int64_t I = 0; I != N; ++I) {
+      M.lock();
+      M.unlock();
+    }
+  });
+}
+BENCHMARK(BM_MutexRoundTrip)->Arg(2000);
+
+void BM_PlainAccessShadow(benchmark::State &State) {
+  runInSession(State, StrategyKind::Queue, [](int64_t N) {
+    Var<int> V(0);
+    for (int64_t I = 0; I != N; ++I) {
+      V.set(static_cast<int>(I));
+      benchmark::DoNotOptimize(V.get());
+    }
+  });
+}
+BENCHMARK(BM_PlainAccessShadow)->Arg(20000);
+
+void BM_CriticalSectionHandoff(benchmark::State &State) {
+  // Two threads alternating on an atomic: every operation transfers the
+  // designation, so this measures the Wait/Tick handoff cost.
+  runInSession(State, StrategyKind::Queue, [](int64_t N) {
+    Atomic<int> Turn(0);
+    Thread T = Thread::spawn([&] {
+      for (int64_t I = 0; I != N; ++I)
+        Turn.fetchAdd(1, std::memory_order_acq_rel);
+    });
+    for (int64_t I = 0; I != N; ++I)
+      Turn.fetchAdd(1, std::memory_order_acq_rel);
+    T.join();
+  });
+}
+BENCHMARK(BM_CriticalSectionHandoff)->Arg(1000);
+
+void BM_SyscallRecorded(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    SessionConfig C = quietConfig(StrategyKind::Queue);
+    C.ExecMode = Mode::Record;
+    C.Policy = RecordPolicy::httpd();
+    Session S(C);
+    State.ResumeTiming();
+    S.run([&] {
+      for (int64_t I = 0; I != State.range(0); ++I)
+        benchmark::DoNotOptimize(sys::clockNs());
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SyscallRecorded)->Arg(2000);
+
+void BM_RleRoundTrip(benchmark::State &State) {
+  std::vector<uint8_t> Data(static_cast<size_t>(State.range(0)));
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<uint8_t>((I / 13) & 0xFF);
+  for (auto _ : State) {
+    ByteWriter W;
+    rle::encodeBytes(W, Data);
+    ByteReader R(W.take());
+    std::vector<uint8_t> Out;
+    rle::decodeBytes(R, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetBytesProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_RleRoundTrip)->Arg(1 << 16);
+
+void BM_PrngDraw(benchmark::State &State) {
+  Prng Rng(1, 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Rng.nextBelow(17));
+}
+BENCHMARK(BM_PrngDraw);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+//===-- examples/race_hunt.cpp - Controlled-scheduling race hunting ------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Sweeps scheduler seeds over the CDSchecker litmus suite with a chosen
+// strategy, reporting which benchmarks raced and how often — the §5.1
+// workflow: "exploring interesting schedules can reveal subtle bugs that
+// the system scheduler would trigger with low probability". Try comparing
+// strategies:
+//
+//   race_hunt random 100
+//   race_hunt pct 100        (the paper's §7 proposal; finds
+//                             chase-lev-deque where random cannot)
+//
+// Usage: race_hunt [random|queue|round-robin|pct|delay-bounded] [seeds]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/litmus/Litmus.h"
+#include "runtime/Tsr.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace tsr;
+
+int main(int Argc, char **Argv) {
+  StrategyKind Kind = StrategyKind::Random;
+  if (Argc > 1) {
+    const char *Name = Argv[1];
+    if (!std::strcmp(Name, "queue"))
+      Kind = StrategyKind::Queue;
+    else if (!std::strcmp(Name, "round-robin"))
+      Kind = StrategyKind::RoundRobin;
+    else if (!std::strcmp(Name, "pct"))
+      Kind = StrategyKind::Pct;
+    else if (!std::strcmp(Name, "delay-bounded"))
+      Kind = StrategyKind::DelayBounded;
+    else if (std::strcmp(Name, "random")) {
+      std::printf("unknown strategy '%s'\n", Name);
+      return 1;
+    }
+  }
+  const int Seeds = Argc > 2 ? std::atoi(Argv[2]) : 100;
+
+  std::printf("hunting with strategy '%s', %d seeds per benchmark\n\n",
+              strategyName(Kind), Seeds);
+  for (const auto &Test : litmus::suite()) {
+    int Hits = 0;
+    uint64_t FirstSeed = 0;
+    std::string FirstRace;
+    for (int Seed = 0; Seed != Seeds; ++Seed) {
+      SessionConfig Cfg = presets::tsan11rec(Kind);
+      Cfg.Seed0 = 0xBEEF + Seed;
+      Cfg.Seed1 = 0xF00D + Seed * 13;
+      Cfg.LivenessIntervalMs = 0;
+      Session S(Cfg);
+      RunReport R = S.run(Test.Body);
+      if (!R.Races.empty()) {
+        if (!Hits) {
+          FirstSeed = Cfg.Seed0;
+          FirstRace = R.Races[0].str();
+        }
+        ++Hits;
+      }
+    }
+    std::printf("%-18s %3d/%d seeds raced", Test.Name.c_str(), Hits,
+                Seeds);
+    if (Hits)
+      std::printf("  (first at seed 0x%llx: %s)",
+                  static_cast<unsigned long long>(FirstSeed),
+                  FirstRace.c_str());
+    std::printf("\n");
+  }
+  std::printf("\nA racy seed is a reproducer: rerun with the same seeds "
+              "and strategy to\nget the same schedule, or record it for a "
+              "shareable demo.\n");
+  return 0;
+}

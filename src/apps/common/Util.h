@@ -1,0 +1,130 @@
+//===-- apps/common/Util.h - Shared workload utilities ----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small building blocks shared by the workload miniatures: a condvar
+/// barrier, a bounded work queue, an FNV checksum and a deterministic
+/// value generator (plain arithmetic — deliberately independent of every
+/// tsr PRNG so workload inputs never perturb record/replay state).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_COMMON_UTIL_H
+#define TSR_APPS_COMMON_UTIL_H
+
+#include "runtime/Tsr.h"
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace tsr {
+namespace apps {
+
+/// Cyclic barrier built on the instrumented mutex + condvar.
+class Barrier {
+public:
+  explicit Barrier(unsigned Parties) : Parties(Parties) {}
+
+  void arriveAndWait() {
+    UniqueLock L(M);
+    const unsigned MyGen = Generation.get();
+    if (Waiting.get() + 1 == Parties) {
+      Waiting.set(0);
+      Generation.set(MyGen + 1);
+      Cv.broadcast();
+      return;
+    }
+    Waiting.set(Waiting.get() + 1);
+    Cv.wait(M, [&] { return Generation.get() != MyGen; });
+  }
+
+private:
+  Mutex M;
+  CondVar Cv;
+  Var<unsigned> Waiting{0};
+  Var<unsigned> Generation{0};
+  unsigned Parties;
+};
+
+/// Bounded FIFO work queue (mutex + two condvars), the shape used by
+/// httpd's worker pool, ferret's pipeline stages and pbzip.
+template <typename T> class WorkQueue {
+public:
+  explicit WorkQueue(size_t Capacity = ~size_t(0)) : Capacity(Capacity) {}
+
+  void push(T Item) {
+    UniqueLock L(M);
+    NotFull.wait(M, [&] { return Items.size() < Capacity; });
+    Items.push_back(std::move(Item));
+    NotEmpty.signal();
+  }
+
+  /// Pops one item; returns nullopt once the queue is closed and drained.
+  std::optional<T> pop() {
+    UniqueLock L(M);
+    NotEmpty.wait(M, [&] { return !Items.empty() || Closed.get(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    NotFull.signal();
+    return Item;
+  }
+
+  /// Marks the stream complete; blocked consumers drain and finish.
+  void close() {
+    UniqueLock L(M);
+    Closed.set(true);
+    NotEmpty.broadcast();
+  }
+
+private:
+  Mutex M;
+  CondVar NotEmpty;
+  CondVar NotFull;
+  std::deque<T> Items;
+  Var<bool> Closed{false};
+  size_t Capacity;
+};
+
+/// FNV-1a over bytes; used for workload output checksums.
+inline uint64_t fnv1a(const void *Data, size_t Size,
+                      uint64_t Seed = 0xcbf29ce484222325ull) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Mixes a value into a running checksum.
+inline uint64_t mix(uint64_t H, uint64_t V) {
+  return fnv1a(&V, sizeof(V), H);
+}
+
+/// Deterministic workload input generator (SplitMix64). Not a source of
+/// execution nondeterminism: same arguments, same value, always.
+inline uint64_t det(uint64_t Stream, uint64_t Index) {
+  uint64_t X = Stream * 0x9E3779B97F4A7C15ull + Index + 1;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// det() scaled into [0, 1).
+inline double detDouble(uint64_t Stream, uint64_t Index) {
+  return static_cast<double>(det(Stream, Index) >> 11) * 0x1.0p-53;
+}
+
+} // namespace apps
+} // namespace tsr
+
+#endif // TSR_APPS_COMMON_UTIL_H

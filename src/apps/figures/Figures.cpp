@@ -1,0 +1,167 @@
+//===-- apps/figures/Figures.cpp - The paper's example programs -*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/figures/Figures.h"
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+
+#include <deque>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+void figures::figure1() {
+  Var<int> Nax(0, "nax");
+  Atomic<int> X(0), Y(0);
+
+  Thread T1 = Thread::spawn([&] {
+    Nax.set(1);
+    X.store(1, std::memory_order_release); // A
+    Y.store(1, std::memory_order_release); // B
+  });
+  Thread T2 = Thread::spawn([&] {
+    if (Y.load(std::memory_order_relaxed) == 1 && // C
+        X.load(std::memory_order_relaxed) == 0)   // D
+      X.store(2, std::memory_order_relaxed);
+  });
+  Thread T3 = Thread::spawn([&] {
+    if (X.load(std::memory_order_acquire) > 0) // E
+      (void)Nax.get();                         // racy print(nax)
+  });
+  T1.join();
+  T2.join();
+  T3.join();
+}
+
+namespace {
+
+constexpr size_t RequestSize = 100;
+constexpr Signo QuitSignal = 15;
+
+/// The Figure 2 server: sends request buffers to the client and consumes
+/// the processed replies, keeping up to two requests in flight.
+class Fig2Server final : public Peer {
+public:
+  explicit Fig2Server(int NumRequests) : Remaining(NumRequests) {}
+
+  void onConnected(PeerApi &Api, uint64_t Conn) override {
+    for (int I = 0; I != 2 && Remaining > 0; ++I)
+      sendRequest(Api, Conn);
+  }
+
+  void onMessage(PeerApi &Api, uint64_t Conn,
+                 const std::vector<uint8_t> &) override {
+    if (Remaining > 0)
+      sendRequest(Api, Conn);
+  }
+
+private:
+  void sendRequest(PeerApi &Api, uint64_t Conn) {
+    std::vector<uint8_t> Buf(RequestSize);
+    Buf[0] = static_cast<uint8_t>(Sent & 0xFF);
+    Buf[1] = static_cast<uint8_t>((Sent >> 8) & 0xFF);
+    // The payload is genuinely external data: drawn from the
+    // environment's entropy, not regenerable by a replay without either
+    // the same world or the recorded bytes.
+    for (size_t I = 2; I != RequestSize; ++I)
+      Buf[I] = static_cast<uint8_t>(Api.rand(256));
+    // Environment jitter on top of the base latency: request arrival
+    // order and spacing are external too.
+    Api.send(Conn, std::move(Buf), Api.rand(120000));
+    ++Sent;
+    --Remaining;
+  }
+
+  int Remaining;
+  uint64_t Sent = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Peer> figures::makeFig2Server(int NumRequests) {
+  return std::make_unique<Fig2Server>(NumRequests);
+}
+
+figures::Fig2Result figures::figure2Client(int NumRequests) {
+  Fig2Result Result;
+
+  Atomic<int> Quit(0);
+  Atomic<int> Processed(0);
+  Mutex Mtx;
+  std::deque<std::vector<uint8_t>> Requests; // guarded by Mtx
+
+  const int Fd = sys::socket();
+  if (sys::connect(Fd, Fig2ServerPort) != 0) {
+    Result.PollError = true;
+    return Result;
+  }
+
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  bool PollError = false;
+
+  Thread Listener = Thread::spawn([&] {
+    // Figure 2's Listener: poll for data, receive a buffer, enqueue it.
+    while (!Quit.load()) {
+      PollFd P;
+      P.Fd = Fd;
+      P.Events = PollIn;
+      const int Res = sys::poll(&P, 1, 100);
+      if (Res == 0)
+        continue;
+      if (Res < 0 || !(P.Revents & PollIn)) {
+        PollError = true; // the paper's CHECK(... && "poll error")
+        continue;
+      }
+      std::vector<uint8_t> Buf(RequestSize);
+      const int64_t N = sys::recv(Fd, Buf.data(), Buf.size());
+      if (N <= 0)
+        continue;
+      Buf.resize(static_cast<size_t>(N));
+      LockGuard G(Mtx);
+      Requests.push_back(std::move(Buf));
+    }
+  });
+
+  Thread Responder = Thread::spawn([&] {
+    // Figure 2's Responder: pop, process, send back.
+    while (!Quit.load()) {
+      std::vector<uint8_t> Buf;
+      {
+        UniqueLock L(Mtx);
+        if (Requests.empty())
+          continue;
+        Buf = std::move(Requests.front());
+        Requests.pop_front();
+      }
+      Hash = fnv1a(Buf.data(), Buf.size(), Hash); // Process(buf)
+      sys::work(5000);
+      for (uint8_t &B : Buf)
+        B = static_cast<uint8_t>(B ^ 0x5A);
+      sys::send(Fd, Buf.data(), Buf.size());
+      Processed.fetchAdd(1);
+    }
+  });
+
+  // The quit signal arrives "from outside": bound to a handler here, and
+  // raised once the expected number of requests has been handled.
+  installSignalHandler(QuitSignal, [&] { Quit.store(1); });
+  while (Processed.load() < NumRequests)
+    sys::work(2000);
+  raiseSignal(Listener.tid(), QuitSignal);
+  while (Quit.load() == 0)
+    sys::work(2000);
+
+  Listener.join();
+  Responder.join();
+  sys::close(Fd);
+
+  Result.Processed = Processed.load();
+  Result.PollError = PollError;
+  Result.PayloadHash = Hash;
+  return Result;
+}

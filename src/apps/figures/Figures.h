@@ -1,0 +1,59 @@
+//===-- apps/figures/Figures.h - The paper's example programs --*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runnable versions of the paper's two example programs: the racy atomic
+/// program of Figure 1 (whose race exists only under C++11 weak-memory
+/// semantics) and the generic request-processing client of Figure 2
+/// (listener + responder threads, poll/recv/send, a quit signal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_FIGURES_FIGURES_H
+#define TSR_APPS_FIGURES_FIGURES_H
+
+#include "env/SimEnv.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace tsr {
+namespace figures {
+
+/// Figure 1: three threads over atomics x, y and the plain variable nax.
+/// T2's conditional can pass only if its relaxed load of x reads an old
+/// value after y's store is visible — impossible under SC, allowed under
+/// C++11 — after which T3's read of nax races with T1's write. Run this
+/// inside a session and inspect the report's races.
+void figure1();
+
+/// Result of one Figure 2 client run.
+struct Fig2Result {
+  int Processed = 0;
+  bool PollError = false;
+  /// Checksum over the request payloads in processing order — the
+  /// observable used to compare record and replay.
+  uint64_t PayloadHash = 0;
+};
+
+/// The service port the Figure 2 server peer listens on.
+inline constexpr uint16_t Fig2ServerPort = 7000;
+
+/// Creates the scripted server peer for Figure 2: it sends
+/// \p NumRequests request buffers and echoes of the client's replies.
+/// Install with env().addPeer(..., Fig2ServerPort) before running.
+std::unique_ptr<Peer> makeFig2Server(int NumRequests);
+
+/// Figure 2's client: a Listener thread (poll + recv into a shared
+/// queue) and a Responder thread (process + send back), terminated by a
+/// virtual signal once \p NumRequests requests have been handled.
+Fig2Result figure2Client(int NumRequests);
+
+} // namespace figures
+} // namespace tsr
+
+#endif // TSR_APPS_FIGURES_FIGURES_H

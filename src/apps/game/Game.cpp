@@ -1,0 +1,183 @@
+//===-- apps/game/Game.cpp - MiniGame (SDL-style game loop) ----*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/game/Game.h"
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+
+using namespace tsr;
+using namespace tsr::apps;
+
+namespace {
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint32_t getU32(const std::vector<uint8_t> &In, size_t Off) {
+  if (In.size() < Off + 4)
+    return 0;
+  return static_cast<uint32_t>(In[Off]) |
+         (static_cast<uint32_t>(In[Off + 1]) << 8) |
+         (static_cast<uint32_t>(In[Off + 2]) << 16) |
+         (static_cast<uint32_t>(In[Off + 3]) << 24);
+}
+
+/// Lockstep game server: advances one tick per client input and replies
+/// with a 12-byte snapshot {tick, mapId, seed}. On a map change it may
+/// send a snapshot carrying the *previous* map id — the stale-state fault
+/// behind the Zandronum map-change bug (§5.4).
+class GameServerPeer final : public Peer {
+public:
+  GameServerPeer(bool InjectBug, unsigned BugPercent, int TicksPerMap)
+      : InjectBug(InjectBug), BugPercent(BugPercent),
+        TicksPerMap(TicksPerMap) {}
+
+  void onMessage(PeerApi &Api, uint64_t Conn,
+                 const std::vector<uint8_t> &) override {
+    ++Tick;
+    const int Map = Tick / TicksPerMap;
+    int SentMap = Map;
+    const bool MapChange = Tick % TicksPerMap == 0 && Tick != 0;
+    if (MapChange && InjectBug && Api.rand(100) < BugPercent)
+      SentMap = Map - 1; // Stale map id in the change-over snapshot.
+    std::vector<uint8_t> Snap;
+    putU32(Snap, static_cast<uint32_t>(Tick));
+    putU32(Snap, static_cast<uint32_t>(SentMap));
+    putU32(Snap, static_cast<uint32_t>(det(0x6A3E, Tick)));
+    Api.send(Conn, std::move(Snap), Api.rand(400000));
+  }
+
+private:
+  bool InjectBug;
+  unsigned BugPercent;
+  int TicksPerMap;
+  int Tick = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Peer> game::makeGameServer(bool InjectBug,
+                                           unsigned BugPercent,
+                                           int TicksPerMap) {
+  return std::make_unique<GameServerPeer>(InjectBug, BugPercent,
+                                          TicksPerMap);
+}
+
+game::GameResult game::runGame(const GameConfig &Config) {
+  GameResult Result;
+  constexpr int TicksPerMap = 24;
+
+  // SDL-module initialisation: open the display and audio devices. (The
+  // paper lets this phase run uninstrumented; our devices are cheap
+  // enough to leave instrumented.)
+  const int Display = sys::open("/dev/display");
+  const int AudioDev = Config.Audio ? sys::open("/dev/audio") : -1;
+
+  int NetFd = -1;
+  if (Config.Multiplayer) {
+    NetFd = sys::socket();
+    if (sys::connect(NetFd, GameServerPort) != 0)
+      NetFd = -1;
+  }
+
+  Atomic<int> Quit(0);
+  Thread Audio;
+  if (Config.Audio) {
+    Audio = Thread::spawn([&] {
+      // Audio mixer: poll the device latency and pace by it.
+      while (!Quit.load(std::memory_order_acquire)) {
+        uint64_t Latency = 0;
+        sys::ioctl(AudioDev, IoctlReq::AudioLatency, &Latency);
+        sys::work(50000);
+        sys::sleepMs(8);
+      }
+    });
+  }
+
+  uint64_t LogicHash = 0;
+  uint64_t PrevFrameStart = sys::clockNs();
+  int ExpectedMap = 0;
+  const uint64_t FrameBudgetNs =
+      Config.FpsCap > 0 ? 1000000000ull / Config.FpsCap : 0;
+
+  for (int Frame = 0; Frame != Config.Frames; ++Frame) {
+    const uint64_t FrameStart = sys::clockNs();
+
+    // --- Network: send this frame's input, consume any snapshots.
+    if (NetFd >= 0) {
+      std::vector<uint8_t> Input;
+      putU32(Input, static_cast<uint32_t>(Frame));
+      putU32(Input, static_cast<uint32_t>(det(0x1F9, Frame) & 0xFF));
+      sys::send(NetFd, Input.data(), Input.size());
+      PollFd P;
+      P.Fd = NetFd;
+      P.Events = PollIn;
+      while (sys::poll(&P, 1, 2) > 0 && (P.Revents & PollIn)) {
+        std::vector<uint8_t> Snap(12);
+        const int64_t N = sys::recv(NetFd, Snap.data(), Snap.size());
+        if (N < 12)
+          break;
+        const uint32_t Tick = getU32(Snap, 0);
+        const uint32_t Map = getU32(Snap, 4);
+        const uint32_t Seed = getU32(Snap, 8);
+        ExpectedMap = static_cast<int>(Tick) / TicksPerMap;
+        if (static_cast<int>(Map) != ExpectedMap)
+          Result.BugObserved = true; // Stale game state after map change.
+        LogicHash = mix(LogicHash, (static_cast<uint64_t>(Tick) << 32) |
+                                       (Map << 16) | (Seed & 0xFFFF));
+      }
+    }
+
+    // --- Game logic: pure function of frame number and network data.
+    // Per-frame cost varies like real gameplay: scenes differ, and every
+    // so often a heavy frame (combat, level geometry) spikes the load.
+    uint64_t FrameWork = Config.LogicWorkNs / 2 +
+                         static_cast<uint64_t>(Config.LogicWorkNs *
+                                               detDouble(0x10AD, Frame));
+    if (det(0x51AE, Frame) % 23 == 0)
+      FrameWork *= 3;
+    sys::work(FrameWork);
+    LogicHash = mix(LogicHash, det(0xCAFE, Frame));
+
+    // --- Render: display-driver traffic through ioctl. The returned
+    // values are jittered and MUST NOT feed the logic hash — that is what
+    // makes ignoring ioctl sound for this application (§5.4).
+    uint64_t Vsync = 0, FrameDone = 0;
+    sys::ioctl(Display, IoctlReq::DisplayVsync, &Vsync);
+    sys::ioctl(Display, IoctlReq::DisplayFrameDone, &FrameDone);
+    sys::work(500000); // render submission
+
+    // --- Frame pacing.
+    if (FrameBudgetNs) {
+      const uint64_t Now = sys::clockNs();
+      if (Now < FrameStart + FrameBudgetNs)
+        sys::sleepMs((FrameStart + FrameBudgetNs - Now) / 1000000);
+    }
+    const uint64_t FrameEnd = sys::clockNs();
+    if (FrameEnd > PrevFrameStart)
+      Result.FpsSamples.push_back(
+          1e9 / static_cast<double>(FrameEnd - PrevFrameStart));
+    PrevFrameStart = FrameEnd;
+    ++Result.FramesRendered;
+  }
+
+  Quit.store(1, std::memory_order_release);
+  if (Audio.joinable())
+    Audio.join();
+  if (NetFd >= 0)
+    sys::close(NetFd);
+  sys::close(Display);
+  if (AudioDev >= 0)
+    sys::close(AudioDev);
+
+  Result.LogicHash = LogicHash;
+  Result.FinalMap = ExpectedMap;
+  return Result;
+}

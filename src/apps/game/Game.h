@@ -1,0 +1,79 @@
+//===-- apps/game/Game.h - MiniGame (SDL-style game loop) ------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniGame models the paper's SDL case studies (§5.4): a frame-loop game
+/// with a main (render/logic) thread that talks to a display device
+/// through ioctl — traffic the sparse policy deliberately ignores, since
+/// it "has no impact on core game logic" — an audio thread polling its
+/// own device, and an optional network client for multiplayer.
+///
+/// The multiplayer server peer reproduces the structure of the historical
+/// Zandronum bug the paper records and replays (§5.4, [88]): during a map
+/// change the server sends a snapshot carrying a stale map id; the client
+/// detects the inconsistency in its game-state check. Whether the bug
+/// fires depends on environment timing, so a recorded demo replays it
+/// deterministically while fresh runs may or may not hit it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_GAME_GAME_H
+#define TSR_APPS_GAME_GAME_H
+
+#include "env/SimEnv.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tsr {
+namespace game {
+
+inline constexpr uint16_t GameServerPort = 6666;
+
+struct GameConfig {
+  /// Frames to simulate.
+  int Frames = 120;
+  /// Frame cap in fps; 0 removes the cap (Table 5's uncapped runs).
+  int FpsCap = 60;
+  /// Run the audio mixer thread.
+  bool Audio = true;
+  /// Connect to the game server peer (internet multiplayer mode).
+  bool Multiplayer = false;
+  /// Virtual compute per frame of game logic (ns).
+  uint64_t LogicWorkNs = 3000000;
+};
+
+struct GameResult {
+  int FramesRendered = 0;
+  /// Deterministic digest of the game logic state after every frame. The
+  /// key §5.4 property: ioctl jitter must NOT affect this, so replaying
+  /// with ioctl ignored stays logic-faithful.
+  uint64_t LogicHash = 0;
+  /// Instantaneous fps samples (from the virtual clock), one per frame.
+  std::vector<double> FpsSamples;
+  /// Multiplayer: a stale-map-id snapshot was detected (the Zandronum
+  /// bug manifested).
+  bool BugObserved = false;
+  /// Map id at exit.
+  int FinalMap = 0;
+};
+
+/// Runs the game loop inside the current controlled thread.
+GameResult runGame(const GameConfig &Config);
+
+/// Creates the multiplayer game server peer. \p InjectBug enables the
+/// stale-snapshot fault on map changes with the given per-change
+/// probability (in percent, via environment randomness).
+std::unique_ptr<Peer> makeGameServer(bool InjectBug,
+                                     unsigned BugPercent = 35,
+                                     int TicksPerMap = 24);
+
+} // namespace game
+} // namespace tsr
+
+#endif // TSR_APPS_GAME_GAME_H

@@ -1,0 +1,123 @@
+//===-- apps/htop/Htop.cpp - MiniHtop (/proc sampler) -----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/htop/Htop.h"
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+
+#include <string>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+void htop::installProcFs(SimEnv &Env) {
+  // /proc/stat: aggregated cpu jiffies; busy share jitters externally.
+  Env.putDynamicFile("/proc/stat", [State = uint64_t(0)](Prng &Rng) mutable {
+    State += 100 + Rng.nextBelow(50);
+    const uint64_t User = State / 2 + Rng.nextBelow(40);
+    const uint64_t System = State / 5 + Rng.nextBelow(20);
+    const uint64_t Idle = State + Rng.nextBelow(100);
+    const std::string S = "cpu " + std::to_string(User) + " " +
+                          std::to_string(System) + " " +
+                          std::to_string(Idle) + "\n";
+    return std::vector<uint8_t>(S.begin(), S.end());
+  });
+  // /proc/meminfo: drifting free-memory figure.
+  Env.putDynamicFile("/proc/meminfo", [](Prng &Rng) {
+    const std::string S =
+        "MemTotal 16384000\nMemFree " +
+        std::to_string(4000000 + Rng.nextBelow(2000000)) + "\n";
+    return std::vector<uint8_t>(S.begin(), S.end());
+  });
+  // A couple of per-process entries.
+  for (int Pid : {101, 202}) {
+    Env.putDynamicFile("/proc/" + std::to_string(Pid) + "/stat",
+                       [Pid](Prng &Rng) {
+                         const std::string S =
+                             std::to_string(Pid) + " " +
+                             std::to_string(Rng.nextBelow(10000)) + " " +
+                             std::to_string(Rng.nextBelow(500)) + "\n";
+                         return std::vector<uint8_t>(S.begin(), S.end());
+                       });
+  }
+}
+
+namespace {
+
+/// Reads a whole (small) file through the syscall layer.
+std::string slurp(const char *Path) {
+  const int Fd = sys::open(Path);
+  if (Fd < 0)
+    return {};
+  std::string Out;
+  char Buf[256];
+  for (;;) {
+    const int64_t N = sys::read(Fd, Buf, sizeof Buf);
+    if (N <= 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  sys::close(Fd);
+  return Out;
+}
+
+/// Parses whitespace-separated integers from a /proc line.
+std::vector<uint64_t> numbersIn(const std::string &S) {
+  std::vector<uint64_t> Out;
+  uint64_t Cur = 0;
+  bool In = false;
+  for (char C : S) {
+    if (C >= '0' && C <= '9') {
+      Cur = Cur * 10 + static_cast<uint64_t>(C - '0');
+      In = true;
+    } else if (In) {
+      Out.push_back(Cur);
+      Cur = 0;
+      In = false;
+    }
+  }
+  if (In)
+    Out.push_back(Cur);
+  return Out;
+}
+
+} // namespace
+
+htop::HtopResult htop::runSampler(int Samples) {
+  HtopResult Result;
+  double CpuSum = 0;
+  for (int I = 0; I != Samples; ++I) {
+    const std::string Stat = slurp("/proc/stat");
+    const std::string Mem = slurp("/proc/meminfo");
+    const std::string P1 = slurp("/proc/101/stat");
+    const std::string P2 = slurp("/proc/202/stat");
+    const std::vector<uint64_t> Cpu = numbersIn(Stat);
+    if (Cpu.size() >= 3) {
+      const double Busy = static_cast<double>(Cpu[0] + Cpu[1]);
+      CpuSum += 100.0 * Busy / (Busy + static_cast<double>(Cpu[2]));
+    }
+    Result.StatsHash = fnv1a(Stat.data(), Stat.size(), Result.StatsHash);
+    Result.StatsHash = fnv1a(Mem.data(), Mem.size(), Result.StatsHash);
+    Result.StatsHash = fnv1a(P1.data(), P1.size(), Result.StatsHash);
+    Result.StatsHash = fnv1a(P2.data(), P2.size(), Result.StatsHash);
+    ++Result.Samples;
+    sys::sleepMs(100); // htop's refresh cadence
+  }
+  Result.AvgCpuPercent = Samples ? CpuSum / Samples : 0.0;
+  return Result;
+}
+
+RecordPolicy htop::htopPolicy() {
+  // §4.4: the core sparse set, extended per-application with file I/O so
+  // the /proc interaction is captured. Open must be recorded too — its
+  // fd values feed the recorded reads.
+  RecordPolicy P = RecordPolicy::httpd();
+  P.recordFileIo(true);
+  P.enable({SyscallKind::Open, SyscallKind::Close, SyscallKind::SleepMs});
+  return P;
+}

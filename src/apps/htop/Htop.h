@@ -1,0 +1,53 @@
+//===-- apps/htop/Htop.h - MiniHtop (/proc sampler) -------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniHtop illustrates the paper's §4.4 discussion verbatim: "to handle
+/// a program such as htop would require instrumentation of the
+/// interaction with the /proc filesystem, but doing this in the general
+/// case would be wasteful". The sampler reads /proc-style dynamic files
+/// whose content jitters externally; under the default sparse policies
+/// (file reads unrecorded) its replay soft-diverges, while a custom
+/// policy that records file I/O replays it faithfully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_HTOP_HTOP_H
+#define TSR_APPS_HTOP_HTOP_H
+
+#include "env/SimEnv.h"
+#include "env/Syscall.h"
+
+#include <cstdint>
+
+namespace tsr {
+namespace htop {
+
+struct HtopResult {
+  int Samples = 0;
+  /// Digest over every parsed /proc sample (the display contents).
+  uint64_t StatsHash = 0;
+  /// Average "cpu busy" percentage across samples.
+  double AvgCpuPercent = 0.0;
+};
+
+/// Installs the /proc-style dynamic files (stat, meminfo, a few process
+/// entries) into \p Env. Call before Session::run.
+void installProcFs(SimEnv &Env);
+
+/// Samples /proc \p Samples times (open/read/parse/close per file per
+/// sample) inside the current controlled thread.
+HtopResult runSampler(int Samples);
+
+/// The recording policy MiniHtop needs: the sparse network set *plus*
+/// file reads — exactly the per-application extension §4.4 describes.
+RecordPolicy htopPolicy();
+
+} // namespace htop
+} // namespace tsr
+
+#endif // TSR_APPS_HTOP_HTOP_H

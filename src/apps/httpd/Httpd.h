@@ -1,0 +1,74 @@
+//===-- apps/httpd/Httpd.h - MiniHttpd + load generator ---------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature of the paper's httpd case study (§5.2): a
+/// single-process-multiple-thread web server. A listener thread polls the
+/// listening socket (the paper's epoll→poll workaround) and hands
+/// accepted connections to a worker pool through a mutex/condvar queue;
+/// each worker serves all requests on its connection. A scripted
+/// load-generator peer plays the role of ab: it opens N concurrent
+/// connections and issues M requests per connection.
+///
+/// The server deliberately carries the kind of benign statistics races
+/// real httpd versions exhibited, so the tsan11-based configurations have
+/// races to find (Table 2's Rate column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_HTTPD_HTTPD_H
+#define TSR_APPS_HTTPD_HTTPD_H
+
+#include "env/SimEnv.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace tsr {
+namespace httpd {
+
+/// Server parameters.
+struct HttpdConfig {
+  uint16_t Port = 8080;
+  /// Worker pool size (the paper drives 10 concurrent client threads).
+  int Workers = 10;
+  /// Connections the load generator will open; the listener accepts this
+  /// many and stops polling (the stress-test harness knows its load).
+  int Connections = 10;
+  /// Total requests the run will serve (the load generator's
+  /// connections × requests-per-connection); the server exits after
+  /// serving them all.
+  int TotalRequests = 1000;
+  /// Virtual compute per request (ns).
+  uint64_t WorkPerRequestNs = 150000;
+};
+
+/// What one server run observed.
+struct HttpdResult {
+  int Served = 0;
+  /// Checksum over served request payloads (order-insensitive).
+  uint64_t PayloadHash = 0;
+  /// Virtual completion time of the serving phase (main's clock after
+  /// joining the worker pool) — the throughput denominator.
+  uint64_t VirtualNs = 0;
+};
+
+/// Runs the server inside the current controlled thread until
+/// TotalRequests have been served.
+HttpdResult runServer(const HttpdConfig &Config);
+
+/// Creates the ab-like load generator: \p Connections concurrent
+/// connections, \p RequestsPerConnection requests each, \p RequestBytes
+/// per request. Install with env().addPeer("ab", makeLoadGen(...)).
+std::unique_ptr<Peer> makeLoadGen(uint16_t Port, int Connections,
+                                  int RequestsPerConnection,
+                                  size_t RequestBytes = 64);
+
+} // namespace httpd
+} // namespace tsr
+
+#endif // TSR_APPS_HTTPD_HTTPD_H

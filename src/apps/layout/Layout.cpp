@@ -1,0 +1,36 @@
+//===-- apps/layout/Layout.cpp - Memory-layout limitation demo -*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/layout/Layout.h"
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+
+#include <map>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+layout::LayoutResult layout::run(int Items) {
+  LayoutResult Result;
+  // An "ordered set of pointers" (§4.1): the key is the allocation
+  // address, which the environment jitters run to run.
+  std::map<uint64_t, int> ByAddress;
+  for (int I = 0; I != Items; ++I)
+    ByAddress[sys::allocHint()] = I;
+
+  for (const auto &[Addr, Value] : ByAddress) {
+    Result.OrderHash = mix(Result.OrderHash, Addr ^ Value);
+    // Layout-dependent control flow with an observable syscall: items in
+    // the "odd" half of an allocation bucket consult the clock.
+    if ((Addr >> 4) & 1) {
+      (void)sys::clockNs();
+      ++Result.ClockCalls;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===-- apps/layout/Layout.h - Memory-layout limitation demo ---*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SQLite/SpiderMonkey limitation (§5.5): a program whose control flow
+/// depends on memory layout — here, iteration over a container ordered by
+/// allocator addresses (sys::allocHint). Under a sparse policy that does
+/// not record layout, the replay's addresses differ, iteration order
+/// diverges, and the program issues a different syscall sequence: the
+/// replay hard-desynchronises. Under the full (rr-like) policy the hints
+/// are recorded and replay is faithful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_LAYOUT_LAYOUT_H
+#define TSR_APPS_LAYOUT_LAYOUT_H
+
+#include <cstdint>
+
+namespace tsr {
+namespace layout {
+
+struct LayoutResult {
+  /// Digest of the pointer-ordered iteration (layout-dependent).
+  uint64_t OrderHash = 0;
+  /// Number of clock syscalls issued — depends on the order, which is
+  /// what turns layout divergence into syscall-stream divergence.
+  int ClockCalls = 0;
+};
+
+/// Allocates \p Items objects keyed by allocator hints, iterates them in
+/// address order, and issues a clock syscall for every "odd-addressed"
+/// item.
+LayoutResult run(int Items);
+
+} // namespace layout
+} // namespace tsr
+
+#endif // TSR_APPS_LAYOUT_LAYOUT_H

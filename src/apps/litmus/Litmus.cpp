@@ -1,0 +1,472 @@
+//===-- apps/litmus/Litmus.cpp - CDSchecker benchmark suite ----*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/litmus/Litmus.h"
+
+#include "runtime/Tsr.h"
+
+#include <array>
+
+using namespace tsr;
+
+namespace {
+
+constexpr auto Relaxed = std::memory_order_relaxed;
+constexpr auto Acquire = std::memory_order_acquire;
+constexpr auto Release = std::memory_order_release;
+constexpr auto AcqRel = std::memory_order_acq_rel;
+constexpr auto SeqCst = std::memory_order_seq_cst;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// barrier: a sense-reversing spin barrier whose reset uses relaxed
+// ordering, so the data handed across the barrier is racy under C++11
+// semantics (the CDSchecker benchmark's known weakness).
+//===----------------------------------------------------------------------===//
+
+void litmus::barrier() {
+  struct SpinBarrier {
+    Atomic<unsigned> Count{0};
+    unsigned Parties;
+
+    explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+
+    void arriveAndWait() {
+      // The last arriver synchronises with everyone (acq_rel RMW reads
+      // the release sequence of earlier arrivals)...
+      if (Count.fetchAdd(1, AcqRel) + 1 == Parties) {
+        // ...but the reset is relaxed, so a *spinning* waiter leaves the
+        // barrier without synchronising — the benchmark's weakness.
+        Count.store(0, Relaxed);
+        return;
+      }
+      while (Count.load(Relaxed) != 0) {
+      }
+    }
+  };
+
+  // The writer arrives first on typical schedules, in which case the
+  // reader is the last arriver and acquires the write; only when the
+  // scheduler delays the writer does the reader spin and race.
+  SpinBarrier B(2);
+  Var<int> Data(0, "barrier.data");
+  Thread T1 = Thread::spawn([&] {
+    B.arriveAndWait();
+    (void)(Data.get() + 1); // Racy only via the relaxed-reset exit.
+  });
+  Data.set(41);
+  B.arriveAndWait();
+  T1.join();
+}
+
+//===----------------------------------------------------------------------===//
+// chase-lev-deque: the work-stealing deque of Chase & Lev, in the C11
+// formulation of Lê et al., with the CDSchecker variant's missing
+// synchronisation on the steal path. The racy outcome needs the owner to
+// run far ahead of the thief (§5.1 discusses why uniform random
+// scheduling rarely finds it).
+//===----------------------------------------------------------------------===//
+
+void litmus::chaseLevDeque() {
+  constexpr int Cap = 32;
+  struct Deque {
+    Atomic<int> Top{0};
+    Atomic<int> Bottom{0};
+    /// Elements are plain memory, as in the real deque: publication
+    /// relies entirely on the Top/Bottom protocol.
+    std::array<Var<int>, Cap> Buf;
+
+    void push(int V) {
+      const int B = Bottom.load(Relaxed);
+      Buf[B % Cap].set(V);
+      atomicFence(Release);
+      Bottom.store(B + 1, Relaxed);
+    }
+
+    int take() {
+      int B = Bottom.load(Relaxed) - 1;
+      Bottom.store(B, Relaxed);
+      atomicFence(SeqCst);
+      int T = Top.load(Relaxed);
+      if (T > B) {
+        Bottom.store(B + 1, Relaxed);
+        return -1; // empty
+      }
+      int V = Buf[B % Cap].get();
+      if (T == B) {
+        // Contended last element: the seq_cst CAS synchronises with a
+        // *successful* thief, but a thief that read the element and then
+        // lost this CAS made no release store — its read stays
+        // unpublished, which is the racy window.
+        if (!Top.compareExchange(T, T + 1, SeqCst, Relaxed))
+          V = -1;
+        Bottom.store(B + 1, Relaxed);
+      }
+      return V;
+    }
+
+    int steal() {
+      const int T = Top.load(Acquire);
+      // The benchmark's weakness: this fence should be seq_cst.
+      atomicFence(Acquire);
+      const int B = Bottom.load(Acquire);
+      if (T >= B)
+        return -1;
+      const int V = Buf[T % Cap].get();
+      int Expected = T;
+      if (!Top.compareExchange(Expected, T + 1, SeqCst, Relaxed))
+        return -1; // Lost to the owner: V was read without publication.
+      return V;
+    }
+  };
+
+  // §5.1: "from the creation of thread 2 to the point of the race, thread
+  // 1 must perform 29 operations before thread 2 performs just 4" — the
+  // thief's unsynchronised element read races with the owner's later
+  // slot-reusing push only if the thief loses the last-element CAS, which
+  // requires its four steal steps to land exactly inside the owner's
+  // final take.
+  Deque D;
+  D.push(1);
+  int Stolen = -1;
+  Thread Thief = Thread::spawn([&] { Stolen = D.steal(); });
+  int Taken = 0;
+  for (int I = 2; I <= 12; ++I)
+    D.push(I);
+  for (int I = 0; I != 12; ++I)
+    if (D.take() >= 0)
+      ++Taken;
+  D.push(13); // Reuses slot 0: races with an unpublished thief read.
+  Thief.join();
+  (void)Stolen;
+  (void)Taken;
+}
+
+//===----------------------------------------------------------------------===//
+// dekker-fences: Dekker's mutual exclusion implemented with relaxed
+// atomics and fences, as in the CDSchecker benchmark; one of the fences is
+// weaker than required, so the critical section is racy roughly half the
+// time depending on the interleaving.
+//===----------------------------------------------------------------------===//
+
+void litmus::dekkerFences() {
+  Atomic<int> Flag0(0), Flag1(0), Turn(0);
+  Var<int> Critical(0, "dekker.critical");
+
+  auto Cs0 = [&] {
+    Flag0.store(1, Relaxed);
+    atomicFence(SeqCst);
+    while (Flag1.load(Relaxed) == 1) {
+      if (Turn.load(Relaxed) != 0) {
+        Flag0.store(0, Relaxed);
+        while (Turn.load(Relaxed) != 0) {
+        }
+        Flag0.store(1, Relaxed);
+        atomicFence(SeqCst);
+      }
+    }
+    // Benchmark weakness: only an acquire fence before the critical
+    // section (the original needs seq_cst here too).
+    atomicFence(Acquire);
+    Critical.set(Critical.get() + 1);
+    Turn.store(1, Relaxed);
+    atomicFence(Release);
+    Flag0.store(0, Relaxed);
+  };
+  auto Cs1 = [&] {
+    Flag1.store(1, Relaxed);
+    atomicFence(SeqCst);
+    while (Flag0.load(Relaxed) == 1) {
+      if (Turn.load(Relaxed) != 1) {
+        Flag1.store(0, Relaxed);
+        while (Turn.load(Relaxed) != 1) {
+        }
+        Flag1.store(1, Relaxed);
+        atomicFence(SeqCst);
+      }
+    }
+    atomicFence(Acquire);
+    Critical.set(Critical.get() + 1);
+    Turn.store(0, Relaxed);
+    atomicFence(Release);
+    Flag1.store(0, Relaxed);
+  };
+
+  Thread T1 = Thread::spawn([&] { Cs1(); });
+  Cs0();
+  T1.join();
+}
+
+//===----------------------------------------------------------------------===//
+// linuxrwlocks: the Linux-kernel-style reader/writer lock from the
+// CDSchecker suite, with the benchmark's relaxed read-side acquisition
+// that fails to synchronise with the writer's release.
+//===----------------------------------------------------------------------===//
+
+void litmus::linuxRwlocks() {
+  constexpr int WriteBias = 0x100000;
+  struct RwLock {
+    Atomic<int> Lock{0};
+
+    void readLock() {
+      // Fast path is correct (acquire)...
+      int Prev = Lock.fetchAdd(1, Acquire);
+      while (Prev >= WriteBias) {
+        Lock.fetchSub(1, Relaxed);
+        while (Lock.load(Relaxed) >= WriteBias) {
+        }
+        // ...but the contended retry is relaxed — the benchmark's
+        // weakness, reachable only when a reader races a writer.
+        Prev = Lock.fetchAdd(1, Relaxed);
+      }
+    }
+    void readUnlock() { Lock.fetchSub(1, Release); }
+
+    void writeLock() {
+      int Expected = 0;
+      while (!Lock.compareExchange(Expected, WriteBias, Acquire, Relaxed))
+        Expected = 0;
+    }
+    void writeUnlock() { Lock.fetchSub(WriteBias, Release); }
+  };
+
+  RwLock L;
+  Var<int> Shared(0, "rwlock.shared");
+  Thread Writer = Thread::spawn([&] {
+    for (int I = 0; I != 3; ++I) {
+      L.writeLock();
+      Shared.set(Shared.get() + 1);
+      L.writeUnlock();
+    }
+  });
+  int Sum = 0;
+  for (int I = 0; I != 3; ++I) {
+    L.readLock();
+    Sum += Shared.get();
+    L.readUnlock();
+  }
+  Writer.join();
+  (void)Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// mcs-lock: the MCS queue lock (index-based nodes), with the relaxed
+// handoff of the CDSchecker variant.
+//===----------------------------------------------------------------------===//
+
+void litmus::mcsLock() {
+  constexpr int MaxNodes = 4;
+  struct McsLock {
+    Atomic<int> Tail{-1};
+    std::array<Atomic<int>, MaxNodes> Next;
+    std::array<Atomic<int>, MaxNodes> Blocked;
+
+    McsLock() {
+      for (auto &N : Next)
+        N.store(-1, Relaxed);
+    }
+
+    void lock(int Me) {
+      Next[Me].store(-1, Relaxed);
+      Blocked[Me].store(1, Relaxed);
+      const int Prev = Tail.exchange(Me, AcqRel);
+      if (Prev >= 0) {
+        Next[Prev].store(Me, Release);
+        // Benchmark weakness: relaxed spin, no acquire on the handoff.
+        while (Blocked[Me].load(Relaxed) == 1) {
+        }
+      }
+    }
+
+    void unlock(int Me) {
+      int Succ = Next[Me].load(Acquire);
+      if (Succ < 0) {
+        int Expected = Me;
+        if (Tail.compareExchange(Expected, -1, AcqRel, Relaxed))
+          return;
+        do {
+          Succ = Next[Me].load(Acquire);
+        } while (Succ < 0);
+      }
+      Blocked[Succ].store(0, Relaxed);
+    }
+  };
+
+  McsLock L;
+  Var<int> Shared(0, "mcs.shared");
+  Thread T1 = Thread::spawn([&] {
+    for (int I = 0; I != 2; ++I) {
+      L.lock(1);
+      Shared.set(Shared.get() + 1);
+      L.unlock(1);
+    }
+  });
+  for (int I = 0; I != 2; ++I) {
+    L.lock(0);
+    Shared.set(Shared.get() + 10);
+    L.unlock(0);
+  }
+  T1.join();
+}
+
+//===----------------------------------------------------------------------===//
+// mpmc-queue: the bounded multi-producer/multi-consumer ring buffer from
+// the CDSchecker suite; element slots are plain memory published with
+// insufficient ordering on the consumer side.
+//===----------------------------------------------------------------------===//
+
+void litmus::mpmcQueue() {
+  constexpr unsigned Cap = 8;
+  struct MpmcQueue {
+    Atomic<unsigned> WriteTicket{0};
+    Atomic<unsigned> ReadTicket{0};
+    Atomic<unsigned> Committed{0};
+    std::array<Var<int>, Cap> Slots;
+
+    void enqueue(int V) {
+      const unsigned T = WriteTicket.fetchAdd(1, Relaxed);
+      Slots[T % Cap].set(V);
+      // Publish: wait for our turn, then bump the commit counter.
+      while (Committed.load(Relaxed) != T) {
+      }
+      Committed.store(T + 1, Release);
+    }
+
+    bool dequeue(int &V) {
+      const unsigned T = ReadTicket.load(Relaxed);
+      if (Committed.load(Acquire) <= T) {
+        // Benchmark weakness: a relaxed double-check. If the element
+        // becomes visible only here, the consumer proceeds without
+        // having synchronised with the producer.
+        if (Committed.load(Relaxed) <= T)
+          return false;
+      }
+      unsigned Expected = T;
+      if (!ReadTicket.compareExchange(Expected, T + 1, AcqRel, Relaxed))
+        return false;
+      V = Slots[T % Cap].get();
+      return true;
+    }
+  };
+
+  MpmcQueue Q;
+  Var<int> Sum(0, "mpmc.sum");
+  Thread Producer = Thread::spawn([&] {
+    for (int I = 1; I <= 4; ++I)
+      Q.enqueue(I);
+  });
+  Thread Consumer = Thread::spawn([&] {
+    int Got = 0, V = 0;
+    while (Got != 4)
+      if (Q.dequeue(V)) {
+        Sum.set(Sum.get() + V);
+        ++Got;
+      }
+  });
+  Producer.join();
+  Consumer.join();
+}
+
+//===----------------------------------------------------------------------===//
+// ms-queue: the Michael-Scott non-blocking queue over a preallocated node
+// pool, as in the CDSchecker suite. The value field of a node is plain
+// memory; the benchmark's relaxed CAS on the tail swing leaves a race
+// that manifests on nearly every schedule (Table 1 reports a 100% race
+// rate for this benchmark under every tool).
+//===----------------------------------------------------------------------===//
+
+void litmus::msQueue() {
+  constexpr int PoolSize = 16;
+  struct MsQueue {
+    struct Node {
+      Var<int> Value{0};
+      Atomic<int> Next{-1};
+    };
+    std::array<Node, PoolSize> Pool;
+    Atomic<int> Head{0};
+    Atomic<int> Tail{0};
+    Atomic<int> NextFree{1};
+
+    MsQueue() { Pool[0].Next.store(-1, Relaxed); }
+
+    void enqueue(int V) {
+      const int N = NextFree.fetchAdd(1, Relaxed);
+      Pool[N].Value.set(V);
+      Pool[N].Next.store(-1, Relaxed);
+      for (;;) {
+        int T = Tail.load(Acquire);
+        int Next = Pool[T].Next.load(Acquire);
+        if (Next != -1) {
+          // Help swing the lagging tail (relaxed, per the benchmark).
+          Tail.compareExchange(T, Next, Relaxed, Relaxed);
+          continue;
+        }
+        int ExpectedNext = -1;
+        // Benchmark weakness: the link CAS is relaxed, so a dequeuer
+        // reading the value field never synchronises with this enqueue —
+        // the race Table 1 reports on every run, under every tool.
+        if (Pool[T].Next.compareExchange(ExpectedNext, N, Relaxed,
+                                         Relaxed)) {
+          Tail.compareExchange(T, N, Relaxed, Relaxed);
+          return;
+        }
+      }
+    }
+
+    bool dequeue(int &V) {
+      for (;;) {
+        const int H = Head.load(Acquire);
+        const int T = Tail.load(Acquire);
+        const int Next = Pool[H].Next.load(Acquire);
+        if (Next == -1)
+          return false;
+        if (H == T) {
+          int ExpectedTail = T;
+          Tail.compareExchange(ExpectedTail, Next, Relaxed, Relaxed);
+          continue;
+        }
+        // Benchmark weakness: the value is read before the head CAS with
+        // no ordering against a concurrent enqueue reusing the node.
+        V = Pool[Next].Value.get();
+        int ExpectedHead = H;
+        if (Head.compareExchange(ExpectedHead, Next, Relaxed, Relaxed))
+          return true;
+      }
+    }
+  };
+
+  MsQueue Q;
+  Var<int> Sum(0, "msqueue.sum");
+  Thread Producer = Thread::spawn([&] {
+    for (int I = 1; I <= 5; ++I)
+      Q.enqueue(I);
+  });
+  Thread Consumer = Thread::spawn([&] {
+    int Got = 0, V = 0;
+    while (Got != 5)
+      if (Q.dequeue(V)) {
+        Sum.set(Sum.get() + V);
+        ++Got;
+      }
+  });
+  Producer.join();
+  Consumer.join();
+}
+
+const std::vector<litmus::LitmusTest> &litmus::suite() {
+  static const std::vector<LitmusTest> Suite = {
+      {"barrier", litmus::barrier},
+      {"chase-lev-deque", litmus::chaseLevDeque},
+      {"dekker-fences", litmus::dekkerFences},
+      {"linuxrwlocks", litmus::linuxRwlocks},
+      {"mcs-lock", litmus::mcsLock},
+      {"mpmc-queue", litmus::mpmcQueue},
+      {"ms-queue", litmus::msQueue},
+  };
+  return Suite;
+}

@@ -1,0 +1,52 @@
+//===-- apps/litmus/Litmus.h - CDSchecker benchmark suite ------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small concurrency benchmarks used to evaluate CDSchecker [Norris &
+/// Demsky, OOPSLA 2013] and reused by the paper's §5.1 (Table 1): barrier,
+/// chase-lev-deque, dekker-fences, linuxrwlocks, mcs-lock, mpmc-queue and
+/// ms-queue. Each is a faithful reimplementation of the algorithm against
+/// the tsr API, including the deliberate weak-memory weaknesses that make
+/// the originals exhibit data races under C++11 semantics.
+///
+/// A test body runs inside a session's controlled main thread; races are
+/// read from the session report afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_LITMUS_LITMUS_H
+#define TSR_APPS_LITMUS_LITMUS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tsr {
+namespace litmus {
+
+/// One benchmark: name plus a re-runnable body (fresh state per call).
+struct LitmusTest {
+  std::string Name;
+  std::function<void()> Body;
+};
+
+/// Individual benchmarks.
+void barrier();
+void chaseLevDeque();
+void dekkerFences();
+void linuxRwlocks();
+void mcsLock();
+void mpmcQueue();
+void msQueue();
+
+/// The full Table 1 suite in paper order.
+const std::vector<LitmusTest> &suite();
+
+} // namespace litmus
+} // namespace tsr
+
+#endif // TSR_APPS_LITMUS_LITMUS_H

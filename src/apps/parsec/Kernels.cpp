@@ -1,0 +1,372 @@
+//===-- apps/parsec/Kernels.cpp - PARSEC-like kernels -----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/parsec/Kernels.h"
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+namespace {
+
+/// Cumulative normal distribution (Black-Scholes helper).
+double cnd(double X) {
+  const double L = std::fabs(X);
+  const double K = 1.0 / (1.0 + 0.2316419 * L);
+  const double W =
+      1.0 - 1.0 / std::sqrt(2 * 3.141592653589793) * std::exp(-L * L / 2) *
+                (0.31938153 * K - 0.356563782 * K * K +
+                 1.781477937 * K * K * K - 1.821255978 * K * K * K * K +
+                 1.330274429 * K * K * K * K * K);
+  return X < 0 ? 1.0 - W : W;
+}
+
+/// Canonicalises a double into a checksum word.
+uint64_t quantize(double V) {
+  return static_cast<uint64_t>(V * 1e6);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// blackscholes: options are sliced across threads once; each thread
+// computes independently and writes its own partial checksum. The only
+// synchronisation is fork/join.
+//===----------------------------------------------------------------------===//
+
+parsec::KernelResult parsec::blackscholes(const KernelConfig &Config) {
+  const int N = Config.Size * 16;
+  std::vector<uint64_t> Partial(Config.Threads, 0);
+  std::vector<Thread> Threads;
+  for (int T = 0; T != Config.Threads; ++T) {
+    Threads.push_back(Thread::spawn([&, T] {
+      uint64_t H = 0;
+      const int Lo = N * T / Config.Threads;
+      const int Hi = N * (T + 1) / Config.Threads;
+      for (int I = Lo; I != Hi; ++I) {
+        const double S = 10.0 + 90.0 * detDouble(1, I);
+        const double K = 10.0 + 90.0 * detDouble(2, I);
+        const double R = 0.01 + 0.05 * detDouble(3, I);
+        const double V = 0.1 + 0.4 * detDouble(4, I);
+        const double Tm = 0.25 + detDouble(5, I);
+        const double D1 = (std::log(S / K) + (R + V * V / 2) * Tm) /
+                          (V * std::sqrt(Tm));
+        const double D2 = D1 - V * std::sqrt(Tm);
+        const double Call = S * cnd(D1) - K * std::exp(-R * Tm) * cnd(D2);
+        H = mix(H, quantize(Call));
+        sys::work(400);
+      }
+      Partial[T] = H;
+    }));
+  }
+  for (Thread &T : Threads)
+    T.join();
+  KernelResult R;
+  for (uint64_t H : Partial)
+    R.Checksum = mix(R.Checksum, H);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// fluidanimate: a 1-D "grid" of cells relaxed over several frames; each
+// update locks the cell and its neighbour, so the run is dominated by
+// fine-grained mutex traffic (the configuration tsan11rec is worst at,
+// Table 4's 50-60x overheads).
+//===----------------------------------------------------------------------===//
+
+parsec::KernelResult parsec::fluidanimate(const KernelConfig &Config) {
+  const int Cells = Config.Size;
+  const int Frames = 6;
+  // Fixed-point densities: cell updates are integer additions, so the
+  // result is independent of the order in which threads apply them (the
+  // checksum must not depend on the schedule).
+  std::vector<int64_t> Density(Cells);
+  std::vector<int64_t> Flow(Cells);
+  for (int I = 0; I != Cells; ++I)
+    Density[I] = static_cast<int64_t>(detDouble(7, I) * 1000000);
+  // One mutex per cell, as fluidanimate locks per grid cell.
+  std::vector<std::unique_ptr<Mutex>> Locks;
+  for (int I = 0; I != Cells; ++I)
+    Locks.push_back(std::make_unique<Mutex>());
+
+  Barrier FrameBarrier(Config.Threads);
+  std::vector<Thread> Threads;
+  for (int T = 0; T != Config.Threads; ++T) {
+    Threads.push_back(Thread::spawn([&, T] {
+      const int Lo = Cells * T / Config.Threads;
+      const int Hi = Cells * (T + 1) / Config.Threads;
+      for (int F = 0; F != Frames; ++F) {
+        // Phase 1: compute flows from the frame snapshot. The per-cell
+        // locks are taken as the real benchmark takes them; the values
+        // read are stable within the phase.
+        for (int I = Lo; I != Hi; ++I) {
+          const int J = (I + 1) % Cells;
+          Mutex &First = *Locks[std::min(I, J)];
+          Mutex &Second = *Locks[std::max(I, J)];
+          First.lock();
+          Second.lock();
+          Flow[I] = (Density[I] - Density[J]) / 10;
+          Second.unlock();
+          First.unlock();
+          sys::work(250);
+        }
+        FrameBarrier.arriveAndWait();
+        // Phase 2: apply flows; additions commute, so the interleaving
+        // cannot change the outcome.
+        for (int I = Lo; I != Hi; ++I) {
+          const int J = (I + 1) % Cells;
+          Mutex &First = *Locks[std::min(I, J)];
+          Mutex &Second = *Locks[std::max(I, J)];
+          First.lock();
+          Second.lock();
+          Density[I] -= Flow[I];
+          Density[J] += Flow[I];
+          Second.unlock();
+          First.unlock();
+          sys::work(150);
+        }
+        FrameBarrier.arriveAndWait();
+      }
+    }));
+  }
+  for (Thread &T : Threads)
+    T.join();
+  KernelResult R;
+  for (int64_t D : Density)
+    R.Checksum = mix(R.Checksum, static_cast<uint64_t>(D));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// streamcluster: k-median assignment/update rounds separated by barriers,
+// with a mutex-protected global accumulator per round.
+//===----------------------------------------------------------------------===//
+
+parsec::KernelResult parsec::streamcluster(const KernelConfig &Config) {
+  const int Points = Config.Size * 4;
+  const int K = 8;
+  const int Rounds = 5;
+  const int Dim = 4;
+
+  std::vector<double> Coord(Points * Dim);
+  for (int I = 0; I != Points * Dim; ++I)
+    Coord[I] = detDouble(11, I);
+  std::vector<double> Centers(K * Dim);
+  for (int I = 0; I != K * Dim; ++I)
+    Centers[I] = detDouble(13, I);
+  std::vector<int> Assign(Points, 0);
+
+  Mutex CostMu;
+  // Quantized cost accumulator: integer additions commute, keeping the
+  // total independent of the accumulation order.
+  int64_t TotalCost = 0; // guarded by CostMu
+  Barrier RoundBarrier(Config.Threads);
+
+  std::vector<Thread> Threads;
+  for (int T = 0; T != Config.Threads; ++T) {
+    Threads.push_back(Thread::spawn([&, T] {
+      const int Lo = Points * T / Config.Threads;
+      const int Hi = Points * (T + 1) / Config.Threads;
+      for (int Round = 0; Round != Rounds; ++Round) {
+        double LocalCost = 0;
+        for (int P = Lo; P != Hi; ++P) {
+          double Best = 1e300;
+          int BestK = 0;
+          for (int C = 0; C != K; ++C) {
+            double D = 0;
+            for (int X = 0; X != Dim; ++X) {
+              const double Diff = Coord[P * Dim + X] - Centers[C * Dim + X];
+              D += Diff * Diff;
+            }
+            if (D < Best) {
+              Best = D;
+              BestK = C;
+            }
+          }
+          Assign[P] = BestK;
+          LocalCost += Best;
+          sys::work(300);
+        }
+        {
+          LockGuard G(CostMu);
+          TotalCost += static_cast<int64_t>(LocalCost * 1e6);
+        }
+        RoundBarrier.arriveAndWait();
+        // Thread 0 nudges the centers between rounds.
+        if (T == 0) {
+          for (int C = 0; C != K * Dim; ++C)
+            Centers[C] += 0.01 * (detDouble(17 + Round, C) - 0.5);
+        }
+        RoundBarrier.arriveAndWait();
+      }
+    }));
+  }
+  for (Thread &T : Threads)
+    T.join();
+
+  KernelResult R;
+  R.Checksum = mix(R.Checksum, static_cast<uint64_t>(TotalCost));
+  for (int P = 0; P < Points; P += 7)
+    R.Checksum = mix(R.Checksum, static_cast<uint64_t>(Assign[P]));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// bodytrack: a persistent condvar-coordinated thread pool executing many
+// short parallel stages per frame (the structure that makes bodytrack
+// expensive under the random strategy, Table 4's 93x).
+//===----------------------------------------------------------------------===//
+
+parsec::KernelResult parsec::bodytrack(const KernelConfig &Config) {
+  const int Particles = Config.Size;
+  const int Frames = 4;
+  const int StagesPerFrame = 3;
+
+  std::vector<double> Weight(Particles);
+  for (int I = 0; I != Particles; ++I)
+    Weight[I] = detDouble(19, I);
+
+  Mutex PoolMu;
+  CondVar StageStart, StageDone;
+  Var<int> StageId(0);     // bumped by the coordinator for each stage
+  Var<int> DoneCount(0);   // workers done with the current stage
+  Var<bool> Shutdown(false);
+
+  auto StageWork = [&](int Stage, int T) {
+    const int Lo = Particles * T / Config.Threads;
+    const int Hi = Particles * (T + 1) / Config.Threads;
+    for (int I = Lo; I != Hi; ++I) {
+      Weight[I] = std::fmod(
+          Weight[I] * 1.7 + 0.13 * detDouble(23 + Stage, I), 1.0);
+      sys::work(200);
+    }
+  };
+
+  std::vector<Thread> Pool;
+  for (int T = 0; T != Config.Threads; ++T) {
+    Pool.push_back(Thread::spawn([&, T] {
+      int Seen = 0;
+      for (;;) {
+        int Stage;
+        {
+          UniqueLock L(PoolMu);
+          StageStart.wait(PoolMu, [&] {
+            return Shutdown.get() || StageId.get() != Seen;
+          });
+          if (Shutdown.get())
+            return;
+          Seen = StageId.get();
+          Stage = Seen;
+        }
+        StageWork(Stage, T);
+        {
+          UniqueLock L(PoolMu);
+          DoneCount.set(DoneCount.get() + 1);
+          if (DoneCount.get() == Config.Threads)
+            StageDone.signal();
+        }
+      }
+    }));
+  }
+
+  // Coordinator: run Frames x StagesPerFrame short parallel stages.
+  for (int F = 0; F != Frames; ++F) {
+    for (int Stage = 0; Stage != StagesPerFrame; ++Stage) {
+      UniqueLock L(PoolMu);
+      DoneCount.set(0);
+      StageId.set(StageId.get() + 1);
+      StageStart.broadcast();
+      StageDone.wait(PoolMu,
+                     [&] { return DoneCount.get() == Config.Threads; });
+    }
+  }
+  {
+    UniqueLock L(PoolMu);
+    Shutdown.set(true);
+    StageStart.broadcast();
+  }
+  for (Thread &T : Pool)
+    T.join();
+
+  KernelResult R;
+  for (double W : Weight)
+    R.Checksum = mix(R.Checksum, quantize(W));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// ferret: a four-stage similarity-search pipeline (segment → extract →
+// index → rank) over bounded queues, one thread per stage plus the
+// driver.
+//===----------------------------------------------------------------------===//
+
+parsec::KernelResult parsec::ferret(const KernelConfig &Config) {
+  const int Items = Config.Size;
+  struct Item {
+    int Id;
+    uint64_t Payload;
+  };
+  WorkQueue<Item> Q1(8), Q2(8), Q3(8);
+  Mutex OutMu;
+  uint64_t OutHash = 0;
+
+  Thread Segment = Thread::spawn([&] {
+    for (int I = 0; I != Items; ++I) {
+      sys::work(300);
+      Q1.push({I, det(29, I)});
+    }
+    Q1.close();
+  });
+  Thread Extract = Thread::spawn([&] {
+    while (auto It = Q1.pop()) {
+      sys::work(500);
+      It->Payload = mix(It->Payload, 0xEE);
+      Q2.push(*It);
+    }
+    Q2.close();
+  });
+  Thread Index = Thread::spawn([&] {
+    while (auto It = Q2.pop()) {
+      sys::work(700);
+      It->Payload = mix(It->Payload, 0x11);
+      Q3.push(*It);
+    }
+    Q3.close();
+  });
+  Thread Rank = Thread::spawn([&] {
+    while (auto It = Q3.pop()) {
+      sys::work(400);
+      LockGuard G(OutMu);
+      OutHash ^= mix(It->Payload, static_cast<uint64_t>(It->Id));
+    }
+  });
+
+  Segment.join();
+  Extract.join();
+  Index.join();
+  Rank.join();
+
+  KernelResult R;
+  R.Checksum = OutHash;
+  return R;
+}
+
+const std::vector<parsec::Kernel> &parsec::kernels() {
+  static const std::vector<Kernel> Kernels = {
+      {"blackscholes", parsec::blackscholes},
+      {"fluidanimate", parsec::fluidanimate},
+      {"streamcluster", parsec::streamcluster},
+      {"bodytrack", parsec::bodytrack},
+      {"ferret", parsec::ferret},
+  };
+  return Kernels;
+}

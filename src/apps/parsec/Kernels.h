@@ -1,0 +1,68 @@
+//===-- apps/parsec/Kernels.h - PARSEC-like kernels -------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miniatures of the five PARSEC benchmarks the paper evaluates (§5.3),
+/// preserving each benchmark's concurrency structure — which is what
+/// determines how the tool configurations rank on it:
+///
+///   blackscholes  — work split once at startup, threads run nearly
+///                   independently (high parallelism / low communication:
+///                   the case where tsan11rec beats rr, §5.3).
+///   fluidanimate  — grid relaxation with fine-grained per-cell locking
+///                   (mutex-dense: high controlled-scheduling overhead).
+///   streamcluster — k-median clustering with barrier-synchronised rounds.
+///   bodytrack     — particle-filter stages coordinated by a condvar
+///                   thread pool (many short parallel phases).
+///   ferret        — four pipeline stages connected by bounded queues.
+///
+/// Every kernel returns a deterministic checksum over its numeric output
+/// so tests can verify that instrumentation never changes results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_PARSEC_KERNELS_H
+#define TSR_APPS_PARSEC_KERNELS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tsr {
+namespace parsec {
+
+/// Output of one kernel run.
+struct KernelResult {
+  uint64_t Checksum = 0;
+};
+
+/// Problem-size knobs; defaults are scaled-down "simlarge" analogues.
+struct KernelConfig {
+  int Threads = 4;
+  /// Generic size parameter (options, particles, points, frames, items —
+  /// interpreted per kernel).
+  int Size = 256;
+};
+
+KernelResult blackscholes(const KernelConfig &Config);
+KernelResult fluidanimate(const KernelConfig &Config);
+KernelResult streamcluster(const KernelConfig &Config);
+KernelResult bodytrack(const KernelConfig &Config);
+KernelResult ferret(const KernelConfig &Config);
+
+/// Named registry for the benchmark harness (paper order).
+struct Kernel {
+  std::string Name;
+  std::function<KernelResult(const KernelConfig &)> Run;
+};
+const std::vector<Kernel> &kernels();
+
+} // namespace parsec
+} // namespace tsr
+
+#endif // TSR_APPS_PARSEC_KERNELS_H

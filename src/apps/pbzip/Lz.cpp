@@ -1,0 +1,128 @@
+//===-- apps/pbzip/Lz.cpp - Block compressor --------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pbzip/Lz.h"
+
+#include <array>
+#include <cstring>
+
+using namespace tsr;
+
+namespace {
+
+constexpr size_t MinMatch = 4;
+constexpr size_t MaxMatch = 255 + MinMatch;
+constexpr size_t WindowSize = 1 << 14;
+constexpr size_t HashBits = 13;
+
+uint32_t hash4(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return (V * 2654435761u) >> (32 - HashBits);
+}
+
+void putVarint(std::vector<uint8_t> &Out, size_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+bool getVarint(const std::vector<uint8_t> &In, size_t &Pos, size_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Shift < 56) {
+    if (Pos >= In.size())
+      return false;
+    const uint8_t B = In[Pos++];
+    V |= static_cast<size_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      return true;
+    Shift += 7;
+  }
+  return false;
+}
+
+void flushLiterals(std::vector<uint8_t> &Out, const uint8_t *Data,
+                   size_t Begin, size_t End) {
+  while (Begin < End) {
+    const size_t Run = std::min<size_t>(End - Begin, 255);
+    Out.push_back(0x00);
+    Out.push_back(static_cast<uint8_t>(Run));
+    Out.insert(Out.end(), Data + Begin, Data + Begin + Run);
+    Begin += Run;
+  }
+}
+
+} // namespace
+
+std::vector<uint8_t> lz::compress(const std::vector<uint8_t> &Input) {
+  std::vector<uint8_t> Out;
+  Out.reserve(Input.size() / 2 + 16);
+  std::array<size_t, 1 << HashBits> Head;
+  Head.fill(SIZE_MAX);
+
+  const uint8_t *Data = Input.data();
+  const size_t N = Input.size();
+  size_t LitStart = 0;
+  size_t I = 0;
+  while (I + MinMatch <= N) {
+    const uint32_t H = hash4(Data + I);
+    const size_t Cand = Head[H];
+    Head[H] = I;
+    if (Cand != SIZE_MAX && I - Cand <= WindowSize &&
+        std::memcmp(Data + Cand, Data + I, MinMatch) == 0) {
+      size_t Len = MinMatch;
+      while (I + Len < N && Len < MaxMatch &&
+             Data[Cand + Len] == Data[I + Len])
+        ++Len;
+      flushLiterals(Out, Data, LitStart, I);
+      Out.push_back(0x01);
+      putVarint(Out, I - Cand);
+      putVarint(Out, Len - MinMatch);
+      I += Len;
+      LitStart = I;
+      continue;
+    }
+    ++I;
+  }
+  flushLiterals(Out, Data, LitStart, N);
+  return Out;
+}
+
+bool lz::decompress(const std::vector<uint8_t> &Input,
+                    std::vector<uint8_t> &Output) {
+  Output.clear();
+  size_t Pos = 0;
+  while (Pos < Input.size()) {
+    const uint8_t Tag = Input[Pos++];
+    if (Tag == 0x00) {
+      if (Pos >= Input.size())
+        return false;
+      const size_t Run = Input[Pos++];
+      if (Pos + Run > Input.size())
+        return false;
+      Output.insert(Output.end(), Input.begin() + Pos,
+                    Input.begin() + Pos + Run);
+      Pos += Run;
+      continue;
+    }
+    if (Tag != 0x01)
+      return false;
+    size_t Dist, LenMinus;
+    if (!getVarint(Input, Pos, Dist) || !getVarint(Input, Pos, LenMinus))
+      return false;
+    const size_t Len = LenMinus + MinMatch;
+    if (Dist == 0 || Dist > Output.size())
+      return false;
+    // Overlapping copies are part of the format; copy byte by byte.
+    for (size_t I = 0; I != Len; ++I)
+      Output.push_back(Output[Output.size() - Dist]);
+  }
+  return true;
+}

@@ -1,0 +1,41 @@
+//===-- apps/pbzip/Lz.h - Block compressor ----------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small but genuine LZ77-style block compressor standing in for bzip2's
+/// per-block compression inside the MiniPbzip workload. Greedy hash-chain
+/// matching, byte-oriented token stream:
+///
+///   token := 0x00 <len u8> <literals...>                 (literal run)
+///          | 0x01 <dist varint> <len varint>             (back-reference)
+///
+/// Self-inverse via decompress(); the pbzip tests round-trip every block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_PBZIP_LZ_H
+#define TSR_APPS_PBZIP_LZ_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tsr {
+namespace lz {
+
+/// Compresses \p Input; output is self-describing (no header needed
+/// beyond what the caller stores).
+std::vector<uint8_t> compress(const std::vector<uint8_t> &Input);
+
+/// Decompresses a buffer produced by compress(). Returns false on a
+/// malformed stream.
+bool decompress(const std::vector<uint8_t> &Input,
+                std::vector<uint8_t> &Output);
+
+} // namespace lz
+} // namespace tsr
+
+#endif // TSR_APPS_PBZIP_LZ_H

@@ -1,0 +1,183 @@
+//===-- apps/pbzip/Pbzip.cpp - Parallel block compressor --------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/pbzip/Pbzip.h"
+
+#include "apps/common/Util.h"
+#include "apps/pbzip/Lz.h"
+#include "runtime/Tsr.h"
+
+#include <map>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+namespace {
+
+void putVarint(std::vector<uint8_t> &Out, size_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+} // namespace
+
+pbzip::PbzipResult pbzip::compressFile(const PbzipConfig &Config) {
+  PbzipResult Result;
+
+  struct Block {
+    int Seq;
+    std::vector<uint8_t> Data;
+  };
+  // One feed queue per compressor, filled round-robin: an honest stand-in
+  // for the real pool on a multicore host (see Httpd.cpp for the 1-CPU
+  // rationale).
+  std::vector<std::unique_ptr<WorkQueue<Block>>> Raw;
+  for (int T = 0; T != Config.Threads; ++T)
+    Raw.push_back(std::make_unique<WorkQueue<Block>>(2));
+
+  // In-order writer gate: compressed blocks arrive out of order and are
+  // held until their sequence number is next.
+  Mutex WriteMu;
+  CondVar WriteCv;
+  std::map<int, std::vector<uint8_t>> Pending; // guarded by WriteMu
+  Var<int> NextToWrite(0);
+  Var<int> TotalBlocks(-1);
+
+  const int InFd = sys::open(Config.InputPath.c_str());
+  if (InFd < 0)
+    return Result;
+  const int OutFd = sys::open(Config.OutputPath.c_str(), /*Create=*/true);
+  if (OutFd < 0)
+    return Result;
+
+  // Compressor pool.
+  std::vector<Thread> Pool;
+  for (int T = 0; T != Config.Threads; ++T) {
+    Pool.push_back(Thread::spawn([&, T] {
+      while (auto B = Raw[T]->pop()) {
+        sys::work(B->Data.size() * Config.WorkPerByteNs);
+        std::vector<uint8_t> Packed = lz::compress(B->Data);
+        UniqueLock L(WriteMu);
+        Pending[B->Seq] = std::move(Packed);
+        WriteCv.broadcast();
+      }
+    }));
+  }
+
+  // Writer thread: emits blocks strictly in order.
+  uint64_t OutHash = 0;
+  size_t BytesOut = 0;
+  Thread Writer = Thread::spawn([&] {
+    for (;;) {
+      std::vector<uint8_t> Packed;
+      int Seq;
+      {
+        UniqueLock L(WriteMu);
+        WriteCv.wait(WriteMu, [&] {
+          return Pending.count(NextToWrite.get()) != 0 ||
+                 (TotalBlocks.get() >= 0 &&
+                  NextToWrite.get() >= TotalBlocks.get());
+        });
+        Seq = NextToWrite.get();
+        if (TotalBlocks.get() >= 0 && Seq >= TotalBlocks.get())
+          return;
+        Packed = std::move(Pending[Seq]);
+        Pending.erase(Seq);
+        NextToWrite.set(Seq + 1);
+        WriteCv.broadcast();
+      }
+      std::vector<uint8_t> Framed;
+      putVarint(Framed, Packed.size());
+      Framed.insert(Framed.end(), Packed.begin(), Packed.end());
+      sys::write(OutFd, Framed.data(), Framed.size());
+      OutHash = fnv1a(Framed.data(), Framed.size(), OutHash);
+      BytesOut += Framed.size();
+    }
+  });
+
+  // Reader (this thread): split the input into blocks.
+  int Seq = 0;
+  size_t BytesIn = 0;
+  for (;;) {
+    std::vector<uint8_t> Buf(Config.BlockSize);
+    const int64_t N = sys::read(InFd, Buf.data(), Buf.size());
+    if (N <= 0)
+      break;
+    Buf.resize(static_cast<size_t>(N));
+    BytesIn += static_cast<size_t>(N);
+    Raw[Seq % Config.Threads]->push({Seq, std::move(Buf)});
+    ++Seq;
+  }
+  for (auto &Q : Raw)
+    Q->close();
+  {
+    UniqueLock L(WriteMu);
+    TotalBlocks.set(Seq);
+    WriteCv.broadcast();
+  }
+
+  for (Thread &T : Pool)
+    T.join();
+  Writer.join();
+  sys::close(InFd);
+  sys::close(OutFd);
+
+  Result.BytesIn = BytesIn;
+  Result.BytesOut = BytesOut;
+  Result.Blocks = Seq;
+  Result.OutputHash = OutHash;
+  return Result;
+}
+
+bool pbzip::decompressFile(const std::string &InPath,
+                           const std::string &OutPath) {
+  const int InFd = sys::open(InPath.c_str());
+  if (InFd < 0)
+    return false;
+  const int OutFd = sys::open(OutPath.c_str(), /*Create=*/true);
+  if (OutFd < 0)
+    return false;
+
+  // Pull the whole compressed stream, then walk the frames.
+  std::vector<uint8_t> All;
+  for (;;) {
+    std::vector<uint8_t> Buf(4096);
+    const int64_t N = sys::read(InFd, Buf.data(), Buf.size());
+    if (N <= 0)
+      break;
+    All.insert(All.end(), Buf.begin(), Buf.begin() + N);
+  }
+  size_t Pos = 0;
+  while (Pos < All.size()) {
+    size_t Size = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      if (Pos >= All.size())
+        return false;
+      const uint8_t B = All[Pos++];
+      Size |= static_cast<size_t>(B & 0x7F) << Shift;
+      if (!(B & 0x80))
+        break;
+      Shift += 7;
+    }
+    if (Pos + Size > All.size())
+      return false;
+    std::vector<uint8_t> Packed(All.begin() + Pos, All.begin() + Pos + Size);
+    Pos += Size;
+    std::vector<uint8_t> Plain;
+    if (!lz::decompress(Packed, Plain))
+      return false;
+    if (!Plain.empty())
+      sys::write(OutFd, Plain.data(), Plain.size());
+  }
+  sys::close(InFd);
+  sys::close(OutFd);
+  return true;
+}

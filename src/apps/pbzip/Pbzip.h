@@ -1,0 +1,55 @@
+//===-- apps/pbzip/Pbzip.h - Parallel block compressor ----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniPbzip (§5.3): the pbzip2 structure — a reader thread splits the
+/// input file into blocks, a pool of compressor threads compresses blocks
+/// in parallel (apps/pbzip/Lz.h), and a writer thread reassembles them in
+/// order. Producer/consumer queues with condvars, in-order delivery via a
+/// sequence-number gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_APPS_PBZIP_PBZIP_H
+#define TSR_APPS_PBZIP_PBZIP_H
+
+#include <cstdint>
+#include <string>
+
+namespace tsr {
+namespace pbzip {
+
+struct PbzipConfig {
+  std::string InputPath = "/data/input.bin";
+  std::string OutputPath = "/data/output.pz";
+  int Threads = 4;
+  size_t BlockSize = 4096;
+  /// Virtual compute per input byte (bzip2-style compression is
+  /// CPU-heavy).
+  uint64_t WorkPerByteNs = 40;
+};
+
+struct PbzipResult {
+  size_t BytesIn = 0;
+  size_t BytesOut = 0;
+  int Blocks = 0;
+  uint64_t OutputHash = 0;
+};
+
+/// Compresses InputPath into OutputPath inside the current controlled
+/// thread. The output file format is: per block, a varint compressed size
+/// followed by the compressed bytes (blocks in input order).
+PbzipResult compressFile(const PbzipConfig &Config);
+
+/// Decompresses a file produced by compressFile (single-threaded; used by
+/// tests to verify round-trips).
+bool decompressFile(const std::string &InPath, const std::string &OutPath);
+
+} // namespace pbzip
+} // namespace tsr
+
+#endif // TSR_APPS_PBZIP_PBZIP_H

@@ -1,0 +1,152 @@
+//===-- env/CostModel.cpp - Virtual-time performance model -----*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tsr;
+
+void CostModel::threadStart(Tid T, Tid Parent) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (T >= Local.size()) {
+    Local.resize(T + 1, 0);
+    WorkSinceOp.resize(T + 1, 0);
+    EagerStalled.resize(T + 1, false);
+  }
+  Local[T] = Parent == InvalidTid || Parent >= Local.size()
+                 ? VTime(0)
+                 : Local[Parent];
+}
+
+void CostModel::work(Tid T, VTime Ns) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "work by unregistered thread");
+  const VTime Cost = static_cast<VTime>(
+      static_cast<double>(Ns) * Config.InstrFactor);
+  WorkSinceOp[T] += Cost;
+  if (Config.SequentializeAll) {
+    // rr: one thread at a time — all work extends the single timeline.
+    chain(T, Cost);
+    return;
+  }
+  Local[T] += Cost;
+}
+
+void CostModel::chain(Tid T, VTime Cost) {
+  if (Local[T] > GlobalChain) {
+    // The thread is ahead of the chain because it waited (poll
+    // deadlines, sleeps): the serialization resource was idle at its
+    // time, so its operation runs at its own clock and only the busy
+    // cost accrues on the chain. Without this, one idle poller would
+    // drag every other thread's clock forward.
+    Local[T] += Cost;
+    GlobalChain += Cost;
+    return;
+  }
+  // The thread is at or behind the chain: its operation queues behind
+  // the serialized stream.
+  Local[T] = GlobalChain + Cost;
+  GlobalChain = Local[T];
+}
+
+void CostModel::visibleOp(Tid T, VTime ExtraCost) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "visible op by unregistered thread");
+  const VTime Cost = Config.VisibleOpCost + ExtraCost;
+  if (Config.ChainVisibleOps && EagerStalled[T]) {
+    // The chain waited for this thread to emerge from invisible code;
+    // estimate the stall as half its just-finished segment.
+    EagerStalled[T] = false;
+    ++EagerStalls;
+    const VTime Charge =
+        std::min(WorkSinceOp[T], Config.EagerStallCapNs) +
+        Config.EagerStallFixedNs;
+    EagerChargedNs += Charge;
+    GlobalChain += Charge;
+    // Everyone waited for this thread to arrive: wall-dead time.
+    for (VTime &L : Local)
+      L += Charge;
+  }
+  WorkSinceOp[T] = 0;
+  if (Config.ChainVisibleOps || Config.SequentializeAll) {
+    chain(T, Cost);
+    return;
+  }
+  Local[T] += Cost;
+}
+
+void CostModel::syncAcquire(Tid T, VTime ObjTime) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "sync by unregistered thread");
+  Local[T] = std::max(Local[T], ObjTime);
+}
+
+VTime CostModel::syncRelease(Tid T) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "sync by unregistered thread");
+  return Local[T];
+}
+
+void CostModel::waitUntil(Tid T, VTime Until) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "wait by unregistered thread");
+  Local[T] = std::max(Local[T], Until);
+}
+
+void CostModel::advance(Tid T, VTime Ns) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "advance of unregistered thread");
+  Local[T] += Ns;
+}
+
+void CostModel::blockingOp(Tid T) {
+  if (!Config.BlockingOpCost)
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "blockingOp by unregistered thread");
+  if (Config.SequentializeAll)
+    chain(T, Config.BlockingOpCost);
+  else
+    Local[T] += Config.BlockingOpCost;
+}
+
+void CostModel::markEagerStall(Tid T) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (T < EagerStalled.size())
+    EagerStalled[T] = true;
+}
+
+void CostModel::chainPenalty(VTime Ns) {
+  std::lock_guard<std::mutex> L(Mu);
+  GlobalChain += Ns;
+}
+
+VTime CostModel::localTime(Tid T) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(T < Local.size() && "query of unregistered thread");
+  return Local[T];
+}
+
+uint64_t CostModel::eagerStallCount() {
+  std::lock_guard<std::mutex> L(Mu);
+  return EagerStalls;
+}
+
+uint64_t CostModel::eagerChargedNs() {
+  std::lock_guard<std::mutex> L(Mu);
+  return EagerChargedNs;
+}
+
+VTime CostModel::makespan() {
+  std::lock_guard<std::mutex> L(Mu);
+  VTime M = 0;
+  for (VTime V : Local)
+    M = std::max(M, V);
+  return M;
+}

@@ -1,0 +1,159 @@
+//===-- env/CostModel.h - Virtual-time performance model -------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic virtual-time model of the paper's performance effects.
+/// The evaluation host here has a single CPU, so the paper's headline
+/// performance phenomenon — tsan11rec preserving parallelism that rr's
+/// sequentialization destroys (§5.2, §5.3) — cannot appear in wall-clock
+/// numbers. This model reproduces it analytically and deterministically:
+///
+///  * Invisible work advances only the running thread's local clock
+///    (threads overlap freely, as on the paper's 8-core i7-4770).
+///  * Under controlled scheduling, visible operations are totally ordered
+///    and therefore form a global chain: each visible op starts no earlier
+///    than the previous visible op ended, on any thread. A designated
+///    thread that is still deep in invisible work stalls the chain — which
+///    is exactly why the random strategy is slower than queue (§5.2).
+///  * Under rr-style sequentialization, *all* work joins the chain, so an
+///    N-thread CPU-bound workload degrades by ~N.
+///  * Synchronisation (mutexes, joins) propagates clocks through the sync
+///    object, modelling contention in the uncontrolled configurations.
+///  * Instrumentation cost is a multiplicative factor on invisible work
+///    plus a fixed cost per visible operation.
+///
+/// Benchmarks report makespans and throughputs in this virtual time; see
+/// EXPERIMENTS.md for the shape comparison against the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_ENV_COSTMODEL_H
+#define TSR_ENV_COSTMODEL_H
+
+#include "support/VectorClock.h"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tsr {
+
+/// Virtual nanoseconds.
+using VTime = uint64_t;
+
+/// Knobs describing one tool configuration's cost structure.
+struct CostModelConfig {
+  /// Multiplier on declared invisible work (tsan's shadow instrumentation:
+  /// the paper quotes ~10x for access-heavy code; compute-heavy kernels
+  /// see less).
+  double InstrFactor = 1.0;
+
+  /// Visible operations are serialized on a global chain (controlled
+  /// scheduling).
+  bool ChainVisibleOps = false;
+
+  /// All work is serialized on the global chain (rr's sequentialization).
+  bool SequentializeAll = false;
+
+  /// Fixed virtual cost of one visible operation (instrumentation +
+  /// scheduler handoff).
+  VTime VisibleOpCost = 100;
+
+  /// Extra virtual cost per recorded syscall (compression + demo write).
+  VTime SyscallRecordCost = 600;
+
+  /// When the strategy designates a thread that has not reached Wait()
+  /// yet, everyone stalls until it arrives — the random strategy's
+  /// pathology (§5.2): it picks among all enabled threads, parked or
+  /// not, while queue only designates arrived threads. During the stall
+  /// the whole system is dead in wall time, so the charge — the stalling
+  /// thread's current invisible segment (declared work since its last
+  /// visible op), capped here, plus a fixed handoff cost — advances every
+  /// thread's clock.
+  VTime EagerStallCapNs = 5000000;
+  VTime EagerStallFixedNs = 2000;
+
+  /// Extra cost of a blocking synchronisation operation (contended lock,
+  /// condvar block): under the rr model these are futex syscalls that
+  /// trap into the recorder.
+  VTime BlockingOpCost = 0;
+};
+
+/// Tracks per-thread virtual clocks plus the global visible-op chain.
+/// Thread-safe; invisible-work updates take a short internal lock.
+class CostModel {
+public:
+  explicit CostModel(CostModelConfig Config = {}) : Config(Config) {}
+
+  /// Registers a thread; its clock starts at the parent's current time
+  /// (pass InvalidTid for the main thread).
+  void threadStart(Tid T, Tid Parent);
+
+  /// Declared invisible compute on thread \p T.
+  void work(Tid T, VTime Ns);
+
+  /// One visible operation by \p T; \p ExtraCost adds syscall payload
+  /// costs on top of the per-op constant.
+  void visibleOp(Tid T, VTime ExtraCost = 0);
+
+  /// Acquire side of a sync object: T's clock catches up to the object.
+  void syncAcquire(Tid T, VTime ObjTime);
+
+  /// Release side: returns the released timestamp for the sync object.
+  VTime syncRelease(Tid T);
+
+  /// T waited (virtually) until \p Until; no-op if already past it.
+  void waitUntil(Tid T, VTime Until);
+
+  /// Advances T's clock by \p Ns (bounded waits like lock contention;
+  /// not scaled by the instrumentation factor).
+  void advance(Tid T, VTime Ns);
+
+  /// A blocking sync operation by T (contended lock, condvar block);
+  /// charges BlockingOpCost.
+  void blockingOp(Tid T);
+
+  /// The scheduler designated T while it was still running invisible
+  /// code; its next visible op charges the estimated stall to the chain.
+  void markEagerStall(Tid T);
+
+  /// Charges a serialization stall to the global chain (see
+  /// EagerPickStallNs).
+  void chainPenalty(VTime Ns);
+
+  /// Current local time of \p T.
+  VTime localTime(Tid T);
+
+  /// Makespan: the maximum local time across all threads.
+  VTime makespan();
+
+  /// Number of eager-designation stalls charged so far.
+  uint64_t eagerStallCount();
+
+  /// Total virtual ns charged for eager-designation stalls.
+  uint64_t eagerChargedNs();
+
+  const CostModelConfig &config() const { return Config; }
+
+private:
+  void chain(Tid T, VTime Cost);
+
+  CostModelConfig Config;
+  std::mutex Mu;
+  std::vector<VTime> Local;
+  /// Declared invisible work since the thread's last visible op; the
+  /// basis of the eager-designation stall estimate.
+  std::vector<VTime> WorkSinceOp;
+  std::vector<bool> EagerStalled;
+  uint64_t EagerStalls = 0;
+  VTime EagerChargedNs = 0;
+  VTime GlobalChain = 0;
+};
+
+} // namespace tsr
+
+#endif // TSR_ENV_COSTMODEL_H

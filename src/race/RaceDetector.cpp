@@ -1,0 +1,302 @@
+//===-- race/RaceDetector.cpp - Happens-before race detection --*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/RaceDetector.h"
+
+#include "support/Compiler.h"
+#include "support/Diag.h"
+
+#include <algorithm>
+
+using namespace tsr;
+
+const char *tsr::accessKindName(AccessKind Kind) {
+  switch (Kind) {
+  case AccessKind::PlainRead:
+    return "read";
+  case AccessKind::PlainWrite:
+    return "write";
+  case AccessKind::AtomicRead:
+    return "atomic read";
+  case AccessKind::AtomicWrite:
+    return "atomic write";
+  }
+  TSR_UNREACHABLE("invalid AccessKind");
+}
+
+std::string RaceReport::str() const {
+  const std::string Where =
+      Name.empty()
+          ? formatString("0x%llx", static_cast<unsigned long long>(Addr))
+          : formatString("'%s' at 0x%llx", Name.c_str(),
+                         static_cast<unsigned long long>(Addr));
+  return formatString(
+      "data race on %s (%zu bytes): %s by thread %u vs prior %s by thread %u",
+      Where.c_str(), Size, accessKindName(Current), CurrentTid,
+      accessKindName(Prior), PriorTid);
+}
+
+RaceDetector::RaceDetector() = default;
+
+RaceDetector::~RaceDetector() {
+  for (VectorClock *C : Clocks)
+    delete C;
+}
+
+void RaceDetector::registerMainThread() {
+  std::lock_guard<std::mutex> L(ClocksMu);
+  assert(Clocks.empty() && "main thread registered twice");
+  Clocks.push_back(new VectorClock());
+  Clocks[0]->tick(0);
+}
+
+void RaceDetector::forkChild(Tid Parent, Tid Child) {
+  std::lock_guard<std::mutex> L(ClocksMu);
+  assert(Parent < Clocks.size() && "unknown parent thread");
+  if (Child >= Clocks.size())
+    Clocks.resize(Child + 1, nullptr);
+  assert(!Clocks[Child] && "child thread registered twice");
+  // Creation synchronises: everything the parent did so far
+  // happens-before everything the child does.
+  Clocks[Child] = new VectorClock(*Clocks[Parent]);
+  Clocks[Child]->tick(Child);
+  Clocks[Parent]->tick(Parent);
+}
+
+void RaceDetector::joinChild(Tid Parent, Tid Child) {
+  assert(Parent < Clocks.size() && Child < Clocks.size() &&
+         "join of unknown thread");
+  Clocks[Parent]->join(*Clocks[Child]);
+}
+
+const VectorClock &RaceDetector::clock(Tid T) const {
+  assert(T < Clocks.size() && Clocks[T] && "unknown thread clock");
+  return *Clocks[T];
+}
+
+VectorClock &RaceDetector::clockMutable(Tid T) {
+  assert(T < Clocks.size() && Clocks[T] && "unknown thread clock");
+  return *Clocks[T];
+}
+
+void RaceDetector::tickClock(Tid T) { clockMutable(T).tick(T); }
+
+void RaceDetector::acquire(Tid T, const VectorClock &From) {
+  clockMutable(T).join(From);
+}
+
+void RaceDetector::releaseJoin(Tid T, VectorClock &Into) {
+  Into.join(clock(T));
+  tickClock(T);
+}
+
+void RaceDetector::onPlainRead(Tid T, uintptr_t Addr, size_t Size) {
+  if (EnabledFlag)
+    access(T, Addr, Size, AccessKind::PlainRead);
+}
+
+void RaceDetector::onPlainWrite(Tid T, uintptr_t Addr, size_t Size) {
+  if (EnabledFlag)
+    access(T, Addr, Size, AccessKind::PlainWrite);
+}
+
+void RaceDetector::onAtomicRead(Tid T, uintptr_t Addr, size_t Size) {
+  if (EnabledFlag)
+    access(T, Addr, Size, AccessKind::AtomicRead);
+}
+
+void RaceDetector::onAtomicWrite(Tid T, uintptr_t Addr, size_t Size) {
+  if (EnabledFlag)
+    access(T, Addr, Size, AccessKind::AtomicWrite);
+}
+
+void RaceDetector::access(Tid T, uintptr_t Addr, size_t Size,
+                          AccessKind Kind) {
+  const VectorClock &TC = clock(T);
+  const uintptr_t FirstGranule = Addr >> 3;
+  const uintptr_t LastGranule = (Addr + Size - 1) >> 3;
+  for (uintptr_t G = FirstGranule; G <= LastGranule; ++G) {
+    const uintptr_t Lo = std::max<uintptr_t>(Addr, G << 3);
+    const uintptr_t Hi = std::min<uintptr_t>(Addr + Size, (G + 1) << 3);
+    Stripe &S = stripeFor(G);
+    std::lock_guard<std::mutex> L(S.Mu);
+    checkCell(T, G, S.Cells[G], static_cast<uint8_t>(Lo - (G << 3)),
+              static_cast<uint8_t>(Hi - Lo), Kind, TC);
+  }
+}
+
+void RaceDetector::checkCell(Tid T, uintptr_t Granule, ShadowCell &Cell,
+                             uint8_t Off, uint8_t Size, AccessKind Kind,
+                             const VectorClock &TC) {
+  const Epoch E = TC.get(T);
+
+  auto CoveredSlot = [&](const AccessSlot &Slot) {
+    return Slot.T == T || TC.covers(Slot.T, Slot.E);
+  };
+  auto RaceVsSlot = [&](const AccessSlot &Slot, AccessKind PriorKind) {
+    if (Slot.valid() && Slot.overlaps(Off, Size) && !CoveredSlot(Slot))
+      report(T, Granule, Off, Size, PriorKind, Slot.T, Kind);
+  };
+  // A clock-set of readers races if any component exceeds ours.
+  auto FirstUncoveredReader = [&](const VectorClock &RVC) -> Tid {
+    for (Tid R = 0, N = static_cast<Tid>(RVC.size()); R != N; ++R)
+      if (R != T && RVC.get(R) > TC.get(R))
+        return R;
+    return InvalidTid;
+  };
+
+  const bool IsWrite =
+      Kind == AccessKind::PlainWrite || Kind == AccessKind::AtomicWrite;
+  const bool IsAtomic =
+      Kind == AccessKind::AtomicRead || Kind == AccessKind::AtomicWrite;
+
+  // Conflicts with the prior plain write (every kind conflicts).
+  RaceVsSlot(Cell.PlainWrite, AccessKind::PlainWrite);
+
+  if (IsWrite) {
+    // Writes additionally conflict with prior plain reads.
+    if (Cell.ReadShared) {
+      if (Cell.SharedReadSize != 0 &&
+          AccessSlot{1, 0, Cell.SharedReadOff, Cell.SharedReadSize}.overlaps(
+              Off, Size)) {
+        const Tid R = FirstUncoveredReader(Cell.ReadVC);
+        if (R != InvalidTid)
+          report(T, Granule, Off, Size, AccessKind::PlainRead, R, Kind);
+      }
+    } else {
+      RaceVsSlot(Cell.PlainRead, AccessKind::PlainRead);
+    }
+  }
+
+  if (!IsAtomic) {
+    // Plain accesses conflict with unordered atomic writes; plain writes
+    // also conflict with unordered atomic reads.
+    RaceVsSlot(Cell.AtomicWrite, AccessKind::AtomicWrite);
+    if (IsWrite && Cell.HasAtomicReads &&
+        AccessSlot{1, 0, Cell.AtomicReadOff, Cell.AtomicReadSize}.overlaps(
+            Off, Size)) {
+      const Tid R = FirstUncoveredReader(Cell.AtomicReadVC);
+      if (R != InvalidTid)
+        report(T, Granule, Off, Size, AccessKind::AtomicRead, R, Kind);
+    }
+  }
+
+  // State update.
+  auto UnionRange = [](uint8_t &ROff, uint8_t &RSize, uint8_t NOff,
+                       uint8_t NSize) {
+    if (RSize == 0) {
+      ROff = NOff;
+      RSize = NSize;
+      return;
+    }
+    const uint8_t Lo = std::min(ROff, NOff);
+    const uint8_t Hi =
+        std::max(static_cast<uint8_t>(ROff + RSize),
+                 static_cast<uint8_t>(NOff + NSize));
+    ROff = Lo;
+    RSize = Hi - Lo;
+  };
+
+  switch (Kind) {
+  case AccessKind::PlainWrite:
+    Cell.PlainWrite = {E, T, Off, Size};
+    // FastTrack: a write subsumes the read set that happens-before it.
+    Cell.PlainRead = {};
+    Cell.ReadShared = false;
+    Cell.ReadVC.clear();
+    Cell.SharedReadSize = 0;
+    break;
+  case AccessKind::PlainRead:
+    if (Cell.ReadShared) {
+      Cell.ReadVC.set(T, E);
+      UnionRange(Cell.SharedReadOff, Cell.SharedReadSize, Off, Size);
+    } else if (!Cell.PlainRead.valid() || Cell.PlainRead.T == T ||
+               CoveredSlot(Cell.PlainRead)) {
+      Cell.PlainRead = {E, T, Off, Size};
+    } else {
+      // Concurrent readers: inflate to the vector-clock representation.
+      Cell.ReadShared = true;
+      Cell.ReadVC.clear();
+      Cell.ReadVC.set(Cell.PlainRead.T, Cell.PlainRead.E);
+      Cell.ReadVC.set(T, E);
+      Cell.SharedReadOff = Cell.PlainRead.Off;
+      Cell.SharedReadSize = Cell.PlainRead.Size;
+      UnionRange(Cell.SharedReadOff, Cell.SharedReadSize, Off, Size);
+      Cell.PlainRead = {};
+    }
+    break;
+  case AccessKind::AtomicWrite:
+    Cell.AtomicWrite = {E, T, Off, Size};
+    break;
+  case AccessKind::AtomicRead:
+    Cell.AtomicReadVC.set(T, E);
+    UnionRange(Cell.AtomicReadOff, Cell.AtomicReadSize, Off, Size);
+    Cell.HasAtomicReads = true;
+    break;
+  }
+}
+
+void RaceDetector::report(Tid T, uintptr_t Granule, uint8_t Off,
+                          uint8_t Size, AccessKind Prior, Tid PriorTid,
+                          AccessKind Current) {
+  const uint64_t Key = (static_cast<uint64_t>(Granule) << 4) ^
+                       (static_cast<uint64_t>(Prior) << 2) ^
+                       static_cast<uint64_t>(Current);
+  std::lock_guard<std::mutex> L(ReportsMu);
+  if (!ReportKeys.insert(Key).second)
+    return;
+  RaceReport R;
+  R.Addr = (Granule << 3) + Off;
+  R.Size = Size;
+  R.Prior = Prior;
+  R.PriorTid = PriorTid;
+  R.Current = Current;
+  R.CurrentTid = T;
+  {
+    std::lock_guard<std::mutex> NL(NamesMu);
+    auto It = Names.upper_bound(R.Addr);
+    if (It != Names.begin()) {
+      --It;
+      if (R.Addr < It->first + It->second.first)
+        R.Name = It->second.second;
+    }
+  }
+  Reports.push_back(std::move(R));
+}
+
+void RaceDetector::registerName(uintptr_t Addr, size_t Size,
+                                std::string Name) {
+  std::lock_guard<std::mutex> L(NamesMu);
+  Names[Addr] = {Size, std::move(Name)};
+}
+
+void RaceDetector::unregisterName(uintptr_t Addr) {
+  std::lock_guard<std::mutex> L(NamesMu);
+  Names.erase(Addr);
+}
+
+void RaceDetector::forgetRange(uintptr_t Addr, size_t Size) {
+  if (Size == 0)
+    return;
+  const uintptr_t FirstGranule = Addr >> 3;
+  const uintptr_t LastGranule = (Addr + Size - 1) >> 3;
+  for (uintptr_t G = FirstGranule; G <= LastGranule; ++G) {
+    Stripe &S = stripeFor(G);
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Cells.erase(G);
+  }
+}
+
+std::vector<RaceReport> RaceDetector::reports() {
+  std::lock_guard<std::mutex> L(ReportsMu);
+  return Reports;
+}
+
+size_t RaceDetector::reportCount() {
+  std::lock_guard<std::mutex> L(ReportsMu);
+  return Reports.size();
+}

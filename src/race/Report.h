@@ -1,0 +1,56 @@
+//===-- race/Report.h - Data race reports -----------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data race report records produced by the race detector. The evaluation
+/// counts race reports per run (Tables 1 and 2), so reports are
+/// deduplicated per location-and-kind the way tsan deduplicates per
+/// report signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RACE_REPORT_H
+#define TSR_RACE_REPORT_H
+
+#include "support/VectorClock.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tsr {
+
+/// How a racing access touched memory.
+enum class AccessKind : unsigned {
+  PlainRead = 0,
+  PlainWrite,
+  AtomicRead,
+  AtomicWrite,
+};
+
+/// Returns "read", "write", "atomic read" or "atomic write".
+const char *accessKindName(AccessKind Kind);
+
+/// One detected data race: two conflicting accesses unordered by
+/// happens-before.
+struct RaceReport {
+  uintptr_t Addr = 0;
+  size_t Size = 0;
+  /// Registered variable name if the location was named (tsr::Var does
+  /// this automatically), else empty.
+  std::string Name;
+  AccessKind Prior;
+  Tid PriorTid = 0;
+  AccessKind Current;
+  Tid CurrentTid = 0;
+
+  /// Renders a one-line tsan-style summary.
+  std::string str() const;
+};
+
+} // namespace tsr
+
+#endif // TSR_RACE_REPORT_H

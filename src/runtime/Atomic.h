@@ -1,0 +1,173 @@
+//===-- runtime/Atomic.h - Instrumented C++11 atomics -----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tsr::Atomic<T> is the instrumented counterpart of std::atomic<T>.
+/// Every operation is a visible operation: it enters a scheduler critical
+/// section (the tsan11 instrumentation point, §3.1) and is evaluated by
+/// the weak-memory atomic model, so relaxed loads may observe stale
+/// stores, acquire/release edges feed the race detector, and the store
+/// choice replays deterministically from the demo seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_ATOMIC_H
+#define TSR_RUNTIME_ATOMIC_H
+
+#include "runtime/Session.h"
+
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+namespace tsr {
+
+/// Instrumented atomic. T must be trivially copyable and at most 8 bytes
+/// (integers, enums, pointers).
+template <typename T> class Atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "tsr::Atomic supports trivially copyable types <= 8 bytes");
+
+public:
+  Atomic() : Atomic(T()) {}
+
+  explicit Atomic(T Value) : Raw(Value) {
+    if (Session *S = Session::current()) {
+      S->atomics().init(addr(), toBits(Value));
+      Inited = true;
+    }
+  }
+
+  ~Atomic() {
+    if (Session *S = Session::current()) {
+      S->atomics().forget(addr());
+      S->race().forgetRange(addr(), sizeof(T));
+    }
+  }
+
+  Atomic(const Atomic &) = delete;
+  Atomic &operator=(const Atomic &) = delete;
+
+  T load(std::memory_order MO = std::memory_order_seq_cst) const {
+    Session &S = session();
+    return S.visibleOp([&](Tid Self) {
+      lazyInit(S);
+      return fromBits(S.atomics().load(Self, addr(), MO, sizeof(T)));
+    });
+  }
+
+  void store(T Value, std::memory_order MO = std::memory_order_seq_cst) {
+    Session &S = session();
+    S.visibleOp([&](Tid Self) {
+      lazyInit(S);
+      S.atomics().store(Self, addr(), toBits(Value), MO, sizeof(T));
+      Raw = Value;
+    });
+  }
+
+  T exchange(T Value, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::Exchange, Value, MO);
+  }
+
+  T fetchAdd(T V, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::Add, V, MO);
+  }
+  T fetchSub(T V, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::Sub, V, MO);
+  }
+  T fetchAnd(T V, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::And, V, MO);
+  }
+  T fetchOr(T V, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::Or, V, MO);
+  }
+  T fetchXor(T V, std::memory_order MO = std::memory_order_seq_cst) {
+    return rmw(RmwOp::Xor, V, MO);
+  }
+
+  /// Strong compare-exchange. On failure, \p Expected receives the
+  /// observed value.
+  bool compareExchange(
+      T &Expected, T Desired,
+      std::memory_order Success = std::memory_order_seq_cst,
+      std::memory_order Failure = std::memory_order_seq_cst) {
+    Session &S = session();
+    return S.visibleOp([&](Tid Self) {
+      lazyInit(S);
+      uint64_t Exp = toBits(Expected);
+      const bool Ok = S.atomics().cas(Self, addr(), Exp, toBits(Desired),
+                                      Success, Failure, sizeof(T));
+      if (Ok)
+        Raw = Desired;
+      else
+        Expected = fromBits(Exp);
+      return Ok;
+    });
+  }
+
+  /// Weak compare-exchange; the model never fails spuriously, so this is
+  /// the strong version under another name (permitted by the standard).
+  bool compareExchangeWeak(
+      T &Expected, T Desired,
+      std::memory_order Success = std::memory_order_seq_cst,
+      std::memory_order Failure = std::memory_order_seq_cst) {
+    return compareExchange(Expected, Desired, Success, Failure);
+  }
+
+private:
+  static uint64_t toBits(T V) {
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, &V, sizeof(T));
+    return Bits;
+  }
+  static T fromBits(uint64_t Bits) {
+    T V;
+    std::memcpy(&V, &Bits, sizeof(T));
+    return V;
+  }
+
+  static Session &session() {
+    Session *S = Session::current();
+    assert(S && "tsr::Atomic used outside a controlled thread");
+    return *S;
+  }
+
+  uintptr_t addr() const { return reinterpret_cast<uintptr_t>(&Raw); }
+
+  /// Objects constructed before the session (globals) register their
+  /// initial value on first use, inside a critical section.
+  void lazyInit(Session &S) const {
+    if (Inited)
+      return;
+    S.atomics().init(addr(), toBits(Raw));
+    Inited = true;
+  }
+
+  T rmw(RmwOp Op, T V, std::memory_order MO) {
+    Session &S = session();
+    return S.visibleOp([&](Tid Self) {
+      lazyInit(S);
+      const uint64_t Old =
+          S.atomics().rmw(Self, addr(), Op, toBits(V), MO, sizeof(T));
+      return fromBits(Old);
+    });
+  }
+
+  T Raw;
+  mutable bool Inited = false;
+};
+
+/// Instrumented std::atomic_thread_fence.
+inline void atomicFence(std::memory_order MO) {
+  Session *S = Session::current();
+  assert(S && "tsr::atomicFence used outside a controlled thread");
+  S->visibleOp([&](Tid Self) { S->atomics().fence(Self, MO); });
+}
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_ATOMIC_H

@@ -1,0 +1,72 @@
+//===-- runtime/Explorer.cpp - Schedule-space exploration driver ---------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Explorer.h"
+
+#include <set>
+
+using namespace tsr;
+
+namespace {
+
+/// Dedup key: the variable name when registered (stable across runs),
+/// else the raw address (stable only within a run — stack addresses may
+/// recur across runs with different meanings, so named variables dedup
+/// far better).
+uint64_t raceKey(const RaceReport &Race) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001B3ull;
+  };
+  if (!Race.Name.empty())
+    for (char C : Race.Name)
+      Mix(static_cast<uint8_t>(C));
+  else
+    Mix(Race.Addr);
+  Mix(static_cast<uint64_t>(Race.Prior));
+  Mix(static_cast<uint64_t>(Race.Current));
+  return H;
+}
+
+} // namespace
+
+ExploreResult tsr::explore(const ExploreOptions &Options,
+                           const std::function<uint64_t()> &Body) {
+  assert(Options.Base.ExecMode == Mode::Free &&
+         "explore() drives scheduling itself; pass a Free-mode config");
+  ExploreResult Result;
+  std::set<uint64_t> SeenRaceKeys;
+
+  for (int Run = 0; Run != Options.Runs; ++Run) {
+    SessionConfig C = Options.Base;
+    // Seed derivation: reproducible, spread, and disjoint between runs.
+    C.Seed0 = Options.SeedBase * 0x9E3779B97F4A7C15ull + Run * 2654435761u;
+    C.Seed1 = Options.SeedBase + Run * 0x100000001B3ull + 1;
+    const bool Capture = Options.CaptureFirstRacyDemo &&
+                         !Result.FirstRacyDemo.has_value();
+    if (Capture) {
+      C.ExecMode = Mode::Record;
+      C.Policy = Options.CapturePolicy;
+    }
+    Session S(C);
+    uint64_t Outcome = 0;
+    RunReport R = S.run([&] { Outcome = Body(); });
+    ++Result.Runs;
+    ++Result.Outcomes[Outcome];
+    if (R.Races.empty())
+      continue;
+    ++Result.RacyRuns;
+    Result.RacySeeds.push_back({R.Seed0, R.Seed1});
+    for (const RaceReport &Race : R.Races)
+      if (SeenRaceKeys.insert(raceKey(Race)).second)
+        Result.UniqueRaces.push_back(Race);
+    if (Capture)
+      Result.FirstRacyDemo = R.RecordedDemo;
+  }
+  return Result;
+}

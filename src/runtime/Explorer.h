@@ -1,0 +1,84 @@
+//===-- runtime/Explorer.h - Schedule-space exploration driver -*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Controlled-concurrency-testing driver in the CHESS mould (§2, §6):
+/// runs a closed test body repeatedly under fresh scheduler seeds,
+/// collecting the distinct observable outcomes and every data race found,
+/// together with the seeds that found them — each racy seed pair is a
+/// standalone reproducer, and explore() can optionally record a demo for
+/// the first racy run so the reproduction is shareable.
+///
+/// The paper's framing applies: this assumes a closed program (fixed
+/// input, scheduler the only nondeterminism source, §6). For programs
+/// with environment nondeterminism, fix the environment seeds too, or use
+/// record mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_EXPLORER_H
+#define TSR_RUNTIME_EXPLORER_H
+
+#include "runtime/Session.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace tsr {
+
+/// Exploration parameters.
+struct ExploreOptions {
+  /// Base configuration (strategy, params, memory model, ...). Seeds are
+  /// overwritten per run; ExecMode must be Free.
+  SessionConfig Base;
+
+  /// Number of schedules to explore.
+  int Runs = 100;
+
+  /// First seed of the sweep (runs use SeedBase + i derivations, so a
+  /// sweep is reproducible and a different base explores new ground).
+  uint64_t SeedBase = 1;
+
+  /// Record a demo of the first run that reports a race.
+  bool CaptureFirstRacyDemo = false;
+
+  /// Recording policy used when capturing.
+  RecordPolicy CapturePolicy = RecordPolicy::none();
+};
+
+/// What a sweep found.
+struct ExploreResult {
+  int Runs = 0;
+
+  /// Distinct observable outcomes (body return values) with counts —
+  /// schedule sensitivity at a glance.
+  std::map<uint64_t, int> Outcomes;
+
+  /// Runs that reported at least one race.
+  int RacyRuns = 0;
+
+  /// Deduplicated race reports across the sweep (by location name/addr
+  /// and access kinds).
+  std::vector<RaceReport> UniqueRaces;
+
+  /// Seed pairs of every racy run (each one is a reproducer).
+  std::vector<std::pair<uint64_t, uint64_t>> RacySeeds;
+
+  /// Demo of the first racy run, when requested and a race was found.
+  std::optional<Demo> FirstRacyDemo;
+};
+
+/// Runs \p Body under ExploreOptions::Runs fresh schedules. \p Body
+/// returns the run's observable outcome (hash whatever matters).
+ExploreResult explore(const ExploreOptions &Options,
+                      const std::function<uint64_t()> &Body);
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_EXPLORER_H

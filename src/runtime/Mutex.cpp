@@ -1,0 +1,140 @@
+//===-- runtime/Mutex.cpp - Instrumented mutex and condvar ------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutex.h"
+
+#include <atomic>
+
+using namespace tsr;
+
+namespace {
+
+/// Sync-object ids are process-global; their values never influence
+/// scheduling decisions, only identity.
+std::atomic<uint64_t> NextSyncObjectId{1};
+
+Session &session() {
+  Session *S = Session::current();
+  assert(S && "tsr sync primitive used outside a controlled thread");
+  return *S;
+}
+
+} // namespace
+
+Mutex::Mutex() : Id(NextSyncObjectId.fetch_add(1)) {}
+
+void Mutex::lock() {
+  Session &S = session();
+  // Figure 4: a trylock loop with one critical section per attempt. A
+  // failed attempt disables us; the next wait() blocks until an unlock
+  // re-enables us. Another thread may steal the mutex between our
+  // re-enabling and the retry — "the thread will simply block itself
+  // again".
+  bool Contended = false;
+  for (;;) {
+    bool Acquired = false;
+    S.visibleOp([&](Tid Self) {
+      Acquired = Native.try_lock();
+      if (Acquired) {
+        S.sched().mutexAcquired(Self, Id);
+        S.race().acquire(Self, SyncClock);
+        // Contention costs a bounded wait (roughly one hold duration).
+        // Joining the holder's absolute clock instead would serialize
+        // every lock user's virtual time whenever per-thread clocks have
+        // drifted apart.
+        if (Contended) {
+          S.cost().advance(Self, 3000);
+          S.cost().blockingOp(Self);
+        }
+      } else {
+        S.sched().mutexLockFail(Self, Id);
+      }
+    });
+    if (Acquired)
+      return;
+    Contended = true;
+  }
+}
+
+bool Mutex::tryLock() {
+  Session &S = session();
+  return S.visibleOp([&](Tid Self) {
+    const bool Acquired = Native.try_lock();
+    if (Acquired) {
+      S.sched().mutexAcquired(Self, Id);
+      S.race().acquire(Self, SyncClock);
+    }
+    return Acquired;
+  });
+}
+
+void Mutex::unlockInCritical(Tid Self, Session &S) {
+  S.race().releaseJoin(Self, SyncClock);
+  SyncTime = S.cost().syncRelease(Self);
+  Native.unlock();
+  S.sched().mutexUnlock(Self, Id);
+}
+
+void Mutex::unlock() {
+  Session &S = session();
+  S.visibleOp([&](Tid Self) { unlockInCritical(Self, S); });
+}
+
+CondVar::CondVar() : Id(NextSyncObjectId.fetch_add(1)) {}
+
+bool CondVar::waitImpl(Mutex &M, bool Timed, uint64_t TimeoutMs) {
+  Session &S = session();
+  // Figure 5: one critical section registers us as a waiter and releases
+  // the mutex; untimed waiters are disabled until a signal, timed waiters
+  // stay enabled (and may "eat" a signal while notionally timing out).
+  S.visibleOp([&](Tid Self) {
+    S.sched().condWait(Self, Id, Timed);
+    M.unlockInCritical(Self, S);
+  });
+  // Reacquire through the intercepted lock; if we are disabled this blocks
+  // until a signal, broadcast or asynchronous wakeup re-enables us.
+  if (!Timed)
+    S.cost().blockingOp(Session::currentTid());
+  M.lock();
+  // Resolving how we woke must itself be a critical section so the
+  // decision is ordered against concurrent signallers deterministically.
+  return S.visibleOp([&](Tid Self) {
+    const bool Signaled = S.sched().condConsumeSignaled(Self, Id);
+    if (Signaled) {
+      S.race().acquire(Self, SyncClock);
+      S.cost().syncAcquire(Self, SyncTime);
+    } else if (Timed && TimeoutMs) {
+      S.cost().waitUntil(Self, S.cost().localTime(Self) +
+                                   TimeoutMs * 1000000);
+    }
+    return Signaled;
+  });
+}
+
+void CondVar::wait(Mutex &M) { waitImpl(M, /*Timed=*/false, 0); }
+
+bool CondVar::waitFor(Mutex &M, uint64_t TimeoutMs) {
+  return waitImpl(M, /*Timed=*/true, TimeoutMs);
+}
+
+void CondVar::signal() {
+  Session &S = session();
+  S.visibleOp([&](Tid Self) {
+    S.race().releaseJoin(Self, SyncClock);
+    SyncTime = S.cost().syncRelease(Self);
+    S.sched().condSignal(Self, Id);
+  });
+}
+
+void CondVar::broadcast() {
+  Session &S = session();
+  S.visibleOp([&](Tid Self) {
+    S.race().releaseJoin(Self, SyncClock);
+    SyncTime = S.cost().syncRelease(Self);
+    S.sched().condBroadcast(Self, Id);
+  });
+}

@@ -1,0 +1,150 @@
+//===-- runtime/Mutex.h - Instrumented mutex and condvar --------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumented mutexes and condition variables (§3.2). Mutex lock is the
+/// paper's Figure 4 trylock loop: each attempt is one critical section, a
+/// failed attempt disables the thread until an unlock re-enables it.
+/// Condition-variable wait is Figure 5: registering as a waiter and
+/// releasing the mutex is one critical section, reacquisition goes through
+/// the intercepted lock, and a final critical section resolves whether a
+/// signal or the (nondeterministic, physical-time) timeout woke us.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_MUTEX_H
+#define TSR_RUNTIME_MUTEX_H
+
+#include "runtime/Session.h"
+#include "support/VectorClock.h"
+
+#include <mutex>
+
+namespace tsr {
+
+/// Instrumented mutex.
+class Mutex {
+public:
+  Mutex();
+  ~Mutex() = default;
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  /// Blocks until the mutex is acquired (Figure 4).
+  void lock();
+
+  /// Single-attempt acquisition; one visible operation.
+  bool tryLock();
+
+  /// Releases the mutex and re-enables one blocked waiter (chosen by the
+  /// scheduling strategy).
+  void unlock();
+
+  uint64_t id() const { return Id; }
+
+  // Used by CondVar: performs the unlock bookkeeping inside the caller's
+  // current critical section (Figure 5 unlocks the mutex between Wait and
+  // Tick without a second critical section).
+  void unlockInCritical(Tid Self, Session &S);
+
+private:
+  friend class CondVar;
+
+  uint64_t Id;
+  std::mutex Native;
+  /// Release clock and virtual timestamp; accessed only inside critical
+  /// sections.
+  VectorClock SyncClock;
+  VTime SyncTime = 0;
+};
+
+/// RAII lock for tsr::Mutex.
+class LockGuard {
+public:
+  explicit LockGuard(Mutex &M) : M(M) { M.lock(); }
+  ~LockGuard() { M.unlock(); }
+  LockGuard(const LockGuard &) = delete;
+  LockGuard &operator=(const LockGuard &) = delete;
+
+private:
+  Mutex &M;
+};
+
+/// std::unique_lock-style movable lock.
+class UniqueLock {
+public:
+  explicit UniqueLock(Mutex &M) : M(&M), Owned(true) { M.lock(); }
+  ~UniqueLock() {
+    if (Owned)
+      M->unlock();
+  }
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+  void unlock() {
+    assert(Owned && "unlock of unowned UniqueLock");
+    M->unlock();
+    Owned = false;
+  }
+  void lock() {
+    assert(!Owned && "lock of owned UniqueLock");
+    M->lock();
+    Owned = true;
+  }
+  bool ownsLock() const { return Owned; }
+  Mutex *mutex() const { return M; }
+
+private:
+  Mutex *M;
+  bool Owned;
+};
+
+/// Instrumented condition variable.
+class CondVar {
+public:
+  CondVar();
+  ~CondVar() = default;
+
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  /// Releases \p M, blocks until signalled, reacquires \p M. May wake
+  /// spuriously (returns like a signal); use the predicate overload for
+  /// the standard pattern.
+  void wait(Mutex &M);
+
+  /// Timed wait: the thread stays enabled (the timer is physical time,
+  /// which the scheduler treats as nondeterministic, §3.2) and may resume
+  /// at its next scheduling as a timeout. Returns true if a
+  /// signal/broadcast woke us, false on timeout. \p TimeoutMs advances
+  /// virtual time on the timeout path.
+  bool waitFor(Mutex &M, uint64_t TimeoutMs);
+
+  /// Predicate wait: loops until \p Pred holds.
+  template <typename Predicate> void wait(Mutex &M, Predicate Pred) {
+    while (!Pred())
+      wait(M);
+  }
+
+  /// Wakes one waiter (strategy-chosen).
+  void signal();
+
+  /// Wakes every waiter.
+  void broadcast();
+
+private:
+  bool waitImpl(Mutex &M, bool Timed, uint64_t TimeoutMs);
+
+  uint64_t Id;
+  VectorClock SyncClock;
+  VTime SyncTime = 0;
+};
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_MUTEX_H

@@ -1,0 +1,112 @@
+//===-- runtime/Presets.h - Paper tool configurations -----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SessionConfig presets matching the tool configurations of the paper's
+/// evaluation (§5): native, rr, tsan11, tsan11 + rr, and tsan11rec with
+/// the random or queue strategy, with or without recording. rr is
+/// modelled by rr-sim: sequentialize-everything scheduling plus the
+/// non-sparse (full) recording policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_PRESETS_H
+#define TSR_RUNTIME_PRESETS_H
+
+#include "runtime/Session.h"
+
+namespace tsr {
+namespace presets {
+
+/// Instrumentation cost factor applied by the tsan11-based
+/// configurations. The paper quotes ~10x slowdowns for access-heavy code
+/// (§2); compute-heavy kernels see much less, so benches override this per
+/// workload.
+inline constexpr double DefaultTsanFactor = 6.0;
+
+/// Uninstrumented execution: no race detection, no controlled scheduling,
+/// unit costs.
+inline SessionConfig native() {
+  SessionConfig C;
+  C.Controlled = false;
+  C.RaceDetection = false;
+  C.WeakMemory = false;
+  C.Cost.InstrFactor = 1.0;
+  C.Cost.VisibleOpCost = 10;
+  C.LivenessIntervalMs = 0;
+  return C;
+}
+
+/// Plain tsan11 (§2): race detection with weak-memory semantics, threads
+/// scheduled by the OS ("at the mercy of the OS scheduler").
+inline SessionConfig tsan11(double InstrFactor = DefaultTsanFactor) {
+  SessionConfig C;
+  C.Controlled = false;
+  C.RaceDetection = true;
+  C.WeakMemory = true;
+  C.Cost.InstrFactor = InstrFactor;
+  C.Cost.VisibleOpCost = 120;
+  C.LivenessIntervalMs = 0;
+  return C;
+}
+
+/// rr-sim: the rr model — every thread sequentialized onto one timeline,
+/// every syscall recorded (non-sparse), no race detection.
+inline SessionConfig rrSim(Mode ExecMode = Mode::Record) {
+  SessionConfig C;
+  C.Strategy = StrategyKind::Queue;
+  C.ExecMode = ExecMode;
+  C.Controlled = true;
+  C.RaceDetection = false;
+  C.WeakMemory = false;
+  C.Policy = RecordPolicy::full();
+  C.Cost.InstrFactor = 1.0;
+  C.Cost.SequentializeAll = true;
+  // rr's per-event costs: uncontended userspace atomics are free to rr
+  // (it never traps on them), but blocking synchronisation is a futex
+  // syscall and every recorded syscall pays a ptrace round trip.
+  C.Cost.VisibleOpCost = 300;
+  C.Cost.SyscallRecordCost = 12000;
+  C.Cost.BlockingOpCost = 6000;
+  return C;
+}
+
+/// tsan11 + rr: tsan11-instrumented code running under the rr model.
+inline SessionConfig tsan11PlusRr(Mode ExecMode = Mode::Record,
+                                  double InstrFactor = DefaultTsanFactor) {
+  SessionConfig C = rrSim(ExecMode);
+  C.RaceDetection = true;
+  C.WeakMemory = true;
+  C.Cost.InstrFactor = InstrFactor;
+  return C;
+}
+
+/// tsan11rec with the given strategy. \p ExecMode selects the "+ rec"
+/// columns (Record) vs controlled scheduling only (Free); \p Policy is
+/// the application's sparse policy.
+inline SessionConfig
+tsan11rec(StrategyKind Strategy, Mode ExecMode = Mode::Free,
+          RecordPolicy Policy = RecordPolicy::none(),
+          double InstrFactor = DefaultTsanFactor) {
+  SessionConfig C;
+  C.Strategy = Strategy;
+  C.ExecMode = ExecMode;
+  C.Controlled = true;
+  C.RaceDetection = true;
+  C.WeakMemory = true;
+  C.Policy = Policy;
+  C.Cost.InstrFactor = InstrFactor;
+  C.Cost.ChainVisibleOps = true;
+  // A designation handoff is a futex wake plus a context switch.
+  C.Cost.VisibleOpCost = 2000;
+  return C;
+}
+
+} // namespace presets
+} // namespace tsr
+
+#endif // TSR_RUNTIME_PRESETS_H

@@ -1,0 +1,394 @@
+//===-- runtime/Session.cpp - Top-level tsr session -------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Session.h"
+
+#include "support/Compiler.h"
+#include "support/Diag.h"
+#include "support/Rle.h"
+
+#include <chrono>
+
+using namespace tsr;
+
+namespace {
+thread_local Session *TlsSession = nullptr;
+thread_local Tid TlsTid = 0;
+} // namespace
+
+Session *Session::current() { return TlsSession; }
+
+Tid Session::currentTid() {
+  assert(TlsSession && "tsr API used outside a controlled thread");
+  return TlsTid;
+}
+
+Session::Session(SessionConfig Config) : Config(std::move(Config)) {
+  Cost = std::make_unique<CostModel>(this->Config.Cost);
+  Env = std::make_unique<SimEnv>(*Cost, this->Config.Env);
+}
+
+Session::~Session() {
+  stopLiveness();
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  for (std::thread &T : OsThreads)
+    if (T.joinable())
+      T.join();
+}
+
+void Session::writeMeta() {
+  ByteWriter W;
+  W.writeString("tsrdemo");
+  W.writeVarU64(Demo::FormatVersion);
+  W.writeByte(static_cast<uint8_t>(Config.Strategy));
+  W.writeByte(Config.Controlled ? 1 : 0);
+  W.writeByte(Config.WeakMemory ? 1 : 0);
+  W.writeVarU64(UsedSeed0);
+  W.writeVarU64(UsedSeed1);
+  W.writeVarU64(Config.Policy.hash());
+  RecordDemo.setStream(StreamKind::Meta, W.take());
+}
+
+bool Session::checkMeta(std::string &Error) {
+  ByteReader R = Config.ReplayDemo->reader(StreamKind::Meta);
+  std::string Magic;
+  uint64_t Version, S0, S1, PolicyHash;
+  uint8_t Strategy, Controlled, WeakMemory;
+  if (!R.readString(Magic) || Magic != "tsrdemo") {
+    Error = "demo META missing or not a tsr demo";
+    return false;
+  }
+  if (!R.readVarU64(Version) || Version != Demo::FormatVersion) {
+    Error = "demo format version mismatch";
+    return false;
+  }
+  if (!R.readByte(Strategy) || !R.readByte(Controlled) ||
+      !R.readByte(WeakMemory) || !R.readVarU64(S0) || !R.readVarU64(S1) ||
+      !R.readVarU64(PolicyHash)) {
+    Error = "truncated demo META";
+    return false;
+  }
+  if (Strategy != static_cast<uint8_t>(Config.Strategy))
+    Error = formatString("demo was recorded with strategy '%s'",
+                         strategyName(static_cast<StrategyKind>(Strategy)));
+  else if ((Controlled != 0) != Config.Controlled)
+    Error = "demo controlled-scheduling flag differs from configuration";
+  else if ((WeakMemory != 0) != Config.WeakMemory)
+    Error = "demo weak-memory flag differs from configuration";
+  else if (PolicyHash != Config.Policy.hash())
+    Error = "demo was recorded under a different syscall recording policy";
+  if (!Error.empty())
+    return false;
+  UsedSeed0 = S0;
+  UsedSeed1 = S1;
+  return true;
+}
+
+RunReport Session::run(std::function<void()> MainFn) {
+  assert(!HasRun && "Session::run may only be called once");
+  HasRun = true;
+  const auto WallStart = std::chrono::steady_clock::now();
+
+  if (Config.ExecMode == Mode::Replay) {
+    assert(Config.ReplayDemo && "replay requires SessionConfig::ReplayDemo");
+    std::string Error;
+    if (!checkMeta(Error))
+      fatal("cannot replay demo: %s", Error.c_str());
+    SyscallReader = ByteReader(Config.ReplayDemo->stream(StreamKind::Syscall));
+  } else {
+    UsedSeed0 = Config.Seed0;
+    UsedSeed1 = Config.Seed1;
+    if (UsedSeed0 == 0 && UsedSeed1 == 0) {
+      // The paper seeds its PRNG from two rdtsc() calls at record time and
+      // stores the seeds in the demo (§4); freshEntropy is our stand-in.
+      const auto E = Prng::freshEntropy();
+      UsedSeed0 = E.first;
+      UsedSeed1 = E.second;
+    }
+  }
+
+  SchedulerOptions SO;
+  SO.Strategy = Config.Strategy;
+  SO.Params = Config.Params;
+  SO.ExecMode = Config.ExecMode;
+  SO.Seed0 = UsedSeed0;
+  SO.Seed1 = UsedSeed1;
+  SO.Controlled = Config.Controlled;
+  SO.AbortOnHardDesync = Config.AbortOnHardDesync;
+  if (Config.Cost.ChainVisibleOps) {
+    // Designating a thread that has not reached Wait() stalls the whole
+    // visible-op chain until it arrives (§5.2's random-strategy cost).
+    SO.DesignationHook = [this](Tid T, bool WasParked) {
+      if (!WasParked)
+        Cost->markEagerStall(T);
+    };
+  }
+  Sched = std::make_unique<Scheduler>(SO, &RecordDemo, Config.ReplayDemo);
+
+  Race = std::make_unique<RaceDetector>();
+  Race->setEnabled(Config.RaceDetection);
+  AtomicModelOptions AO;
+  AO.WeakMemory = Config.WeakMemory;
+  Atomics = std::make_unique<AtomicModel>(
+      *Race, [this](uint64_t Bound) { return Sched->drawChoice(Bound); },
+      AO);
+
+  Sched->addMainThread();
+  Race->registerMainThread();
+  Cost->threadStart(0, InvalidTid);
+  Env->start();
+
+  if (Config.LivenessIntervalMs) {
+    LivenessThread = std::thread([this] {
+      std::unique_lock<std::mutex> L(LivenessMu);
+      while (!StopLivenessFlag) {
+        if (LivenessCv.wait_for(
+                L, std::chrono::milliseconds(Config.LivenessIntervalMs)) ==
+            std::cv_status::timeout)
+          Sched->livenessPoll();
+      }
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    OsThreads.emplace_back(
+        [this, Fn = std::move(MainFn)]() mutable {
+          mainThreadBody(std::move(Fn));
+        });
+  }
+
+  bool Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
+  if (!Done) {
+    if (Config.ExecMode == Mode::Replay &&
+        Sched->desyncKind() == DesyncKind::None) {
+      // A schedule constraint that can never be satisfied manifests as a
+      // stall: classify it as hard desync and free-run to completion.
+      Sched->declareHardDesync(
+          "watchdog: replay made no progress; a recorded schedule "
+          "constraint cannot be satisfied");
+      Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
+    }
+    if (!Done)
+      fatal("session hung (no progress for %llu ms)\n%s",
+            static_cast<unsigned long long>(Config.WatchdogTimeoutMs),
+            Sched->dumpState().c_str());
+  }
+
+  stopLiveness();
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    for (std::thread &T : OsThreads)
+      if (T.joinable())
+        T.join();
+    OsThreads.clear();
+  }
+
+  if (Config.ExecMode == Mode::Record) {
+    Sched->finishRecording();
+    writeMeta();
+    RecordDemo.setStream(StreamKind::Syscall, SyscallBytes.take());
+  }
+
+  RunReport R;
+  R.Races = Race->reports();
+  R.Sched = Sched->statsSnapshot();
+  R.Atomics = Atomics->statsSnapshot();
+  R.Desync = Sched->desyncKind();
+  R.DesyncMessage = Sched->desyncMessage();
+  R.SyscallsIssued = SyscallsIssued.load();
+  R.SyscallsRecorded = SyscallsRecorded.load();
+  R.SyscallsReplayed = SyscallsReplayed.load();
+  R.VirtualNs = Cost->makespan();
+  R.WallSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+  if (Config.ExecMode == Mode::Record)
+    R.RecordedDemo = RecordDemo;
+  R.Seed0 = UsedSeed0;
+  R.Seed1 = UsedSeed1;
+  return R;
+}
+
+void Session::stopLiveness() {
+  {
+    std::lock_guard<std::mutex> L(LivenessMu);
+    StopLivenessFlag = true;
+  }
+  LivenessCv.notify_all();
+  if (LivenessThread.joinable())
+    LivenessThread.join();
+}
+
+void Session::mainThreadBody(std::function<void()> MainFn) {
+  TlsSession = this;
+  TlsTid = 0;
+  MainFn();
+  // Thread deletion is a visible operation (§3.2).
+  enterCritical(0);
+  Sched->threadDelete(0);
+  leaveCritical(0);
+  TlsSession = nullptr;
+}
+
+void Session::childThreadBody(Tid Self, std::function<void()> Fn) {
+  TlsSession = this;
+  TlsTid = Self;
+  Fn();
+  enterCritical(Self);
+  Sched->threadDelete(Self);
+  leaveCritical(Self);
+  TlsSession = nullptr;
+}
+
+void Session::enterCritical(Tid Self) {
+  for (;;) {
+    Sched->wait(Self);
+    const auto Sig = Sched->takeDeliverableSignal(Self);
+    if (!Sig)
+      return;
+    // The signal floats to this designation: handler entry consumes it as
+    // its own visible operation (§4.3, Figure 6).
+    Cost->visibleOp(Self);
+    Sched->tick(Self);
+    std::function<void()> Handler;
+    {
+      std::lock_guard<std::mutex> L(HandlersMu);
+      auto It = Handlers.find(*Sig);
+      if (It != Handlers.end())
+        Handler = It->second;
+    }
+    if (Handler) {
+      Sched->beginHandler(Self);
+      Handler();
+      Sched->endHandler(Self);
+    }
+    // Loop: re-enter Wait() for the operation we originally came for.
+  }
+}
+
+void Session::leaveCritical(Tid Self, VTime ExtraCost) {
+  Cost->visibleOp(Self, ExtraCost);
+  Sched->tick(Self);
+}
+
+Tid Session::spawnThread(std::function<void()> Fn) {
+  const Tid Child = visibleOp([&](Tid Self) {
+    const Tid C = Sched->threadNew(Self);
+    Race->forkChild(Self, C);
+    Cost->threadStart(C, Self);
+    return C;
+  });
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  OsThreads.emplace_back([this, Child, F = std::move(Fn)]() mutable {
+    childThreadBody(Child, std::move(F));
+  });
+  return Child;
+}
+
+void Session::setSignalHandler(Signo S, std::function<void()> Handler) {
+  // Binding a handler is itself a visible operation (§3.2).
+  visibleOp([&](Tid) {
+    std::lock_guard<std::mutex> L(HandlersMu);
+    Handlers[S] = std::move(Handler);
+  });
+}
+
+void Session::postSignal(Tid Target, Signo S) {
+  if (Sched)
+    Sched->postSignal(Target, S);
+}
+
+SyscallResult Session::replaySyscall(SyscallKind Kind) {
+  if (SyscallReader.atEnd()) {
+    // Demo exhausted: free-run from here on (soft desync territory).
+    SyscallResult R;
+    R.Err = -1;
+    return R;
+  }
+  uint64_t K;
+  if (!SyscallReader.readVarU64(K) ||
+      K >= static_cast<uint64_t>(SyscallKind::NumKinds)) {
+    Sched->declareHardDesync("corrupt SYSCALL stream");
+    SyscallResult R;
+    R.Err = -1;
+    return R;
+  }
+  if (K != static_cast<uint64_t>(Kind)) {
+    Sched->declareHardDesync(formatString(
+        "SYSCALL stream expects '%s' but the program issued '%s'",
+        syscallKindName(static_cast<SyscallKind>(K)),
+        syscallKindName(Kind)));
+    SyscallResult R;
+    R.Err = -1;
+    return R;
+  }
+  SyscallResult R;
+  int64_t Ret;
+  uint64_t Err;
+  if (!SyscallReader.readVarI64(Ret) || !SyscallReader.readVarU64(Err) ||
+      !rle::decodeBytes(SyscallReader, R.OutBuf)) {
+    Sched->declareHardDesync("truncated SYSCALL record");
+    R.Err = -1;
+    return R;
+  }
+  R.Ret = Ret;
+  R.Err = static_cast<int>(Err);
+  return R;
+}
+
+void Session::recordSyscall(SyscallKind Kind, const SyscallResult &R) {
+  SyscallBytes.writeVarU64(static_cast<uint64_t>(Kind));
+  SyscallBytes.writeVarI64(R.Ret);
+  SyscallBytes.writeVarU64(static_cast<uint64_t>(R.Err));
+  rle::encodeBytes(SyscallBytes, R.OutBuf);
+}
+
+SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
+                                 const std::function<SyscallResult()> &Issue) {
+  const bool Recordable = Config.Policy.shouldRecord(Kind, Class);
+  const VTime Extra = (Recordable && Config.ExecMode == Mode::Record)
+                          ? Config.Cost.SyscallRecordCost
+                          : 0;
+  return visibleOp(
+      [&](Tid) -> SyscallResult {
+        SyscallsIssued.fetch_add(1);
+        if (Config.ExecMode == Mode::Replay && Recordable &&
+            Sched->desyncKind() == DesyncKind::None) {
+          const size_t Before = SyscallReader.position();
+          SyscallResult R = replaySyscall(Kind);
+          if (Sched->desyncKind() == DesyncKind::None &&
+              (SyscallReader.position() != Before)) {
+            SyscallsReplayed.fetch_add(1);
+            return R;
+          }
+          // Exhausted or desynced: fall through and issue natively.
+        }
+        SyscallResult R = Issue();
+        if (Config.ExecMode == Mode::Record && Recordable) {
+          recordSyscall(Kind, R);
+          SyscallsRecorded.fetch_add(1);
+        }
+        return R;
+      },
+      Extra);
+}
+
+void Session::noteFdClass(int Fd, FdClass Class) {
+  if (Fd < 0)
+    return;
+  std::lock_guard<std::mutex> L(FdClassMu);
+  FdClasses[Fd] = Class;
+}
+
+FdClass Session::fdClassOf(int Fd) {
+  std::lock_guard<std::mutex> L(FdClassMu);
+  auto It = FdClasses.find(Fd);
+  return It == FdClasses.end() ? FdClass::None : It->second;
+}
+
+void Session::work(VTime Ns) { Cost->work(currentTid(), Ns); }

@@ -1,0 +1,272 @@
+//===-- runtime/Session.h - Top-level tsr session ---------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point. A Session owns one controlled execution: the
+/// scheduler, the race detector, the weak-memory atomic model, the
+/// simulated environment and the demo being recorded or replayed.
+///
+/// Typical use:
+/// \code
+///   tsr::SessionConfig Cfg;
+///   Cfg.Strategy = tsr::StrategyKind::Random;
+///   Cfg.ExecMode = tsr::Mode::Record;
+///   tsr::Session S(Cfg);
+///   tsr::RunReport R = S.run([] {
+///     tsr::Atomic<int> Flag(0);
+///     tsr::Thread T = tsr::Thread::spawn([&] {
+///       Flag.store(1, std::memory_order_release);
+///     });
+///     while (Flag.load(std::memory_order_acquire) == 0) {
+///     }
+///     T.join();
+///   });
+///   R.RecordedDemo.saveToDirectory("demo", Err);
+/// \endcode
+///
+/// The lambda passed to run() becomes the controlled main thread (tid 0).
+/// Inside it, the tsr API types (Atomic, Mutex, CondVar, Var, Thread,
+/// sys::*) route every visible operation through the session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_SESSION_H
+#define TSR_RUNTIME_SESSION_H
+
+#include "env/CostModel.h"
+#include "env/SimEnv.h"
+#include "env/Syscall.h"
+#include "race/AtomicModel.h"
+#include "race/RaceDetector.h"
+#include "sched/Scheduler.h"
+#include "support/Demo.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tsr {
+
+/// Complete configuration of a session; every paper "tool configuration"
+/// (native, tsan11, tsan11rec rnd/queue, ±rec, rr-sim) is a preset over
+/// these fields (see Presets.h).
+struct SessionConfig {
+  /// Controlled-scheduling strategy (§3).
+  StrategyKind Strategy = StrategyKind::Random;
+  StrategyParams Params;
+
+  /// Free / Record / Replay (§4).
+  Mode ExecMode = Mode::Free;
+
+  /// False disables designation entirely: visible operations serialize
+  /// first-come-first-served and the OS scheduler drives exploration —
+  /// plain tsan11 (§2).
+  bool Controlled = true;
+
+  /// Enable happens-before race detection.
+  bool RaceDetection = true;
+
+  /// Enable tsan11 weak-memory semantics for atomics; false restricts the
+  /// model to sequential consistency.
+  bool WeakMemory = true;
+
+  /// Scheduler PRNG seeds. Zero means "draw fresh entropy" (recorded into
+  /// META so replay reuses them).
+  uint64_t Seed0 = 0;
+  uint64_t Seed1 = 0;
+
+  /// Sparse syscall recording policy (§4.4).
+  RecordPolicy Policy = RecordPolicy::none();
+
+  /// Demo to replay (required when ExecMode == Replay).
+  const Demo *ReplayDemo = nullptr;
+
+  /// Environment options (seeds, latencies).
+  SimEnv::Options Env = SimEnv::Options();
+
+  /// Virtual-time cost model for this tool configuration.
+  CostModelConfig Cost;
+
+  /// Liveness rescheduler (§3.3): force a reschedule if the designated
+  /// thread makes no progress for this long. Zero disables.
+  uint32_t LivenessIntervalMs = 25;
+
+  /// Watchdog: abort if no thread finishes and no tick happens for this
+  /// long (a genuinely hung program or an unrecoverable replay
+  /// divergence).
+  uint64_t WatchdogTimeoutMs = 20000;
+
+  /// Abort the process on hard desync instead of free-running.
+  bool AbortOnHardDesync = false;
+};
+
+/// Everything a run produced.
+struct RunReport {
+  std::vector<RaceReport> Races;
+  SchedulerStats Sched;
+  AtomicModelStats Atomics;
+
+  DesyncKind Desync = DesyncKind::None;
+  std::string DesyncMessage;
+
+  uint64_t SyscallsIssued = 0;
+  uint64_t SyscallsRecorded = 0;
+  uint64_t SyscallsReplayed = 0;
+
+  /// Deterministic virtual makespan (see CostModel.h).
+  VTime VirtualNs = 0;
+
+  /// Host wall-clock duration of run().
+  double WallSeconds = 0.0;
+
+  /// Demo captured when recording.
+  Demo RecordedDemo;
+
+  /// Seeds actually used (match META).
+  uint64_t Seed0 = 0;
+  uint64_t Seed1 = 0;
+};
+
+/// One controlled execution. Not reusable: construct, set up the
+/// environment, run once, read the report.
+class Session {
+public:
+  explicit Session(SessionConfig Config);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// The simulated environment, for world setup (peers, files) before
+  /// run().
+  SimEnv &env() { return *Env; }
+
+  /// Runs \p MainFn as the controlled main thread and blocks until every
+  /// controlled thread has finished.
+  RunReport run(std::function<void()> MainFn);
+
+  /// Injects an asynchronous virtual signal from outside the controlled
+  /// world (ignored during replay; the demo drives delivery).
+  void postSignal(Tid Target, Signo S);
+
+  /// Session of the calling controlled thread (null outside one).
+  static Session *current();
+
+  /// Tid of the calling controlled thread.
+  static Tid currentTid();
+
+  // --- Internal API used by the tsr wrapper types (Atomic, Mutex, ...).
+  // These are public because the wrappers are free templates/classes, but
+  // they are not part of the stable user surface.
+
+  Scheduler &sched() { return *Sched; }
+  RaceDetector &race() { return *Race; }
+  AtomicModel &atomics() { return *Atomics; }
+  CostModel &cost() { return *Cost; }
+  const SessionConfig &config() const { return Config; }
+
+  /// Enters a critical section: blocks until designated, delivering any
+  /// pending signal handlers first (each handler entry consumes one
+  /// designation, §4.3).
+  void enterCritical(Tid Self);
+
+  /// Leaves the critical section: accounts virtual cost and ticks.
+  void leaveCritical(Tid Self, VTime ExtraCost = 0);
+
+  /// Runs \p F inside one critical section and returns its result.
+  template <typename Fn> auto visibleOp(Fn &&F, VTime ExtraCost = 0) {
+    const Tid Self = currentTid();
+    enterCritical(Self);
+    if constexpr (std::is_void_v<decltype(F(Self))>) {
+      F(Self);
+      leaveCritical(Self, ExtraCost);
+    } else {
+      auto Result = F(Self);
+      leaveCritical(Self, ExtraCost);
+      return Result;
+    }
+  }
+
+  /// Spawns a controlled thread (used by tsr::Thread).
+  Tid spawnThread(std::function<void()> Fn);
+
+  /// Registers a signal handler (used by tsr::installSignalHandler).
+  void setSignalHandler(Signo S, std::function<void()> Handler);
+
+  /// Issues a virtual syscall with record/replay applied per the policy.
+  /// \p Class is the fd class for fd-based calls (None otherwise);
+  /// \p Issue performs the call against the environment.
+  SyscallResult doSyscall(SyscallKind Kind, FdClass Class,
+                          const std::function<SyscallResult()> &Issue);
+
+  /// Tracks the class of an fd the wrapper layer created (fd tables must
+  /// work during replay, when calls are not re-issued).
+  void noteFdClass(int Fd, FdClass Class);
+  FdClass fdClassOf(int Fd);
+
+  /// Fresh id for a mutex or condition variable.
+  uint64_t allocSyncId() { return NextSyncId.fetch_add(1); }
+
+  /// Declared invisible compute (virtual ns) by the calling thread.
+  void work(VTime Ns);
+
+private:
+  void mainThreadBody(std::function<void()> MainFn);
+  void childThreadBody(Tid Self, std::function<void()> Fn);
+  void runHandlerIfPending(Tid Self);
+  void writeMeta();
+  bool checkMeta(std::string &Error);
+  SyscallResult replaySyscall(SyscallKind Kind);
+  void recordSyscall(SyscallKind Kind, const SyscallResult &R);
+
+  SessionConfig Config;
+  Demo RecordDemo;
+
+  std::unique_ptr<CostModel> Cost;
+  std::unique_ptr<SimEnv> Env;
+  std::unique_ptr<Scheduler> Sched;
+  std::unique_ptr<RaceDetector> Race;
+  std::unique_ptr<AtomicModel> Atomics;
+
+  std::mutex ThreadsMu;
+  std::vector<std::thread> OsThreads;
+
+  std::mutex HandlersMu;
+  std::map<Signo, std::function<void()>> Handlers;
+
+  std::mutex FdClassMu;
+  std::map<int, FdClass> FdClasses;
+
+  // SYSCALL stream state (record side writer / replay side reader).
+  ByteWriter SyscallBytes;
+  ByteReader SyscallReader;
+
+  std::atomic<uint64_t> NextSyncId{1};
+  std::atomic<uint64_t> SyscallsIssued{0};
+  std::atomic<uint64_t> SyscallsRecorded{0};
+  std::atomic<uint64_t> SyscallsReplayed{0};
+
+  std::thread LivenessThread;
+  std::mutex LivenessMu;
+  std::condition_variable LivenessCv;
+  bool StopLivenessFlag = false;
+  void stopLiveness();
+
+  bool HasRun = false;
+  uint64_t UsedSeed0 = 0;
+  uint64_t UsedSeed1 = 0;
+};
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_SESSION_H

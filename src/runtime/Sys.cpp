@@ -1,0 +1,292 @@
+//===-- runtime/Sys.cpp - Virtual syscall wrappers --------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Sys.h"
+
+#include "runtime/Session.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace tsr;
+
+namespace {
+
+thread_local int TlsErrno = 0;
+
+Session &session() {
+  Session *S = Session::current();
+  assert(S && "tsr::sys call outside a controlled thread");
+  return *S;
+}
+
+/// Decodes a little-endian u64 at \p Off in \p Buf (0 if out of range).
+uint64_t getU64(const std::vector<uint8_t> &Buf, size_t Off = 0) {
+  if (Buf.size() < Off + 8)
+    return 0;
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | Buf[Off + I];
+  return V;
+}
+
+SyscallResult issue(SyscallKind Kind, FdClass Class,
+                    const std::function<SyscallResult()> &Fn) {
+  SyscallResult R = session().doSyscall(Kind, Class, Fn);
+  TlsErrno = R.Err;
+  return R;
+}
+
+} // namespace
+
+int sys::lastError() { return TlsErrno; }
+
+int sys::socket() {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Socket, FdClass::None, [&] {
+    return S.env().sysSocket(Session::currentTid());
+  });
+  S.noteFdClass(static_cast<int>(R.Ret), FdClass::Socket);
+  return static_cast<int>(R.Ret);
+}
+
+int sys::bind(int Fd, uint16_t Port) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Bind, S.fdClassOf(Fd), [&] {
+    return S.env().sysBind(Session::currentTid(), Fd, Port);
+  });
+  return static_cast<int>(R.Ret);
+}
+
+int sys::listen(int Fd) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Listen, S.fdClassOf(Fd), [&] {
+    return S.env().sysListen(Session::currentTid(), Fd);
+  });
+  return static_cast<int>(R.Ret);
+}
+
+int sys::accept(int Fd) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Accept, S.fdClassOf(Fd), [&] {
+    return S.env().sysAccept(Session::currentTid(), Fd);
+  });
+  if (R.Ret >= 0)
+    S.noteFdClass(static_cast<int>(R.Ret), FdClass::Socket);
+  return static_cast<int>(R.Ret);
+}
+
+int sys::accept4(int Fd, int Flags) {
+  if (Flags < 0) {
+    TlsErrno = VEINVAL;
+    return -1;
+  }
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Accept4, S.fdClassOf(Fd), [&] {
+    return S.env().sysAccept(Session::currentTid(), Fd);
+  });
+  if (R.Ret >= 0)
+    S.noteFdClass(static_cast<int>(R.Ret), FdClass::Socket);
+  return static_cast<int>(R.Ret);
+}
+
+int sys::connect(int Fd, uint16_t Port) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Connect, S.fdClassOf(Fd), [&] {
+    return S.env().sysConnect(Session::currentTid(), Fd, Port);
+  });
+  return static_cast<int>(R.Ret);
+}
+
+int64_t sys::send(int Fd, const void *Buf, size_t Len) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Send, S.fdClassOf(Fd), [&] {
+    return S.env().sysSend(Session::currentTid(), Fd, Buf, Len);
+  });
+  return R.Ret;
+}
+
+int64_t sys::recv(int Fd, void *Buf, size_t MaxLen) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Recv, S.fdClassOf(Fd), [&] {
+    return S.env().sysRecv(Session::currentTid(), Fd, MaxLen);
+  });
+  const size_t N = std::min(MaxLen, R.OutBuf.size());
+  if (N)
+    std::memcpy(Buf, R.OutBuf.data(), N);
+  return R.Ret;
+}
+
+int64_t sys::recvmsg(int Fd, IoVec *Vecs, size_t NVecs) {
+  Session &S = session();
+  size_t Capacity = 0;
+  for (size_t I = 0; I != NVecs; ++I)
+    Capacity += Vecs[I].Len;
+  SyscallResult R = issue(SyscallKind::RecvMsg, S.fdClassOf(Fd), [&] {
+    return S.env().sysRecv(Session::currentTid(), Fd, Capacity);
+  });
+  // Scatter the received bytes across the iovecs in order.
+  size_t Off = 0;
+  for (size_t I = 0; I != NVecs && Off < R.OutBuf.size(); ++I) {
+    const size_t N = std::min(Vecs[I].Len, R.OutBuf.size() - Off);
+    std::memcpy(Vecs[I].Base, R.OutBuf.data() + Off, N);
+    Off += N;
+  }
+  return R.Ret;
+}
+
+int64_t sys::sendmsg(int Fd, const IoVec *Vecs, size_t NVecs) {
+  Session &S = session();
+  // Gather into one message; the paper's sendmsg wrapper does the same
+  // before hitting the kernel.
+  std::vector<uint8_t> Gathered;
+  for (size_t I = 0; I != NVecs; ++I) {
+    const uint8_t *P = static_cast<const uint8_t *>(Vecs[I].Base);
+    Gathered.insert(Gathered.end(), P, P + Vecs[I].Len);
+  }
+  SyscallResult R = issue(SyscallKind::SendMsg, S.fdClassOf(Fd), [&] {
+    return S.env().sysSend(Session::currentTid(), Fd, Gathered.data(),
+                           Gathered.size());
+  });
+  return R.Ret;
+}
+
+int sys::select(const int *Fds, size_t NFds, int TimeoutMs,
+                uint64_t *ReadyMask) {
+  assert(NFds <= 64 && "select supports up to 64 descriptors");
+  Session &S = session();
+  std::vector<PollFd> Polls(NFds);
+  for (size_t I = 0; I != NFds; ++I) {
+    Polls[I].Fd = Fds[I];
+    Polls[I].Events = PollIn;
+  }
+  SyscallResult R = issue(SyscallKind::Select, FdClass::None, [&] {
+    return S.env().sysPoll(Session::currentTid(), Polls.data(), NFds,
+                           TimeoutMs);
+  });
+  uint64_t Mask = 0;
+  for (size_t I = 0; I != NFds && 2 * I + 1 < R.OutBuf.size(); ++I) {
+    const short Revents =
+        static_cast<short>(R.OutBuf[2 * I] | (R.OutBuf[2 * I + 1] << 8));
+    if (Revents & (PollIn | PollHup))
+      Mask |= 1ull << I;
+  }
+  if (ReadyMask)
+    *ReadyMask = Mask;
+  return static_cast<int>(R.Ret);
+}
+
+int sys::poll(PollFd *Fds, size_t NFds, int TimeoutMs) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Poll, FdClass::None, [&] {
+    return S.env().sysPoll(Session::currentTid(), Fds, NFds, TimeoutMs);
+  });
+  // Revents travel in the result buffer so replay restores them without
+  // the environment (two bytes little-endian per entry).
+  for (size_t I = 0; I != NFds && 2 * I + 1 < R.OutBuf.size(); ++I)
+    Fds[I].Revents = static_cast<short>(R.OutBuf[2 * I] |
+                                        (R.OutBuf[2 * I + 1] << 8));
+  return static_cast<int>(R.Ret);
+}
+
+int sys::ioctl(int Fd, IoctlReq Req, uint64_t *OutVal) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Ioctl, S.fdClassOf(Fd), [&] {
+    return S.env().sysIoctl(Session::currentTid(), Fd, Req);
+  });
+  if (OutVal)
+    *OutVal = getU64(R.OutBuf);
+  return static_cast<int>(R.Ret);
+}
+
+uint64_t sys::clockNs() {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::ClockGettime, FdClass::None, [&] {
+    return S.env().sysClockGettime(Session::currentTid());
+  });
+  return getU64(R.OutBuf);
+}
+
+int sys::open(const char *Path, bool Create) {
+  Session &S = session();
+  const std::string P(Path);
+  SyscallResult R = issue(SyscallKind::Open, FdClass::None, [&] {
+    return S.env().sysOpen(Session::currentTid(), P, Create);
+  });
+  if (R.Ret >= 0)
+    S.noteFdClass(static_cast<int>(R.Ret), P.rfind("/dev/", 0) == 0
+                                               ? FdClass::Device
+                                               : FdClass::File);
+  return static_cast<int>(R.Ret);
+}
+
+int64_t sys::read(int Fd, void *Buf, size_t MaxLen) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Read, S.fdClassOf(Fd), [&] {
+    return S.env().sysRead(Session::currentTid(), Fd, MaxLen);
+  });
+  const size_t N = std::min(MaxLen, R.OutBuf.size());
+  if (N)
+    std::memcpy(Buf, R.OutBuf.data(), N);
+  return R.Ret;
+}
+
+int64_t sys::write(int Fd, const void *Buf, size_t Len) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Write, S.fdClassOf(Fd), [&] {
+    return S.env().sysWrite(Session::currentTid(), Fd, Buf, Len);
+  });
+  return R.Ret;
+}
+
+int sys::close(int Fd) {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::Close, S.fdClassOf(Fd), [&] {
+    return S.env().sysClose(Session::currentTid(), Fd);
+  });
+  return static_cast<int>(R.Ret);
+}
+
+int sys::pipe(int OutFds[2]) {
+  Session &S = session();
+  int Tmp[2] = {-1, -1};
+  SyscallResult R = issue(SyscallKind::Pipe, FdClass::None, [&] {
+    return S.env().sysPipe(Session::currentTid(), Tmp);
+  });
+  // The fd pair is part of the recorded result so replay reconstructs it.
+  OutFds[0] = static_cast<int>(getU64(R.OutBuf, 0));
+  OutFds[1] = static_cast<int>(getU64(R.OutBuf, 8));
+  S.noteFdClass(OutFds[0], FdClass::Pipe);
+  S.noteFdClass(OutFds[1], FdClass::Pipe);
+  return static_cast<int>(R.Ret);
+}
+
+void sys::sleepMs(uint64_t Ms) {
+  Session &S = session();
+  issue(SyscallKind::SleepMs, FdClass::None, [&] {
+    return S.env().sysSleepMs(Session::currentTid(), Ms);
+  });
+}
+
+uint64_t sys::allocHint() {
+  Session &S = session();
+  SyscallResult R = issue(SyscallKind::AllocHint, FdClass::None, [&] {
+    return S.env().sysAllocHint(Session::currentTid());
+  });
+  return getU64(R.OutBuf);
+}
+
+void sys::work(uint64_t Ns) { session().work(Ns); }
+
+void tsr::installSignalHandler(Signo S, std::function<void()> Handler) {
+  session().setSignalHandler(S, std::move(Handler));
+}
+
+void tsr::raiseSignal(Tid Target, Signo Sig) {
+  Session &S = session();
+  S.visibleOp([&](Tid) { S.sched().postSignal(Target, Sig); });
+}

@@ -1,0 +1,110 @@
+//===-- runtime/Sys.h - Virtual syscall wrappers ----------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tsr::sys — the intercepted "glibc wrapper" layer (§4.4). Each function
+/// is one visible operation: it enters a critical section, and depending
+/// on the session's RecordPolicy either (a) issues the call against the
+/// simulated environment (recording return value, errno and out-buffers
+/// into SYSCALL when recording), or (b) during replay of a recorded kind,
+/// takes the result from the demo without touching the environment.
+/// Un-recorded kinds are always re-issued natively — the sparse behaviour
+/// that makes the game case studies replayable (§5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_SYS_H
+#define TSR_RUNTIME_SYS_H
+
+#include "env/SimEnv.h"
+#include "env/Syscall.h"
+#include "sched/Common.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tsr {
+namespace sys {
+
+/// Thread-local errno of the last sys:: call.
+int lastError();
+
+/// Scatter/gather element for recvmsg/sendmsg.
+struct IoVec {
+  void *Base = nullptr;
+  size_t Len = 0;
+};
+
+int socket();
+int bind(int Fd, uint16_t Port);
+int listen(int Fd);
+int accept(int Fd);
+
+/// accept4: accept with flags. The simulation has no fd flags, so the
+/// argument is validated (must be >= 0) and otherwise ignored — but the
+/// call records under its own syscall kind, as the paper's tool
+/// distinguishes accept from accept4 (§4.4).
+int accept4(int Fd, int Flags);
+
+int connect(int Fd, uint16_t Port);
+
+int64_t send(int Fd, const void *Buf, size_t Len);
+int64_t recv(int Fd, void *Buf, size_t MaxLen);
+
+/// Scatter-read: fills the iovecs in order from one incoming message.
+/// Returns total bytes or -1.
+int64_t recvmsg(int Fd, IoVec *Vecs, size_t NVecs);
+
+/// Gather-write: concatenates the iovecs into one outgoing message.
+int64_t sendmsg(int Fd, const IoVec *Vecs, size_t NVecs);
+
+/// select-style readability scan: checks \p NFds descriptors for read
+/// readiness within \p TimeoutMs. On return, ReadyMask bit I is set if
+/// Fds[I] is readable (supports up to 64 fds). Returns the ready count.
+int select(const int *Fds, size_t NFds, int TimeoutMs,
+           uint64_t *ReadyMask);
+
+/// Virtual poll; fills Revents. TimeoutMs < 0 waits for the next arrival.
+int poll(PollFd *Fds, size_t NFds, int TimeoutMs);
+
+/// Virtual ioctl; stores the device's 8-byte reply into *OutVal when
+/// non-null.
+int ioctl(int Fd, IoctlReq Req, uint64_t *OutVal);
+
+/// Monotonic virtual clock in nanoseconds.
+uint64_t clockNs();
+
+int open(const char *Path, bool Create = false);
+int64_t read(int Fd, void *Buf, size_t MaxLen);
+int64_t write(int Fd, const void *Buf, size_t Len);
+int close(int Fd);
+int pipe(int OutFds[2]);
+
+/// Virtual sleep (advances the caller's virtual clock; a visible op).
+void sleepMs(uint64_t Ms);
+
+/// Allocator layout hint — a pseudo heap address that differs run to run
+/// (§5.5's memory-layout nondeterminism).
+uint64_t allocHint();
+
+/// Declares invisible compute of \p Ns virtual nanoseconds (drives the
+/// cost model; not a visible operation).
+void work(uint64_t Ns);
+
+} // namespace sys
+
+/// Installs a handler for virtual signal \p S (a visible operation, like
+/// the standard's signal() function, §3.2).
+void installSignalHandler(Signo S, std::function<void()> Handler);
+
+/// Sends an asynchronous virtual signal to another controlled thread.
+void raiseSignal(Tid Target, Signo S);
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_SYS_H

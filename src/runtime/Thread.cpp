@@ -1,0 +1,40 @@
+//===-- runtime/Thread.cpp - Controlled threads -----------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Thread.h"
+
+using namespace tsr;
+
+Thread Thread::spawn(std::function<void()> Fn) {
+  Session *S = Session::current();
+  assert(S && "Thread::spawn outside a controlled thread");
+  return Thread(S->spawnThread(std::move(Fn)));
+}
+
+void Thread::join() {
+  assert(joinable() && "join of non-joinable Thread");
+  Session *S = Session::current();
+  assert(S && "Thread::join outside a controlled thread");
+  const Tid Target = Id;
+  // ThreadJoin (§3.2): if the target is still running, disable ourselves
+  // marked as waiting on it; ThreadDelete on the target re-enables us.
+  // One critical section per attempt, mirroring the mutex trylock loop.
+  for (;;) {
+    const bool Done = S->visibleOp([&](Tid Self) {
+      if (S->sched().threadFinished(Target)) {
+        S->race().joinChild(Self, Target);
+        S->cost().syncAcquire(Self, S->cost().localTime(Target));
+        return true;
+      }
+      S->sched().threadJoinBlock(Self, Target);
+      return false;
+    });
+    if (Done)
+      break;
+  }
+  Id = InvalidTid;
+}

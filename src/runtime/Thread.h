@@ -1,0 +1,61 @@
+//===-- runtime/Thread.h - Controlled threads -------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tsr::Thread is the instrumented counterpart of std::thread. Creation,
+/// joining and completion are visible operations that update the scheduler
+/// (§3.2: ThreadNew / ThreadJoin / ThreadDelete) and synchronise the race
+/// detector's clocks (fork and join edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_THREAD_H
+#define TSR_RUNTIME_THREAD_H
+
+#include "runtime/Session.h"
+#include "support/VectorClock.h"
+
+#include <functional>
+#include <utility>
+
+namespace tsr {
+
+/// Handle to a controlled thread. The underlying OS thread is owned by
+/// the session (joined at session teardown); Thread::join performs the
+/// scheduler-level join the program semantics depend on.
+class Thread {
+public:
+  Thread() = default;
+
+  Thread(Thread &&Other) noexcept : Id(Other.Id) { Other.Id = InvalidTid; }
+  Thread &operator=(Thread &&Other) noexcept {
+    Id = Other.Id;
+    Other.Id = InvalidTid;
+    return *this;
+  }
+  Thread(const Thread &) = delete;
+  Thread &operator=(const Thread &) = delete;
+
+  /// Creates and enables a new controlled thread running \p Fn. Must be
+  /// called from a controlled thread.
+  static Thread spawn(std::function<void()> Fn);
+
+  /// Blocks until the thread finishes (disabling the caller while it
+  /// waits), then acquires everything the thread did.
+  void join();
+
+  bool joinable() const { return Id != InvalidTid; }
+  Tid tid() const { return Id; }
+
+private:
+  explicit Thread(Tid Id) : Id(Id) {}
+  Tid Id = InvalidTid;
+};
+
+} // namespace tsr
+
+#endif // TSR_RUNTIME_THREAD_H

@@ -1,0 +1,25 @@
+//===-- runtime/Tsr.h - Umbrella header -------------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: include this to get the whole tsr public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_RUNTIME_TSR_H
+#define TSR_RUNTIME_TSR_H
+
+#include "runtime/Atomic.h"
+#include "runtime/Explorer.h"
+#include "runtime/Mutex.h"
+#include "runtime/Presets.h"
+#include "runtime/Session.h"
+#include "runtime/Sys.h"
+#include "runtime/Thread.h"
+#include "runtime/Var.h"
+
+#endif // TSR_RUNTIME_TSR_H

@@ -1,0 +1,657 @@
+//===-- sched/Scheduler.cpp - The controlled scheduler ----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Scheduler.h"
+
+#include "support/Compiler.h"
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace tsr;
+
+Scheduler::Scheduler(const SchedulerOptions &Opts, Demo *RecordDemo,
+                     const Demo *ReplayDemo)
+    : Opts(Opts), Strat(makeStrategy(Opts.Strategy, Opts.Params)),
+      Rng(Opts.Seed0, Opts.Seed1) {
+  if (!Opts.Controlled)
+    FreeRunFcfs = true;
+  if (Opts.ExecMode == Mode::Record) {
+    assert(RecordDemo && "record mode requires a demo to fill");
+    RecordSink = RecordDemo;
+    QueueLog = std::make_unique<RleU64Writer>(QueueBytes);
+  }
+  if (Opts.ExecMode == Mode::Replay) {
+    assert(ReplayDemo && "replay mode requires a demo to read");
+    parseReplayStreams(*ReplayDemo);
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::parseReplayStreams(const Demo &D) {
+  // QUEUE: run-length-encoded tid-per-tick sequence (§4.2).
+  {
+    RleU64Reader R(D.reader(StreamKind::Queue));
+    uint64_t V;
+    while (R.pop(V))
+      ReplayQueue.push_back(V);
+  }
+  // SIGNAL: (tid, tick, signo) records (§4.3).
+  {
+    ByteReader R = D.reader(StreamKind::Signal);
+    while (!R.atEnd()) {
+      uint64_t T, K, S;
+      if (!R.readVarU64(T) || !R.readVarU64(K) || !R.readVarU64(S)) {
+        warn("truncated SIGNAL stream; ignoring tail");
+        break;
+      }
+      ReplaySignals.push_back(
+          {K, static_cast<Tid>(T), static_cast<Signo>(S)});
+    }
+  }
+  // ASYNC: (tick, kind, tid) events (§4.5).
+  {
+    ByteReader R = D.reader(StreamKind::Async);
+    while (!R.atEnd()) {
+      uint64_t K, T;
+      uint8_t Kind;
+      if (!R.readVarU64(K) || !R.readByte(Kind) || !R.readVarU64(T)) {
+        warn("truncated ASYNC stream; ignoring tail");
+        break;
+      }
+      ReplayAsync.push_back(
+          {K, static_cast<AsyncEventKind>(Kind), static_cast<Tid>(T)});
+    }
+  }
+}
+
+Tid Scheduler::addMainThread() {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(Threads.empty() && "main thread must be registered first");
+  Threads.emplace_back();
+  Strat->onThreadNew(0, Rng);
+  chooseNextLocked();
+  applyInjectionsLocked();
+  return 0;
+}
+
+void Scheduler::wait(Tid Self) {
+  std::unique_lock<std::mutex> L(Mu);
+  assert(Self < Threads.size() && "unknown thread in wait()");
+  noticeSignalsLocked(Self);
+  Threads[Self].Parked = true;
+  Strat->onArrive(Self);
+  grantIfAnyLocked(Self);
+  while (!(Threads[Self].Enabled && Active == Self)) {
+    Cv.wait(L);
+    grantIfAnyLocked(Self);
+  }
+  Threads[Self].Parked = false;
+  Threads[Self].InCritical = true;
+}
+
+void Scheduler::grantIfAnyLocked(Tid Self) {
+  if (Active != AnyTid || !Threads[Self].Enabled || Threads[Self].Finished)
+    return;
+  Active = Self;
+  Strat->onDesignated(Self);
+  if (Self == LastGranter) {
+    ++SelfGrantStreak;
+  } else {
+    LastGranter = Self;
+    SelfGrantStreak = 1;
+  }
+}
+
+void Scheduler::tick(Tid Self) {
+  bool YieldAfterUnlock = false;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    assert(Active == Self && "tick() by a non-designated thread");
+    assert(Threads[Self].InCritical && "tick() without a matching wait()");
+    Threads[Self].InCritical = false;
+
+    const uint64_t EventTick = CurTick++;
+    ++Stats.Ticks;
+    Strat->onTick(EventTick, Self, Rng);
+    if (Opts.ExecMode == Mode::Record && Opts.Controlled &&
+        Opts.Strategy == StrategyKind::Queue)
+      QueueLog->push(Self);
+
+    noticeSignalsLocked(Self);
+    chooseNextLocked();
+    applyInjectionsLocked();
+    deadlockCheckLocked();
+    Cv.notify_all();
+    // Designation handoffs to parked threads hand the processor over
+    // naturally (the ticker blocks in its next wait()). The pathological
+    // case on a single-CPU host is the first-come-first-served grant with
+    // an empty queue: the ticking thread re-arrives and re-grants itself
+    // indefinitely while runnable threads never get the processor. Bound
+    // the streak with an occasional yield — occasional, so short
+    // main-first stretches (which the paper's uncontrolled runs rely on,
+    // §5.1) survive.
+    if (Opts.Controlled && Active == AnyTid && SelfGrantStreak >= 16) {
+      SelfGrantStreak = 0;
+      YieldAfterUnlock = true;
+    }
+  }
+  if (YieldAfterUnlock)
+    std::this_thread::yield();
+}
+
+void Scheduler::chooseNextLocked() {
+  if (FreeRunFcfs) {
+    Active = AnyTid;
+    return;
+  }
+  if (Opts.ExecMode == Mode::Replay &&
+      Opts.Strategy == StrategyKind::Queue) {
+    if (CurTick < ReplayQueue.size()) {
+      const uint64_t T = ReplayQueue[CurTick];
+      if (T >= Threads.size() || Threads[T].Finished) {
+        hardDesyncLocked(formatString(
+            "QUEUE designates thread %llu at tick %llu, but it %s",
+            static_cast<unsigned long long>(T),
+            static_cast<unsigned long long>(CurTick),
+            T >= Threads.size() ? "does not exist" : "has finished"));
+        return;
+      }
+      Active = static_cast<Tid>(T);
+      Strat->onDesignated(Active);
+      if (Opts.DesignationHook)
+        Opts.DesignationHook(Active, Threads[Active].Parked);
+      return;
+    }
+    // Demo exhausted: the recording ended here; continue free-running
+    // (soft desynchronisation territory, §4).
+    if (!Stats.DemoExhausted) {
+      Stats.DemoExhausted = true;
+      Stats.DemoExhaustedAtTick = CurTick;
+      FreeRunFcfs = true;
+    }
+    Active = AnyTid;
+    return;
+  }
+  const Tid T = Strat->pickNext(*this, Rng);
+  Active = T;
+  if (T != AnyTid && T != InvalidTid) {
+    Strat->onDesignated(T);
+    if (Opts.DesignationHook)
+      Opts.DesignationHook(T, Threads[T].Parked);
+  }
+}
+
+void Scheduler::applyInjectionsLocked() {
+  if (Opts.ExecMode != Mode::Replay)
+    return;
+  // SIGNAL deliveries scheduled for this completed-tick count.
+  while (ReplaySignalPos < ReplaySignals.size() &&
+         ReplaySignals[ReplaySignalPos].Tick <= CurTick) {
+    const SignalEntry &E = ReplaySignals[ReplaySignalPos++];
+    if (E.Thread >= Threads.size()) {
+      hardDesyncLocked(formatString(
+          "SIGNAL targets unknown thread %u at tick %llu", E.Thread,
+          static_cast<unsigned long long>(E.Tick)));
+      return;
+    }
+    Threads[E.Thread].DeliverableSignals.push_back(E.Sig);
+  }
+  // ASYNC events in recorded order; their relative order within a tick is
+  // significant (a SignalWakeup may change the enabled set a Reschedule's
+  // re-pick observes).
+  while (ReplayAsyncPos < ReplayAsync.size() &&
+         ReplayAsync[ReplayAsyncPos].Tick <= CurTick) {
+    const AsyncEntry &E = ReplayAsync[ReplayAsyncPos++];
+    switch (E.Kind) {
+    case AsyncEventKind::SignalWakeup:
+      if (E.Thread >= Threads.size()) {
+        hardDesyncLocked(formatString(
+            "ASYNC wakeup targets unknown thread %u at tick %llu", E.Thread,
+            static_cast<unsigned long long>(E.Tick)));
+        return;
+      }
+      enableForWakeupLocked(E.Thread);
+      break;
+    case AsyncEventKind::Reschedule: {
+      ++Stats.Reschedules;
+      const Tid T = Strat->pickNext(*this, Rng);
+      if (T != InvalidTid) {
+        Active = T;
+        if (T != AnyTid)
+          Strat->onDesignated(T);
+      }
+      break;
+    }
+    }
+  }
+}
+
+void Scheduler::noticeSignalsLocked(Tid Self) {
+  if (Opts.ExecMode == Mode::Replay) {
+    Threads[Self].RawSignals.clear();
+    return;
+  }
+  auto &T = Threads[Self];
+  while (!T.RawSignals.empty()) {
+    const Signo S = T.RawSignals.front();
+    T.RawSignals.pop_front();
+    T.DeliverableSignals.push_back(S);
+    if (Opts.ExecMode == Mode::Record) {
+      SignalBytes.writeVarU64(Self);
+      SignalBytes.writeVarU64(CurTick);
+      SignalBytes.writeVarU64(static_cast<uint64_t>(S));
+    }
+  }
+}
+
+void Scheduler::deadlockCheckLocked() {
+  if (enabledCountLocked() != 0 || liveCountLocked() == 0)
+    return;
+  fatal("deadlock: every live thread is disabled\n%s",
+        dumpStateLocked().c_str());
+}
+
+void Scheduler::hardDesyncLocked(std::string Message) {
+  if (Desync == DesyncKind::Hard)
+    return;
+  Desync = DesyncKind::Hard;
+  DesyncMsg = std::move(Message);
+  if (Opts.AbortOnHardDesync)
+    fatal("replay hard desynchronisation: %s", DesyncMsg.c_str());
+  warn("replay hard desynchronisation: %s (continuing uncontrolled)",
+       DesyncMsg.c_str());
+  FreeRunFcfs = true;
+  // Reset the designation unless a thread is mid-critical-section (its
+  // tick() will re-designate through the free-run path).
+  bool AnyCritical = false;
+  for (const auto &T : Threads)
+    AnyCritical = AnyCritical || T.InCritical;
+  if (!AnyCritical)
+    Active = AnyTid;
+  Cv.notify_all();
+}
+
+void Scheduler::enableForWakeupLocked(Tid T) {
+  auto &TS = Threads[T];
+  if (TS.Finished)
+    return;
+  ++Stats.SignalWakeups;
+  TS.Enabled = true;
+  TS.Waiting = WaitKind::None;
+  TS.WaitObj = 0;
+  removeFromWaitListsLocked(T);
+}
+
+void Scheduler::removeFromWaitListsLocked(Tid T) {
+  for (auto &Entry : MutexWaiters) {
+    auto &V = Entry.second;
+    V.erase(std::remove(V.begin(), V.end(), T), V.end());
+  }
+  for (auto &Entry : CondWaiters) {
+    auto &V = Entry.second;
+    V.erase(std::remove(V.begin(), V.end(), T), V.end());
+  }
+}
+
+void Scheduler::recordAsyncLocked(AsyncEventKind Kind, Tid T) {
+  if (Opts.ExecMode != Mode::Record)
+    return;
+  AsyncBytes.writeVarU64(CurTick);
+  AsyncBytes.writeByte(static_cast<uint8_t>(Kind));
+  AsyncBytes.writeVarU64(T);
+}
+
+std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &T = Threads[Self];
+  if (T.HandlerDepth > 0 || T.DeliverableSignals.empty())
+    return std::nullopt;
+  const Signo S = T.DeliverableSignals.front();
+  T.DeliverableSignals.pop_front();
+  ++Stats.SignalsDelivered;
+  return S;
+}
+
+void Scheduler::beginHandler(Tid Self) {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Threads[Self].HandlerDepth;
+}
+
+void Scheduler::endHandler(Tid Self) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(Threads[Self].HandlerDepth > 0 && "endHandler without begin");
+  --Threads[Self].HandlerDepth;
+}
+
+Tid Scheduler::threadNew(Tid Parent) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(Parent < Threads.size() && Threads[Parent].InCritical &&
+         "threadNew must run inside the parent's critical section");
+  const Tid Child = static_cast<Tid>(Threads.size());
+  Threads.emplace_back();
+  Strat->onThreadNew(Child, Rng);
+  return Child;
+}
+
+bool Scheduler::threadFinished(Tid Target) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(Target < Threads.size() && "unknown join target");
+  return Threads[Target].Finished;
+}
+
+void Scheduler::threadJoinBlock(Tid Self, Tid Target) {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(!Threads[Target].Finished && "joining a finished thread blocks");
+  auto &T = Threads[Self];
+  T.Enabled = false;
+  T.Waiting = WaitKind::Join;
+  T.WaitObj = Target;
+}
+
+void Scheduler::threadDelete(Tid Self) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &T = Threads[Self];
+  T.Finished = true;
+  T.Enabled = false;
+  // Re-enable every thread blocked joining on us (§3.2: "enabling the
+  // parent thread if it is waiting for this thread to finish").
+  for (Tid J = 0, E = static_cast<Tid>(Threads.size()); J != E; ++J) {
+    auto &JS = Threads[J];
+    if (!JS.Finished && JS.Waiting == WaitKind::Join && JS.WaitObj == Self) {
+      JS.Enabled = true;
+      JS.Waiting = WaitKind::None;
+    }
+  }
+  Cv.notify_all();
+}
+
+void Scheduler::mutexLockFail(Tid Self, uint64_t MutexId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &T = Threads[Self];
+  T.Enabled = false;
+  T.Waiting = WaitKind::Mutex;
+  T.WaitObj = MutexId;
+  auto &Waiters = MutexWaiters[MutexId];
+  if (std::find(Waiters.begin(), Waiters.end(), Self) == Waiters.end())
+    Waiters.push_back(Self);
+}
+
+void Scheduler::mutexAcquired(Tid Self, uint64_t MutexId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = MutexWaiters.find(MutexId);
+  if (It == MutexWaiters.end())
+    return;
+  auto &V = It->second;
+  V.erase(std::remove(V.begin(), V.end(), Self), V.end());
+}
+
+void Scheduler::mutexUnlock(Tid, uint64_t MutexId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = MutexWaiters.find(MutexId);
+  if (It == MutexWaiters.end() || It->second.empty())
+    return;
+  auto &Waiters = It->second;
+  const size_t Idx = Strat->pickWaiter(Waiters, Rng);
+  const Tid T = Waiters[Idx];
+  Waiters.erase(Waiters.begin() + Idx);
+  auto &TS = Threads[T];
+  assert(TS.Waiting == WaitKind::Mutex && TS.WaitObj == MutexId &&
+         "mutex waiter list out of sync");
+  TS.Enabled = true;
+  TS.Waiting = WaitKind::None;
+  Cv.notify_all();
+}
+
+void Scheduler::condWait(Tid Self, uint64_t CondId, bool Timed) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &T = Threads[Self];
+  T.WokenBySignal = false;
+  auto &Waiters = CondWaiters[CondId];
+  if (std::find(Waiters.begin(), Waiters.end(), Self) == Waiters.end())
+    Waiters.push_back(Self);
+  if (Timed)
+    return; // Stays enabled: the timer is physical time (§3.2).
+  T.Enabled = false;
+  T.Waiting = WaitKind::Cond;
+  T.WaitObj = CondId;
+}
+
+unsigned Scheduler::condSignal(Tid, uint64_t CondId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = CondWaiters.find(CondId);
+  if (It == CondWaiters.end() || It->second.empty())
+    return 0;
+  auto &Waiters = It->second;
+  const size_t Idx = Strat->pickWaiter(Waiters, Rng);
+  const Tid T = Waiters[Idx];
+  Waiters.erase(Waiters.begin() + Idx);
+  auto &TS = Threads[T];
+  TS.WokenBySignal = true;
+  if (!TS.Enabled) {
+    TS.Enabled = true;
+    TS.Waiting = WaitKind::None;
+    // A timed waiter may be blocked on the mutex *reacquisition* when
+    // the signal lands; pull it off that waiter list too — it retries
+    // the trylock and re-registers if it loses (Figure 4's loop).
+    removeFromWaitListsLocked(T);
+  }
+  Cv.notify_all();
+  return 1;
+}
+
+unsigned Scheduler::condBroadcast(Tid, uint64_t CondId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = CondWaiters.find(CondId);
+  if (It == CondWaiters.end())
+    return 0;
+  unsigned Woken = 0;
+  // Take a copy: removeFromWaitListsLocked below may touch cond lists.
+  const std::vector<Tid> Woke = It->second;
+  It->second.clear();
+  for (Tid T : Woke) {
+    auto &TS = Threads[T];
+    TS.WokenBySignal = true;
+    if (!TS.Enabled) {
+      TS.Enabled = true;
+      TS.Waiting = WaitKind::None;
+      removeFromWaitListsLocked(T);
+    }
+    ++Woken;
+  }
+  if (Woken)
+    Cv.notify_all();
+  return Woken;
+}
+
+bool Scheduler::condConsumeSignaled(Tid Self, uint64_t CondId) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &T = Threads[Self];
+  if (T.WokenBySignal) {
+    T.WokenBySignal = false;
+    return true;
+  }
+  // Timeout/spurious path: leave the waiter list so a later signal is not
+  // wasted on us.
+  auto It = CondWaiters.find(CondId);
+  if (It != CondWaiters.end()) {
+    auto &V = It->second;
+    V.erase(std::remove(V.begin(), V.end(), Self), V.end());
+  }
+  return false;
+}
+
+void Scheduler::postSignal(Tid Target, Signo S) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Opts.ExecMode == Mode::Replay)
+    return; // Recorded SIGNAL/ASYNC entries drive delivery instead.
+  if (Target >= Threads.size() || Threads[Target].Finished)
+    return;
+  auto &T = Threads[Target];
+  T.RawSignals.push_back(S);
+  const bool WasDisabled = !T.Enabled;
+  if (T.Parked || WasDisabled)
+    noticeSignalsLocked(Target);
+  if (WasDisabled) {
+    // The thread must be able to enter its handler: wake it and log the
+    // wakeup so replay reproduces the same enabled set (§4.5).
+    recordAsyncLocked(AsyncEventKind::SignalWakeup, Target);
+    enableForWakeupLocked(Target);
+    Cv.notify_all();
+  }
+}
+
+uint64_t Scheduler::drawChoice(uint64_t Bound) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Rng.nextBelow(Bound);
+}
+
+void Scheduler::livenessPoll() {
+  std::lock_guard<std::mutex> L(Mu);
+  const bool Stalled = CurTick == LastLivenessTick;
+  LastLivenessTick = CurTick;
+  if (Opts.ExecMode == Mode::Replay || FreeRunFcfs || !Stalled)
+    return;
+  if (Active == AnyTid || Active == InvalidTid)
+    return;
+  const auto &A = Threads[Active];
+  if (A.InCritical || A.Parked)
+    return; // The designated thread is running or about to run.
+  bool OtherParked = false;
+  for (Tid T = 0, E = static_cast<Tid>(Threads.size()); T != E; ++T)
+    if (T != Active && Threads[T].Parked && Threads[T].Enabled &&
+        !Threads[T].Finished) {
+      OtherParked = true;
+      break;
+    }
+  if (!OtherParked)
+    return;
+  recordAsyncLocked(AsyncEventKind::Reschedule, 0);
+  ++Stats.Reschedules;
+  const Tid T = Strat->pickNext(*this, Rng);
+  if (T != InvalidTid) {
+    Active = T;
+    if (T != AnyTid)
+      Strat->onDesignated(T);
+  }
+  Cv.notify_all();
+}
+
+bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
+  std::unique_lock<std::mutex> L(Mu);
+  uint64_t LastTicks = Stats.Ticks;
+  while (!allFinishedLocked()) {
+    const auto Status =
+        Cv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
+    if (Status == std::cv_status::timeout) {
+      if (Stats.Ticks == LastTicks)
+        return false; // No progress for a full timeout window.
+      LastTicks = Stats.Ticks;
+    }
+  }
+  return true;
+}
+
+void Scheduler::declareHardDesync(const std::string &Message) {
+  std::lock_guard<std::mutex> L(Mu);
+  hardDesyncLocked(Message);
+}
+
+void Scheduler::finishRecording() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Opts.ExecMode != Mode::Record || !RecordSink)
+    return;
+  QueueLog->flush();
+  RecordSink->setStream(StreamKind::Queue, QueueBytes.take());
+  RecordSink->setStream(StreamKind::Signal, SignalBytes.take());
+  RecordSink->setStream(StreamKind::Async, AsyncBytes.take());
+}
+
+uint64_t Scheduler::currentTick() {
+  std::lock_guard<std::mutex> L(Mu);
+  return CurTick;
+}
+
+DesyncKind Scheduler::desyncKind() {
+  std::lock_guard<std::mutex> L(Mu);
+  return Desync;
+}
+
+std::string Scheduler::desyncMessage() {
+  std::lock_guard<std::mutex> L(Mu);
+  return DesyncMsg;
+}
+
+SchedulerStats Scheduler::statsSnapshot() {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+std::string Scheduler::dumpState() {
+  std::lock_guard<std::mutex> L(Mu);
+  return dumpStateLocked();
+}
+
+std::string Scheduler::dumpStateLocked() const {
+  std::string Out = formatString(
+      "tick=%llu active=%lld threads=%zu\n",
+      static_cast<unsigned long long>(CurTick),
+      Active == AnyTid ? -2LL
+                       : (Active == InvalidTid
+                              ? -1LL
+                              : static_cast<long long>(Active)),
+      Threads.size());
+  static const char *WaitNames[] = {"none", "join", "mutex", "cond"};
+  for (Tid T = 0, E = static_cast<Tid>(Threads.size()); T != E; ++T) {
+    const auto &TS = Threads[T];
+    Out += formatString(
+        "  t%u: %s%s%s%s wait=%s obj=%llu\n", T,
+        TS.Finished ? "finished" : (TS.Enabled ? "enabled" : "disabled"),
+        TS.Parked ? " parked" : "", TS.InCritical ? " critical" : "",
+        TS.HandlerDepth ? " in-handler" : "",
+        WaitNames[static_cast<unsigned>(TS.Waiting)],
+        static_cast<unsigned long long>(TS.WaitObj));
+  }
+  return Out;
+}
+
+bool Scheduler::isEnabled(Tid T) const {
+  return T < Threads.size() && !Threads[T].Finished && Threads[T].Enabled;
+}
+
+bool Scheduler::isFinished(Tid T) const {
+  return T < Threads.size() && Threads[T].Finished;
+}
+
+Tid Scheduler::threadCount() const {
+  return static_cast<Tid>(Threads.size());
+}
+
+unsigned Scheduler::enabledCountLocked() const {
+  unsigned N = 0;
+  for (const auto &T : Threads)
+    if (!T.Finished && T.Enabled)
+      ++N;
+  return N;
+}
+
+unsigned Scheduler::liveCountLocked() const {
+  unsigned N = 0;
+  for (const auto &T : Threads)
+    if (!T.Finished)
+      ++N;
+  return N;
+}
+
+bool Scheduler::allFinishedLocked() const {
+  for (const auto &T : Threads)
+    if (!T.Finished)
+      return false;
+  return true;
+}

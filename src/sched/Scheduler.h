@@ -1,0 +1,312 @@
+//===-- sched/Scheduler.h - The controlled scheduler ------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controlled scheduler (§3) with integrated schedule record/replay
+/// (§4.2), signal record/replay (§4.3) and asynchronous events (§4.5).
+///
+/// There is no scheduler thread: "details of scheduling decisions are
+/// stored in a designated piece of shared state. The threads interact
+/// indirectly via this shared state using a protocol, to cooperatively
+/// determine when they should be scheduled" (§3). The protocol is:
+///
+///   wait(T)  — block T until the scheduler designates it.
+///   <bookkeeping calls: threadNew, mutexLockFail, condWait, ...>
+///   tick(T)  — complete T's visible operation and designate a successor.
+///
+/// The region between wait() and tick() is a critical section: at most one
+/// thread is inside one at any time, so visible operations are totally
+/// ordered while invisible code runs in parallel (Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SCHED_SCHEDULER_H
+#define TSR_SCHED_SCHEDULER_H
+
+#include "sched/Common.h"
+#include "sched/Strategy.h"
+#include "support/ByteStream.h"
+#include "support/Demo.h"
+#include "support/Prng.h"
+#include "support/Rle.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tsr {
+
+/// Replay health (§4): a synchronised replay satisfies every recorded
+/// constraint; a hard desynchronisation is a constraint the tool could not
+/// enforce.
+enum class DesyncKind : unsigned {
+  None = 0,
+  Hard,
+};
+
+/// Scheduler configuration.
+struct SchedulerOptions {
+  /// Scheduling strategy for designations.
+  StrategyKind Strategy = StrategyKind::Random;
+
+  /// Strategy tuning parameters.
+  StrategyParams Params;
+
+  /// Free / Record / Replay (§4).
+  Mode ExecMode = Mode::Free;
+
+  /// Scheduler PRNG seeds. Recorded in META by the session; must match the
+  /// recording when replaying.
+  uint64_t Seed0 = 1;
+  uint64_t Seed1 = 2;
+
+  /// When false, designation is disabled entirely and visible operations
+  /// are granted first-come-first-served with mutual exclusion only. This
+  /// models plain tsan11 — race detection "at the mercy of the OS
+  /// scheduler" (§2) — and is also the fallback after hard desync or demo
+  /// exhaustion.
+  bool Controlled = true;
+
+  /// Abort the process on hard desync (the paper's tool aborts; the
+  /// library default records the desync and free-runs instead).
+  bool AbortOnHardDesync = false;
+
+  /// Invoked (under the scheduler lock) whenever a concrete thread is
+  /// designated; the argument says whether it was already parked at
+  /// Wait(). Designating a non-parked thread stalls every other thread
+  /// until it arrives — the cost model charges for it.
+  std::function<void(Tid T, bool WasParked)> DesignationHook;
+};
+
+/// Counters exposed for tests and benchmark harnesses.
+struct SchedulerStats {
+  uint64_t Ticks = 0;
+  uint64_t Reschedules = 0;
+  uint64_t SignalsDelivered = 0;
+  uint64_t SignalWakeups = 0;
+  uint64_t DemoExhaustedAtTick = 0;
+  bool DemoExhausted = false;
+};
+
+/// The controlled scheduler. All public methods are thread-safe.
+class Scheduler final : public ThreadView {
+public:
+  /// \p RecordDemo receives the QUEUE/SIGNAL/ASYNC streams when recording
+  /// (may be null otherwise); \p ReplayDemo supplies them when replaying.
+  Scheduler(const SchedulerOptions &Opts, Demo *RecordDemo,
+            const Demo *ReplayDemo);
+  ~Scheduler() override;
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Registers the main controlled thread (always tid 0) and performs the
+  /// initial designation.
+  Tid addMainThread();
+
+  /// Blocks until the calling thread is designated and enabled. On return
+  /// the caller is inside a critical section and must eventually tick().
+  void wait(Tid Self);
+
+  /// Completes the caller's critical section: advances the tick counter,
+  /// logs/enforces the schedule, delivers signals and async events, and
+  /// designates the next thread.
+  void tick(Tid Self);
+
+  /// After wait() returns, the runtime asks whether a signal must be
+  /// handled *instead of* the intended operation (the signal "floats" to
+  /// this designation; §4.3, Figure 6). Returns the signal number to
+  /// handle, or nullopt. Delivery is suppressed while the thread is inside
+  /// a handler (beginHandler/endHandler).
+  std::optional<Signo> takeDeliverableSignal(Tid Self);
+  void beginHandler(Tid Self);
+  void endHandler(Tid Self);
+
+  /// Thread lifecycle (§3.2). threadNew registers and enables a child
+  /// thread from within the parent's critical section and returns its tid.
+  Tid threadNew(Tid Parent);
+
+  /// True once \p Target ran threadDelete. Callable inside a critical
+  /// section for the join fast path.
+  bool threadFinished(Tid Target);
+
+  /// Disables the caller, marking it as waiting for \p Target to finish.
+  void threadJoinBlock(Tid Self, Tid Target);
+
+  /// Marks the caller finished and re-enables any thread joining on it.
+  void threadDelete(Tid Self);
+
+  /// Mutex bookkeeping (§3.2, Figure 4). mutexLockFail disables the caller
+  /// until mutexUnlock re-enables one waiter (chosen by the strategy).
+  /// mutexAcquired clears a stale waiter-list entry when a woken thread
+  /// wins the retry (or a signal wakeup let it acquire without being the
+  /// picked waiter).
+  void mutexLockFail(Tid Self, uint64_t MutexId);
+  void mutexAcquired(Tid Self, uint64_t MutexId);
+  void mutexUnlock(Tid Self, uint64_t MutexId);
+
+  /// Condition-variable bookkeeping (§3.2, Figure 5). A timed waiter stays
+  /// enabled — the wakeup timer is physical time, which the scheduler
+  /// treats as nondeterministic — but "can still eat a signal".
+  void condWait(Tid Self, uint64_t CondId, bool Timed);
+  unsigned condSignal(Tid Self, uint64_t CondId);
+  unsigned condBroadcast(Tid Self, uint64_t CondId);
+
+  /// After reacquiring the mutex, a cond waiter asks how it woke: true if
+  /// a signal/broadcast selected it, false for the timeout/spurious path
+  /// (in which case it is removed from the waiter list).
+  bool condConsumeSignaled(Tid Self, uint64_t CondId);
+
+  /// Posts an asynchronous virtual signal to \p Target (from the
+  /// environment or another thread). If the target is disabled it is
+  /// re-enabled so it can enter the handler; the wakeup is logged as an
+  /// ASYNC event (§4.5). Ignored during replay — recorded SIGNAL entries
+  /// drive delivery instead.
+  void postSignal(Tid Target, Signo S);
+
+  /// Resolves a nondeterministic choice inside a critical section (e.g.
+  /// which historical atomic store a load reads) through the scheduler
+  /// PRNG; reproduced on replay by the seeds alone (§4).
+  uint64_t drawChoice(uint64_t Bound);
+
+  /// Called periodically by the session's background thread: if the
+  /// designated thread has made no progress while others are parked,
+  /// forces a reschedule (§3.3) and logs it as an ASYNC event.
+  void livenessPoll();
+
+  /// Blocks until every registered thread has finished, or returns false
+  /// after \p TimeoutMs with no progress (watchdog expired).
+  bool waitAllFinished(uint64_t TimeoutMs);
+
+  /// Declares a hard desynchronisation discovered by a higher layer (e.g.
+  /// a SYSCALL kind mismatch): records the reason and drops to
+  /// uncontrolled first-come-first-served execution.
+  void declareHardDesync(const std::string &Message);
+
+  /// Flushes record-mode streams into the record demo.
+  void finishRecording();
+
+  /// Current value of the global tick counter.
+  uint64_t currentTick();
+
+  /// Replay health.
+  DesyncKind desyncKind();
+  std::string desyncMessage();
+
+  SchedulerStats statsSnapshot();
+
+  /// Renders thread states for diagnostics (watchdog & deadlock reports).
+  std::string dumpState();
+
+  /// ThreadView — only valid while the scheduler lock is held; used by
+  /// strategies from within scheduler callbacks.
+  bool isEnabled(Tid T) const override;
+  bool isFinished(Tid T) const override;
+  Tid threadCount() const override;
+
+private:
+  struct ThreadState {
+    bool Finished = false;
+    bool Enabled = true;
+    bool Parked = false;
+    bool InCritical = false;
+    WaitKind Waiting = WaitKind::None;
+    uint64_t WaitObj = 0;
+    bool WokenBySignal = false;
+    unsigned HandlerDepth = 0;
+    std::deque<Signo> RawSignals;
+    std::deque<Signo> DeliverableSignals;
+  };
+
+  struct SignalEntry {
+    uint64_t Tick;
+    Tid Thread;
+    Signo Sig;
+  };
+
+  struct AsyncEntry {
+    uint64_t Tick;
+    AsyncEventKind Kind;
+    Tid Thread;
+  };
+
+  // All private helpers assume Mu is held.
+  void chooseNextLocked();
+  void grantIfAnyLocked(Tid Self);
+  void applyInjectionsLocked();
+  void noticeSignalsLocked(Tid Self);
+  void deadlockCheckLocked();
+  void hardDesyncLocked(std::string Message);
+  void enableForWakeupLocked(Tid T);
+  void removeFromWaitListsLocked(Tid T);
+  void recordAsyncLocked(AsyncEventKind Kind, Tid T);
+  unsigned enabledCountLocked() const;
+  unsigned liveCountLocked() const;
+  bool allFinishedLocked() const;
+  std::string dumpStateLocked() const;
+  void parseReplayStreams(const Demo &D);
+
+  SchedulerOptions Opts;
+  std::unique_ptr<Strategy> Strat;
+  Prng Rng;
+
+  /// Demo receiving the recorded streams (record mode only).
+  Demo *RecordSink = nullptr;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+
+  std::vector<ThreadState> Threads;
+  std::unordered_map<uint64_t, std::vector<Tid>> MutexWaiters;
+  std::unordered_map<uint64_t, std::vector<Tid>> CondWaiters;
+
+  /// Designated thread: a tid, AnyTid (first arrival proceeds) or
+  /// InvalidTid (nobody runnable yet).
+  Tid Active = InvalidTid;
+  uint64_t CurTick = 0;
+
+  /// When true, designation is first-come-first-served (uncontrolled
+  /// modes, post-desync and post-exhaustion fallback).
+  bool FreeRunFcfs = false;
+
+  // Record-side streams.
+  ByteWriter QueueBytes;
+  std::unique_ptr<RleU64Writer> QueueLog;
+  ByteWriter SignalBytes;
+  ByteWriter AsyncBytes;
+
+  // Replay-side parsed streams and cursors.
+  std::vector<uint64_t> ReplayQueue;
+  std::vector<SignalEntry> ReplaySignals;
+  size_t ReplaySignalPos = 0;
+  std::vector<AsyncEntry> ReplayAsync;
+  size_t ReplayAsyncPos = 0;
+
+  /// Consecutive first-come-first-served self-grants by the same thread;
+  /// bounded by a yield so one spinning thread cannot monopolise a
+  /// single-CPU host (see tick()).
+  Tid LastGranter = InvalidTid;
+  unsigned SelfGrantStreak = 0;
+
+  DesyncKind Desync = DesyncKind::None;
+  std::string DesyncMsg;
+
+  uint64_t LastLivenessTick = ~0ull;
+  SchedulerStats Stats;
+};
+
+} // namespace tsr
+
+#endif // TSR_SCHED_SCHEDULER_H

@@ -1,0 +1,107 @@
+//===-- sched/Strategy.h - Scheduling strategies ----------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable scheduling strategies (§3). The scheduler consults the active
+/// strategy at every Tick() to designate the next thread that may perform a
+/// visible operation. The paper's protocol "has been designed so that new
+/// scheduling strategies can be easily added"; this interface is that
+/// extension point.
+///
+/// All strategy decisions are functions of (a) deterministic scheduler
+/// state and (b) draws from the scheduler PRNG, so replaying with the same
+/// seeds reproduces the same designations as long as the enabled sets
+/// match — which the SIGNAL/ASYNC streams guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SCHED_STRATEGY_H
+#define TSR_SCHED_STRATEGY_H
+
+#include "sched/Common.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace tsr {
+
+/// Read-only view of the scheduler's thread table, passed to strategies.
+class ThreadView {
+public:
+  virtual ~ThreadView() = default;
+
+  /// True if \p T exists, has not finished, and is not disabled.
+  virtual bool isEnabled(Tid T) const = 0;
+
+  /// True if \p T has run its ThreadDelete.
+  virtual bool isFinished(Tid T) const = 0;
+
+  /// Thread ids are dense in [0, threadCount()).
+  virtual Tid threadCount() const = 0;
+};
+
+/// A scheduling strategy. All hooks are invoked with the scheduler lock
+/// held; implementations must not block.
+class Strategy {
+public:
+  virtual ~Strategy();
+
+  virtual StrategyKind kind() const = 0;
+
+  /// Chooses the next designated thread. Returns a thread id, AnyTid (the
+  /// next thread to arrive at Wait() proceeds — queue strategy with an
+  /// empty queue), or InvalidTid (no runnable thread; the scheduler then
+  /// checks for termination or deadlock).
+  virtual Tid pickNext(const ThreadView &Threads, Prng &Rng) = 0;
+
+  /// A thread reached Wait() (queue strategy enqueues here).
+  virtual void onArrive(Tid T);
+
+  /// A thread was designated and is about to run its critical section.
+  virtual void onDesignated(Tid T);
+
+  /// A new thread was registered (PCT assigns its priority here).
+  virtual void onThreadNew(Tid T, Prng &Rng);
+
+  /// A thread completed a critical section (PCT inserts change points
+  /// here).
+  virtual void onTick(uint64_t TickIndex, Tid Who, Prng &Rng);
+
+  /// Chooses which of \p Waiters to wake for a mutex release or condition
+  /// signal (§3.2: "the thread that is chosen depends on whether the queue
+  /// or random strategy is being used"). \p Waiters is nonempty and ordered
+  /// by block time. Default: FIFO (index 0).
+  virtual size_t pickWaiter(const std::vector<Tid> &Waiters, Prng &Rng);
+};
+
+/// Tuning for strategies that take parameters.
+struct StrategyParams {
+  /// PCT: probability, per tick, of demoting the running thread's priority
+  /// (the online analogue of choosing d-1 change points over k steps).
+  double PctChangeProb = 0.02;
+
+  /// DelayBounded: number of scheduler-inserted delays per run (Emmi et
+  /// al.'s delay bound d) and the per-pick probability of spending one.
+  unsigned DelayBudget = 3;
+  double DelayProb = 0.05;
+
+  /// DelayBounded fairness bound: a thread designated this many
+  /// consecutive ticks is rotated out for free, so spin loops cannot
+  /// monopolise the (otherwise non-preemptive) schedule.
+  unsigned DelayBoundedForcedSwitch = 512;
+};
+
+/// Creates a strategy instance for \p Kind.
+std::unique_ptr<Strategy> makeStrategy(StrategyKind Kind,
+                                       const StrategyParams &Params = {});
+
+} // namespace tsr
+
+#endif // TSR_SCHED_STRATEGY_H

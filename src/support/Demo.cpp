@@ -1,0 +1,116 @@
+//===-- support/Demo.cpp - Demo files (record/replay logs) -----*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Demo.h"
+
+#include "support/Compiler.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+using namespace tsr;
+
+const char *tsr::streamName(StreamKind Kind) {
+  switch (Kind) {
+  case StreamKind::Meta:
+    return "META";
+  case StreamKind::Queue:
+    return "QUEUE";
+  case StreamKind::Signal:
+    return "SIGNAL";
+  case StreamKind::Syscall:
+    return "SYSCALL";
+  case StreamKind::Async:
+    return "ASYNC";
+  }
+  TSR_UNREACHABLE("invalid StreamKind");
+}
+
+size_t Demo::totalSize() const {
+  size_t Total = 0;
+  for (const auto &S : Streams)
+    Total += S.size();
+  return Total;
+}
+
+static bool writeFile(const std::string &Path,
+                      const std::vector<uint8_t> &Bytes, std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = Path + ": " + std::strerror(errno);
+    return false;
+  }
+  bool Ok = true;
+  if (!Bytes.empty())
+    Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Error = Path + ": short write";
+  return Ok;
+}
+
+static bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes,
+                     bool &Missing, std::string &Error) {
+  Missing = false;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (errno == ENOENT) {
+      Missing = true;
+      return true;
+    }
+    Error = Path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::fseek(F, 0, SEEK_END);
+  const long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  Bytes.resize(Size > 0 ? static_cast<size_t>(Size) : 0);
+  bool Ok = true;
+  if (!Bytes.empty())
+    Ok = std::fread(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  std::fclose(F);
+  if (!Ok)
+    Error = Path + ": short read";
+  return Ok;
+}
+
+bool Demo::saveToDirectory(const std::string &Path, std::string &Error) const {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  if (EC) {
+    Error = Path + ": " + EC.message();
+    return false;
+  }
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const std::string File =
+        Path + "/" + streamName(static_cast<StreamKind>(I));
+    if (!writeFile(File, Streams[I], Error))
+      return false;
+  }
+  return true;
+}
+
+bool Demo::loadFromDirectory(const std::string &Path, std::string &Error) {
+  std::error_code EC;
+  if (!std::filesystem::is_directory(Path, EC)) {
+    Error = Path + ": not a directory";
+    return false;
+  }
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const std::string File =
+        Path + "/" + streamName(static_cast<StreamKind>(I));
+    bool Missing = false;
+    if (!readFile(File, Streams[I], Missing, Error))
+      return false;
+    if (Missing)
+      Streams[I].clear();
+  }
+  return true;
+}

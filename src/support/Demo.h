@@ -1,0 +1,97 @@
+//===-- support/Demo.h - Demo files (record/replay logs) -------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demo container. The paper (§4) captures an execution into a "demo"
+/// made of several files, one per source of nondeterminism:
+///
+///   META    — format version, strategy, PRNG seeds, recording policy hash
+///   QUEUE   — the tick-by-tick thread schedule (queue strategy only; §4.2)
+///   SIGNAL  — (tid, tick, signo) records for asynchronous signals (§4.3)
+///   SYSCALL — return value, errno and out-buffers per recorded call (§4.4)
+///   ASYNC   — tick-stamped Reschedule / SignalWakeup events (§4.5)
+///
+/// A Demo holds the five streams in memory and can round-trip through a
+/// directory of files with those exact names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_DEMO_H
+#define TSR_SUPPORT_DEMO_H
+
+#include "support/ByteStream.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tsr {
+
+/// Identifies one of the demo's component streams.
+enum class StreamKind : unsigned {
+  Meta = 0,
+  Queue,
+  Signal,
+  Syscall,
+  Async,
+};
+
+/// Number of StreamKind values.
+inline constexpr unsigned NumStreamKinds = 5;
+
+/// Returns the on-disk file name for \p Kind ("META", "QUEUE", ...).
+const char *streamName(StreamKind Kind);
+
+/// An in-memory demo: five named byte streams plus load/save.
+class Demo {
+public:
+  /// Demo format version; bumped on incompatible stream layout changes.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Mutable access to a stream's bytes (record side).
+  std::vector<uint8_t> &stream(StreamKind Kind) {
+    return Streams[static_cast<unsigned>(Kind)];
+  }
+  const std::vector<uint8_t> &stream(StreamKind Kind) const {
+    return Streams[static_cast<unsigned>(Kind)];
+  }
+
+  /// Replaces a stream's contents (typically from a ByteWriter::take()).
+  void setStream(StreamKind Kind, std::vector<uint8_t> Bytes) {
+    Streams[static_cast<unsigned>(Kind)] = std::move(Bytes);
+  }
+
+  /// Returns a fresh reader over a stream.
+  ByteReader reader(StreamKind Kind) const {
+    return ByteReader(stream(Kind));
+  }
+
+  /// Sum of all stream sizes in bytes — the paper's "demo file size"
+  /// metric (§5.2, §5.4).
+  size_t totalSize() const;
+
+  /// Size of one stream in bytes.
+  size_t streamSize(StreamKind Kind) const { return stream(Kind).size(); }
+
+  /// Writes all streams into directory \p Path (created if missing).
+  /// Returns false and sets \p Error on I/O failure.
+  bool saveToDirectory(const std::string &Path, std::string &Error) const;
+
+  /// Reads all streams from directory \p Path. Missing individual files are
+  /// treated as empty streams (a sparse demo need not contain every file).
+  /// Returns false and sets \p Error if the directory is unreadable.
+  bool loadFromDirectory(const std::string &Path, std::string &Error);
+
+  bool operator==(const Demo &Other) const { return Streams == Other.Streams; }
+
+private:
+  std::array<std::vector<uint8_t>, NumStreamKinds> Streams;
+};
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_DEMO_H

@@ -1,0 +1,183 @@
+//===-- support/DemoInspect.cpp - Demo decoding & inspection ---*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DemoInspect.h"
+
+#include "support/ByteStream.h"
+#include "support/Diag.h"
+#include "support/Rle.h"
+
+using namespace tsr;
+
+DemoInfo tsr::inspectDemo(const Demo &D) {
+  DemoInfo Info;
+
+  // META.
+  {
+    ByteReader R = D.reader(StreamKind::Meta);
+    std::string Magic;
+    uint8_t Strategy = 0, Controlled = 0, Weak = 0;
+    if (R.readString(Magic) && Magic == "tsrdemo" &&
+        R.readVarU64(Info.FormatVersion) && R.readByte(Strategy) &&
+        R.readByte(Controlled) && R.readByte(Weak) &&
+        R.readVarU64(Info.Seed0) && R.readVarU64(Info.Seed1) &&
+        R.readVarU64(Info.PolicyHash)) {
+      Info.MetaValid = true;
+      Info.Strategy = Strategy;
+      Info.Controlled = Controlled != 0;
+      Info.WeakMemory = Weak != 0;
+    } else if (D.streamSize(StreamKind::Meta)) {
+      Info.Problems.push_back("META: not a valid tsr demo header");
+    }
+  }
+
+  // QUEUE.
+  {
+    RleU64Reader R(D.reader(StreamKind::Queue));
+    uint64_t V;
+    while (R.pop(V))
+      Info.Schedule.push_back(V);
+    if (!R.atEnd())
+      Info.Problems.push_back("QUEUE: trailing bytes after last run");
+  }
+
+  // SIGNAL.
+  {
+    ByteReader R = D.reader(StreamKind::Signal);
+    while (!R.atEnd()) {
+      DemoInfo::SignalEntry E;
+      if (!R.readVarU64(E.Tid) || !R.readVarU64(E.Tick) ||
+          !R.readVarU64(E.Signo)) {
+        Info.Problems.push_back("SIGNAL: truncated record");
+        break;
+      }
+      Info.Signals.push_back(E);
+    }
+  }
+
+  // ASYNC.
+  {
+    ByteReader R = D.reader(StreamKind::Async);
+    while (!R.atEnd()) {
+      DemoInfo::AsyncEntry E;
+      if (!R.readVarU64(E.Tick) || !R.readByte(E.Kind) ||
+          !R.readVarU64(E.Tid)) {
+        Info.Problems.push_back("ASYNC: truncated record");
+        break;
+      }
+      Info.Asyncs.push_back(E);
+    }
+  }
+
+  // SYSCALL.
+  {
+    ByteReader R = D.reader(StreamKind::Syscall);
+    while (!R.atEnd()) {
+      DemoInfo::SyscallEntry E;
+      std::vector<uint8_t> Payload;
+      uint64_t Err;
+      if (!R.readVarU64(E.Kind) || !R.readVarI64(E.Ret) ||
+          !R.readVarU64(Err) || !rle::decodeBytes(R, Payload)) {
+        Info.Problems.push_back("SYSCALL: truncated record");
+        break;
+      }
+      E.Err = Err;
+      E.PayloadBytes = Payload.size();
+      Info.Syscalls.push_back(E);
+    }
+  }
+
+  return Info;
+}
+
+namespace {
+
+const char *strategyNameByIndex(unsigned I) {
+  static const char *Names[] = {"random", "queue", "round-robin", "pct",
+                                "delay-bounded"};
+  return I < 5 ? Names[I] : "unknown";
+}
+
+const char *syscallNameByIndex(uint64_t I) {
+  static const char *Names[] = {
+      "read",    "write",  "recv",          "send",   "recvmsg",
+      "sendmsg", "accept", "accept4",       "clock_gettime", "ioctl",
+      "select",  "poll",   "bind",          "socket", "listen",
+      "connect", "open",   "close",         "pipe",   "sleep_ms",
+      "alloc_hint"};
+  return I < sizeof(Names) / sizeof(Names[0]) ? Names[I] : "unknown";
+}
+
+} // namespace
+
+std::string tsr::formatDemoInfo(const DemoInfo &Info,
+                                size_t MaxEntriesPerStream) {
+  std::string Out;
+  if (Info.MetaValid) {
+    Out += formatString(
+        "META: version %llu strategy=%s controlled=%s weak-memory=%s\n"
+        "      seeds=%016llx/%016llx policy=%016llx\n",
+        static_cast<unsigned long long>(Info.FormatVersion),
+        strategyNameByIndex(Info.Strategy),
+        Info.Controlled ? "yes" : "no", Info.WeakMemory ? "yes" : "no",
+        static_cast<unsigned long long>(Info.Seed0),
+        static_cast<unsigned long long>(Info.Seed1),
+        static_cast<unsigned long long>(Info.PolicyHash));
+  } else {
+    Out += "META: absent or invalid\n";
+  }
+
+  Out += formatString("QUEUE: %zu scheduled ticks\n", Info.Schedule.size());
+  if (!Info.Schedule.empty() && MaxEntriesPerStream) {
+    Out += "  schedule (run-length):";
+    size_t Shown = 0;
+    for (size_t I = 0; I < Info.Schedule.size() && Shown < MaxEntriesPerStream;) {
+      size_t Run = 1;
+      while (I + Run < Info.Schedule.size() &&
+             Info.Schedule[I + Run] == Info.Schedule[I])
+        ++Run;
+      Out += formatString(" t%llu x%zu",
+                          static_cast<unsigned long long>(Info.Schedule[I]),
+                          Run);
+      I += Run;
+      ++Shown;
+    }
+    if (Shown == MaxEntriesPerStream)
+      Out += " ...";
+    Out += "\n";
+  }
+
+  Out += formatString("SIGNAL: %zu entries\n", Info.Signals.size());
+  for (size_t I = 0; I < Info.Signals.size() && I < MaxEntriesPerStream; ++I)
+    Out += formatString(
+        "  thread %llu receives signal %llu at tick %llu\n",
+        static_cast<unsigned long long>(Info.Signals[I].Tid),
+        static_cast<unsigned long long>(Info.Signals[I].Signo),
+        static_cast<unsigned long long>(Info.Signals[I].Tick));
+
+  Out += formatString("ASYNC: %zu events\n", Info.Asyncs.size());
+  for (size_t I = 0; I < Info.Asyncs.size() && I < MaxEntriesPerStream; ++I)
+    Out += formatString(
+        "  tick %llu: %s (thread %llu)\n",
+        static_cast<unsigned long long>(Info.Asyncs[I].Tick),
+        Info.Asyncs[I].Kind == 0 ? "reschedule" : "signal-wakeup",
+        static_cast<unsigned long long>(Info.Asyncs[I].Tid));
+
+  Out += formatString("SYSCALL: %zu records\n", Info.Syscalls.size());
+  for (size_t I = 0; I < Info.Syscalls.size() && I < MaxEntriesPerStream;
+       ++I)
+    Out += formatString(
+        "  %s ret=%lld errno=%llu payload=%zuB\n",
+        syscallNameByIndex(Info.Syscalls[I].Kind),
+        static_cast<long long>(Info.Syscalls[I].Ret),
+        static_cast<unsigned long long>(Info.Syscalls[I].Err),
+        Info.Syscalls[I].PayloadBytes);
+
+  for (const std::string &P : Info.Problems)
+    Out += "warning: " + P + "\n";
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===-- support/DemoInspect.h - Demo decoding & inspection -----*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured decoding of a demo's streams, for the tsr-demo-dump tool,
+/// debugging and tests. Decoding is read-only and tolerant: a truncated
+/// stream yields the valid prefix plus an error note, mirroring how the
+/// replayer treats exhausted streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_DEMOINSPECT_H
+#define TSR_SUPPORT_DEMOINSPECT_H
+
+#include "support/Demo.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsr {
+
+/// Everything a demo contains, decoded.
+struct DemoInfo {
+  // META
+  bool MetaValid = false;
+  uint64_t FormatVersion = 0;
+  unsigned Strategy = 0;
+  bool Controlled = false;
+  bool WeakMemory = false;
+  uint64_t Seed0 = 0;
+  uint64_t Seed1 = 0;
+  uint64_t PolicyHash = 0;
+
+  // QUEUE: tid per tick.
+  std::vector<uint64_t> Schedule;
+
+  // SIGNAL
+  struct SignalEntry {
+    uint64_t Tid;
+    uint64_t Tick;
+    uint64_t Signo;
+  };
+  std::vector<SignalEntry> Signals;
+
+  // ASYNC
+  struct AsyncEntry {
+    uint64_t Tick;
+    uint8_t Kind; // 0 = Reschedule, 1 = SignalWakeup
+    uint64_t Tid;
+  };
+  std::vector<AsyncEntry> Asyncs;
+
+  // SYSCALL
+  struct SyscallEntry {
+    uint64_t Kind;
+    int64_t Ret;
+    uint64_t Err;
+    size_t PayloadBytes;
+  };
+  std::vector<SyscallEntry> Syscalls;
+
+  /// Non-fatal decoding problems (truncated streams etc).
+  std::vector<std::string> Problems;
+};
+
+/// Decodes every stream of \p D.
+DemoInfo inspectDemo(const Demo &D);
+
+/// Renders \p Info as a human-readable multi-line report.
+/// \p MaxEntriesPerStream bounds the per-stream detail lines (0 = summary
+/// only).
+std::string formatDemoInfo(const DemoInfo &Info,
+                           size_t MaxEntriesPerStream = 20);
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_DEMOINSPECT_H

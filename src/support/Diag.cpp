@@ -1,0 +1,66 @@
+//===-- support/Diag.cpp - Diagnostics and fatal errors ---------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tsr;
+
+static std::atomic<FatalHandler> CurrentFatalHandler{nullptr};
+static std::atomic<bool> WarningsQuiet{false};
+
+FatalHandler tsr::setFatalHandler(FatalHandler Handler) {
+  return CurrentFatalHandler.exchange(Handler);
+}
+
+std::string tsr::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  const int Size = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Size <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Size), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string tsr::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+void tsr::fatal(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  const std::string Message = formatStringV(Fmt, Args);
+  va_end(Args);
+  if (FatalHandler Handler = CurrentFatalHandler.load())
+    Handler(Message);
+  std::fprintf(stderr, "tsr: fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void tsr::warn(const char *Fmt, ...) {
+  if (WarningsQuiet.load(std::memory_order_relaxed))
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  const std::string Message = formatStringV(Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "tsr: warning: %s\n", Message.c_str());
+}
+
+bool tsr::quietWarnings(bool Quiet) {
+  return WarningsQuiet.exchange(Quiet);
+}

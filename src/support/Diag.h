@@ -1,0 +1,53 @@
+//===-- support/Diag.h - Diagnostics and fatal errors -----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style diagnostics plus a hookable fatal-error handler. Library
+/// code never throws; unrecoverable protocol violations (e.g. an internal
+/// scheduler invariant breaking) go through tsr::fatal, which tests can
+/// intercept.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_DIAG_H
+#define TSR_SUPPORT_DIAG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace tsr {
+
+/// Handler invoked by fatal(); receives the formatted message. The default
+/// handler prints to stderr and aborts. A test-installed handler that
+/// returns transfers control back to fatal(), which then aborts anyway —
+/// fatal errors are not recoverable, only observable.
+using FatalHandler = void (*)(const std::string &Message);
+
+/// Installs \p Handler and returns the previous one.
+FatalHandler setFatalHandler(FatalHandler Handler);
+
+/// Reports an unrecoverable internal error and aborts.
+[[noreturn]] void fatal(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats like printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// vprintf variant of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Emits a one-line warning to stderr (suppressible via quietWarnings).
+void warn(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Globally enables or disables warn() output; returns the previous value.
+/// Benchmarks silence warnings to keep table output clean.
+bool quietWarnings(bool Quiet);
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_DIAG_H

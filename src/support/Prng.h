@@ -1,0 +1,112 @@
+//===-- support/Prng.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (xorshift128+).
+///
+/// The paper seeds its scheduler PRNG with two calls to rdtsc() at record
+/// time and stores the seeds in the demo so replay draws the identical
+/// sequence (§4). We mirror that contract: two 64-bit seeds fully determine
+/// the stream, and freshEntropy() stands in for rdtsc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_PRNG_H
+#define TSR_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+namespace tsr {
+
+/// Deterministic xorshift128+ pseudo-random number generator.
+///
+/// All scheduler-level nondeterminism that is not covered by the QUEUE,
+/// SIGNAL, SYSCALL or ASYNC demo streams is resolved through one of these,
+/// so recording the two seeds suffices to replay every choice.
+class Prng {
+public:
+  /// Constructs a generator from two seed words. Zero seeds are remapped to
+  /// fixed nonzero constants (xorshift state must not be all-zero).
+  explicit Prng(uint64_t Seed0 = 0x9E3779B97F4A7C15ull,
+                uint64_t Seed1 = 0xD1B54A32D192ED03ull) {
+    reseed(Seed0, Seed1);
+  }
+
+  /// Resets the stream to the beginning of the sequence for the given seeds.
+  void reseed(uint64_t Seed0, uint64_t Seed1) {
+    State0 = splitMix(Seed0 ? Seed0 : 0x9E3779B97F4A7C15ull);
+    State1 = splitMix(Seed1 ? Seed1 : 0xD1B54A32D192ED03ull);
+    DrawCount = 0;
+  }
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    uint64_t X = State0;
+    const uint64_t Y = State1;
+    State0 = Y;
+    X ^= X << 23;
+    State1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    ++DrawCount;
+    return State1 + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    const uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      const uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Number of draws made since construction or the last reseed. Used by
+  /// tests to assert that record and replay consume the PRNG identically
+  /// (a divergent draw count is an early desynchronisation signal).
+  uint64_t drawCount() const { return DrawCount; }
+
+  /// Produces a seed pair from wall-clock entropy. Stands in for the
+  /// paper's two rdtsc() calls; the result must be stored in the demo META
+  /// stream when recording.
+  static std::pair<uint64_t, uint64_t> freshEntropy() {
+    const auto Now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto Sys = std::chrono::system_clock::now().time_since_epoch();
+    uint64_t A = static_cast<uint64_t>(Now.count());
+    uint64_t B = static_cast<uint64_t>(Sys.count());
+    return {splitMix(A ^ 0xA5A5A5A5DEADBEEFull), splitMix(B + 0x1234567)};
+  }
+
+private:
+  /// SplitMix64 finalizer; decorrelates weak user seeds.
+  static uint64_t splitMix(uint64_t X) {
+    X += 0x9E3779B97F4A7C15ull;
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State0 = 0;
+  uint64_t State1 = 0;
+  uint64_t DrawCount = 0;
+};
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_PRNG_H

@@ -1,0 +1,73 @@
+//===-- support/Rle.cpp - Run-length encoding -------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rle.h"
+
+using namespace tsr;
+
+void rle::encodeBytes(ByteWriter &W, const std::vector<uint8_t> &Data) {
+  W.writeVarU64(Data.size());
+  size_t I = 0;
+  while (I < Data.size()) {
+    const uint8_t B = Data[I];
+    size_t Run = 1;
+    while (I + Run < Data.size() && Data[I + Run] == B)
+      ++Run;
+    W.writeVarU64(Run);
+    W.writeByte(B);
+    I += Run;
+  }
+}
+
+bool rle::decodeBytes(ByteReader &R, std::vector<uint8_t> &Out) {
+  uint64_t Total;
+  if (!R.readVarU64(Total))
+    return false;
+  Out.clear();
+  Out.reserve(Total);
+  while (Out.size() < Total) {
+    uint64_t Run;
+    uint8_t B;
+    if (!R.readVarU64(Run) || !R.readByte(B))
+      return false;
+    if (Run == 0 || Out.size() + Run > Total)
+      return false;
+    Out.insert(Out.end(), Run, B);
+  }
+  return true;
+}
+
+void rle::encodeU64Seq(ByteWriter &W, const std::vector<uint64_t> &Values) {
+  W.writeVarU64(Values.size());
+  size_t I = 0;
+  while (I < Values.size()) {
+    const uint64_t V = Values[I];
+    size_t Run = 1;
+    while (I + Run < Values.size() && Values[I + Run] == V)
+      ++Run;
+    W.writeVarU64(Run);
+    W.writeVarU64(V);
+    I += Run;
+  }
+}
+
+bool rle::decodeU64Seq(ByteReader &R, std::vector<uint64_t> &Out) {
+  uint64_t Total;
+  if (!R.readVarU64(Total))
+    return false;
+  Out.clear();
+  Out.reserve(Total);
+  while (Out.size() < Total) {
+    uint64_t Run, V;
+    if (!R.readVarU64(Run) || !R.readVarU64(V))
+      return false;
+    if (Run == 0 || Out.size() + Run > Total)
+      return false;
+    Out.insert(Out.end(), Run, V);
+  }
+  return true;
+}

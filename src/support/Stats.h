@@ -1,0 +1,96 @@
+//===-- support/Stats.h - Summary statistics --------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the benchmark harnesses to report the paper's
+/// table metrics: mean, standard deviation, coefficient of variation (the
+/// paper remarks on CV throughout §5) and quantiles (Table 5 reports fps
+/// min/25th/median/75th/max).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_STATS_H
+#define TSR_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tsr {
+
+/// Accumulates samples and exposes the summary statistics the paper's
+/// tables report.
+class SampleStats {
+public:
+  void add(double X) {
+    Samples.push_back(X);
+    Sorted = false;
+  }
+
+  size_t count() const { return Samples.size(); }
+
+  double mean() const {
+    if (Samples.empty())
+      return 0.0;
+    double Sum = 0.0;
+    for (double X : Samples)
+      Sum += X;
+    return Sum / static_cast<double>(Samples.size());
+  }
+
+  /// Sample standard deviation (n-1 denominator), matching how the paper
+  /// reports deviation alongside means.
+  double stddev() const {
+    if (Samples.size() < 2)
+      return 0.0;
+    const double M = mean();
+    double Sum = 0.0;
+    for (double X : Samples)
+      Sum += (X - M) * (X - M);
+    return std::sqrt(Sum / static_cast<double>(Samples.size() - 1));
+  }
+
+  /// Coefficient of variation: stddev / mean (0 when the mean is 0).
+  double cv() const {
+    const double M = mean();
+    return M == 0.0 ? 0.0 : stddev() / M;
+  }
+
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+  double median() const { return quantile(0.5); }
+
+  /// Linear-interpolated quantile, \p Q in [0, 1].
+  double quantile(double Q) const {
+    if (Samples.empty())
+      return 0.0;
+    sortSamples();
+    const double Pos = Q * static_cast<double>(Samples.size() - 1);
+    const size_t Lo = static_cast<size_t>(Pos);
+    const size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+    const double Frac = Pos - static_cast<double>(Lo);
+    return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
+  }
+
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  void sortSamples() const {
+    if (Sorted)
+      return;
+    std::sort(Samples.begin(), Samples.end());
+    Sorted = true;
+  }
+
+  mutable std::vector<double> Samples;
+  mutable bool Sorted = false;
+};
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_STATS_H

@@ -1,0 +1,420 @@
+//===-- tests/AppsTest.cpp - Workload miniature tests --------------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/figures/Figures.h"
+#include "apps/game/Game.h"
+#include "apps/htop/Htop.h"
+#include "apps/httpd/Httpd.h"
+#include "apps/layout/Layout.h"
+#include "apps/litmus/Litmus.h"
+#include "apps/parsec/Kernels.h"
+#include "apps/pbzip/Lz.h"
+#include "apps/pbzip/Pbzip.h"
+#include "runtime/Tsr.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsr;
+
+namespace {
+
+SessionConfig fixedSeeds(SessionConfig C, uint64_t Salt = 0) {
+  C.Seed0 = 101 + Salt;
+  C.Seed1 = 202 + Salt;
+  C.Env.Seed0 = 303 + Salt;
+  C.Env.Seed1 = 404 + Salt;
+  return C;
+}
+
+TEST(Litmus, AllRunToCompletionUnderEveryStrategy) {
+  for (const auto &T : litmus::suite()) {
+    for (StrategyKind K :
+         {StrategyKind::Random, StrategyKind::Queue, StrategyKind::Pct}) {
+      SessionConfig C = fixedSeeds(presets::tsan11rec(K), 7);
+      Session S(C);
+      RunReport R = S.run(T.Body);
+      EXPECT_GE(R.Sched.Ticks, 3u) << T.Name << "/" << strategyName(K);
+    }
+  }
+}
+
+TEST(Litmus, RandomStrategyFindsRacesAcrossSeeds) {
+  // §5.1: controlled random scheduling finds races in most of the suite.
+  // Aggregate across seeds; require at least 5 of 7 benchmarks to race at
+  // least once in 12 seeds.
+  int RacyBenchmarks = 0;
+  for (const auto &T : litmus::suite()) {
+    int Hits = 0;
+    for (uint64_t Seed = 0; Seed != 12; ++Seed) {
+      SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+      C.Seed0 = 1000 + Seed;
+      C.Seed1 = 2000 + Seed * 7;
+      C.Env.Seed0 = 1;
+      C.Env.Seed1 = 2;
+      Session S(C);
+      RunReport R = S.run(T.Body);
+      if (!R.Races.empty())
+        ++Hits;
+    }
+    if (Hits > 0)
+      ++RacyBenchmarks;
+  }
+  EXPECT_GE(RacyBenchmarks, 5);
+}
+
+TEST(Figures, Figure1RaceNeedsWeakMemory) {
+  // Under SC the conditional in T2 can never pass, so the nax race is
+  // unreachable; under C++11 semantics controlled random scheduling finds
+  // it for some seeds (E7).
+  // The weak outcome is rare (~1% of seeds), as in the paper's Table 1
+  // where several benchmarks race on well under 1% of runs; sweep enough
+  // seeds to make the expectation robust.
+  int WeakHits = 0;
+  for (uint64_t Seed = 0; Seed != 220; ++Seed) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+    C.Seed0 = 31 + Seed;
+    C.Seed1 = 57 + Seed * 3;
+    Session S(C);
+    RunReport R = S.run(figures::figure1);
+    for (const RaceReport &Race : R.Races)
+      if (Race.Name == "nax")
+        ++WeakHits;
+  }
+  EXPECT_GT(WeakHits, 0);
+
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+    C.WeakMemory = false; // Sequential consistency.
+    C.Seed0 = 31 + Seed;
+    C.Seed1 = 57 + Seed * 3;
+    Session S(C);
+    RunReport R = S.run(figures::figure1);
+    for (const RaceReport &Race : R.Races)
+      EXPECT_NE(Race.Name, "nax") << "SC must not expose the Figure 1 race";
+  }
+}
+
+TEST(Figures, Figure2ClientRecordReplay) {
+  // E8: record the client against the scripted server, then replay
+  // WITHOUT the server; the replay must process the same payloads.
+  constexpr int N = 12;
+  Demo D;
+  // Record against a genuinely nondeterministic environment (wall-clock
+  // env seeds), as the paper records against a real server.
+  SessionConfig C = fixedSeeds(presets::tsan11rec(
+      StrategyKind::Queue, Mode::Record, RecordPolicy::httpd()));
+  C.Env.Seed0 = 0;
+  C.Env.Seed1 = 0;
+  Session S(C);
+  S.env().addPeer("server", figures::makeFig2Server(N),
+                  figures::Fig2ServerPort);
+  figures::Fig2Result Rec;
+  RunReport Report = S.run([&] { Rec = figures::figure2Client(N); });
+  ASSERT_EQ(Rec.Processed, N);
+  D = Report.RecordedDemo;
+  EXPECT_GT(D.streamSize(StreamKind::Syscall), 0u);
+
+  for (int Rep = 0; Rep != 2; ++Rep) {
+    SessionConfig PC = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                          RecordPolicy::httpd());
+    PC.ReplayDemo = &D;
+    Session P(PC);
+    // No server peer installed: the recorded syscalls supply the data.
+    figures::Fig2Result Rep2;
+    RunReport PR = P.run([&] { Rep2 = figures::figure2Client(N); });
+    EXPECT_EQ(PR.Desync, DesyncKind::None) << PR.DesyncMessage;
+    EXPECT_EQ(Rep2.Processed, Rec.Processed);
+    EXPECT_EQ(Rep2.PayloadHash, Rec.PayloadHash);
+    EXPECT_GT(PR.SyscallsReplayed, 0u);
+  }
+}
+
+TEST(Httpd, ServesAllRequestsAndFindsStatRaces) {
+  httpd::HttpdConfig HC;
+  HC.Workers = 4;
+  HC.TotalRequests = 40;
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue), 3);
+  Session S(C);
+  S.env().addPeer("ab", httpd::makeLoadGen(HC.Port, 8, 5));
+  httpd::HttpdResult R;
+  RunReport Report = S.run([&] { R = httpd::runServer(HC); });
+  EXPECT_EQ(R.Served, 40);
+  // The planted statistics races should be detectable on some schedules;
+  // don't require them on every seed, but the run must be race-checkable.
+  EXPECT_GE(Report.Sched.Ticks, 100u);
+}
+
+TEST(Httpd, RecordReplayReproducesPayloadHash) {
+  httpd::HttpdConfig HC;
+  HC.Workers = 3;
+  HC.TotalRequests = 24;
+  Demo D;
+  httpd::HttpdResult Rec;
+  {
+    SessionConfig C = fixedSeeds(presets::tsan11rec(
+        StrategyKind::Queue, Mode::Record, RecordPolicy::httpd()), 5);
+    Session S(C);
+    S.env().addPeer("ab", httpd::makeLoadGen(HC.Port, 6, 4));
+    RunReport Report = S.run([&] { Rec = httpd::runServer(HC); });
+    ASSERT_EQ(Rec.Served, 24);
+    D = Report.RecordedDemo;
+  }
+  SessionConfig PC = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                        RecordPolicy::httpd());
+  PC.ReplayDemo = &D;
+  Session P(PC);
+  httpd::HttpdResult Rep;
+  RunReport PR = P.run([&] { Rep = httpd::runServer(HC); });
+  EXPECT_EQ(PR.Desync, DesyncKind::None) << PR.DesyncMessage;
+  EXPECT_EQ(Rep.Served, Rec.Served);
+  EXPECT_EQ(Rep.PayloadHash, Rec.PayloadHash);
+}
+
+TEST(Parsec, KernelChecksumsAreConfigurationInvariant) {
+  // The tool configuration must never change a kernel's numeric output.
+  for (const auto &K : parsec::kernels()) {
+    parsec::KernelConfig KC;
+    KC.Threads = 3;
+    KC.Size = 32;
+    uint64_t Baseline = 0;
+    bool First = true;
+    for (int Mode = 0; Mode != 3; ++Mode) {
+      SessionConfig C =
+          Mode == 0   ? presets::native()
+          : Mode == 1 ? presets::tsan11()
+                      : presets::tsan11rec(StrategyKind::Queue);
+      C = fixedSeeds(C, 11);
+      Session S(C);
+      parsec::KernelResult R;
+      S.run([&] { R = K.Run(KC); });
+      if (First) {
+        Baseline = R.Checksum;
+        First = false;
+      } else {
+        EXPECT_EQ(R.Checksum, Baseline) << K.Name;
+      }
+    }
+  }
+}
+
+TEST(Pbzip, CompressionRoundTrips) {
+  pbzip::PbzipConfig PC;
+  PC.Threads = 3;
+  PC.BlockSize = 512;
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue), 9);
+  Session S(C);
+  // A compressible input: repeated phrases with a counter.
+  std::vector<uint8_t> Input;
+  for (int I = 0; I != 200; ++I) {
+    const std::string Chunk =
+        "the quick brown fox " + std::to_string(I % 17) + " ";
+    Input.insert(Input.end(), Chunk.begin(), Chunk.end());
+  }
+  S.env().putFile(PC.InputPath, Input);
+  pbzip::PbzipResult R;
+  bool RoundTrip = false;
+  S.run([&] {
+    R = pbzip::compressFile(PC);
+    RoundTrip = pbzip::decompressFile(PC.OutputPath, "/data/roundtrip");
+  });
+  EXPECT_EQ(R.BytesIn, Input.size());
+  EXPECT_GT(R.Blocks, 1);
+  EXPECT_LT(R.BytesOut, R.BytesIn); // it actually compresses
+  ASSERT_TRUE(RoundTrip);
+  EXPECT_EQ(S.env().fileContents("/data/roundtrip"), Input);
+}
+
+TEST(Game, SinglePlayerLogicHashIgnoresIoctlJitter) {
+  // Two runs with different env seeds (different ioctl jitter) but the
+  // same schedule seeds must produce the same logic hash — the property
+  // that justifies sparsely ignoring ioctl (§5.4).
+  game::GameConfig GC;
+  GC.Frames = 30;
+  GC.Multiplayer = false;
+  uint64_t H1, H2;
+  {
+    SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue), 1);
+    Session S(C);
+    game::GameResult R;
+    S.run([&] { R = game::runGame(GC); });
+    H1 = R.LogicHash;
+    EXPECT_EQ(R.FramesRendered, 30);
+  }
+  {
+    SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue), 1);
+    C.Env.Seed0 = 999; // different world jitter
+    C.Env.Seed1 = 888;
+    Session S(C);
+    game::GameResult R;
+    S.run([&] { R = game::runGame(GC); });
+    H2 = R.LogicHash;
+  }
+  EXPECT_EQ(H1, H2);
+}
+
+TEST(Game, MultiplayerBugRecordReplay) {
+  // E5: find an env seed where the map-change bug manifests, record that
+  // run, replay it without the server — the bug must reappear.
+  game::GameConfig GC;
+  GC.Frames = 80;
+  GC.FpsCap = 0;
+  GC.Multiplayer = true;
+  GC.Audio = false;
+
+  Demo D;
+  game::GameResult Rec;
+  bool Found = false;
+  for (uint64_t EnvSeed = 1; EnvSeed != 30 && !Found; ++EnvSeed) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         RecordPolicy::game());
+    C.Seed0 = 5;
+    C.Seed1 = 6;
+    C.Env.Seed0 = EnvSeed;
+    C.Env.Seed1 = EnvSeed * 31;
+    Session S(C);
+    S.env().addPeer("zandronum-server", game::makeGameServer(true),
+                    game::GameServerPort);
+    game::GameResult R;
+    RunReport Report = S.run([&] { R = game::runGame(GC); });
+    if (R.BugObserved) {
+      Found = true;
+      Rec = R;
+      D = Report.RecordedDemo;
+    }
+  }
+  ASSERT_TRUE(Found) << "bug never manifested across 30 environment seeds";
+
+  SessionConfig PC = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                        RecordPolicy::game());
+  PC.ReplayDemo = &D;
+  Session P(PC);
+  // The display/audio devices still exist (ioctl re-issues natively), but
+  // no game server: network input comes from the demo.
+  game::GameResult Rep;
+  RunReport PR = P.run([&] { Rep = game::runGame(GC); });
+  EXPECT_EQ(PR.Desync, DesyncKind::None) << PR.DesyncMessage;
+  EXPECT_TRUE(Rep.BugObserved);
+  EXPECT_EQ(Rep.LogicHash, Rec.LogicHash);
+  EXPECT_EQ(Rep.FinalMap, Rec.FinalMap);
+}
+
+TEST(Htop, ProcSamplingNeedsFileIoRecording) {
+  // §4.4's htop discussion: /proc content is external nondeterminism.
+  // Under the stock sparse policy (file reads unrecorded) the replay
+  // regenerates different /proc snapshots and soft-diverges; with the
+  // per-application policy that records file I/O, replay is faithful.
+  auto RunOnce = [](Mode M, const RecordPolicy &Policy, const Demo *In,
+                    Demo *Out, htop::HtopResult *R) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, M, Policy);
+    C.Seed0 = 61;
+    C.Seed1 = 62;
+    C.Env.Seed0 = 0; // fresh world entropy every session
+    C.Env.Seed1 = 0;
+    C.ReplayDemo = In;
+    Session S(C);
+    htop::installProcFs(S.env());
+    RunReport Report = S.run([&] { *R = htop::runSampler(5); });
+    if (Out)
+      *Out = Report.RecordedDemo;
+    return Report.Desync;
+  };
+
+  // Stock sparse policy: soft divergence (stats hash changes).
+  {
+    Demo D;
+    htop::HtopResult Rec, Rep;
+    RunOnce(Mode::Record, RecordPolicy::httpd(), nullptr, &D, &Rec);
+    const DesyncKind Desync =
+        RunOnce(Mode::Replay, RecordPolicy::httpd(), &D, nullptr, &Rep);
+    EXPECT_EQ(Rep.Samples, Rec.Samples);
+    EXPECT_TRUE(Desync == DesyncKind::Hard ||
+                Rep.StatsHash != Rec.StatsHash);
+  }
+  // htop policy: faithful.
+  {
+    Demo D;
+    htop::HtopResult Rec, Rep;
+    RunOnce(Mode::Record, htop::htopPolicy(), nullptr, &D, &Rec);
+    const DesyncKind Desync =
+        RunOnce(Mode::Replay, htop::htopPolicy(), &D, nullptr, &Rep);
+    EXPECT_EQ(Desync, DesyncKind::None);
+    EXPECT_EQ(Rep.StatsHash, Rec.StatsHash);
+    EXPECT_EQ(Rep.AvgCpuPercent, Rec.AvgCpuPercent);
+    EXPECT_GT(D.streamSize(StreamKind::Syscall), 100u);
+  }
+}
+
+TEST(Htop, DynamicFilesJitterPerOpen) {
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue);
+  C.Seed0 = 63;
+  C.Seed1 = 64;
+  C.Env.Seed0 = 0;
+  C.Env.Seed1 = 0;
+  Session S(C);
+  htop::installProcFs(S.env());
+  uint64_t H1 = 0, H2 = 0;
+  S.run([&] {
+    htop::HtopResult A = htop::runSampler(1);
+    htop::HtopResult B = htop::runSampler(1);
+    H1 = A.StatsHash;
+    H2 = B.StatsHash;
+  });
+  EXPECT_NE(H1, H2); // successive samples observe fresh content
+}
+
+TEST(Layout, SparseReplayDesyncsFullPolicyDoesNot) {
+  // E9 (§5.5): layout-dependent control flow desynchronises sparse
+  // replay; the full rr-like policy records the layout hints and stays
+  // synchronised.
+  auto Record = [&](RecordPolicy Policy, Demo &D, uint64_t &Hash) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         Policy);
+    C.Seed0 = 7;
+    C.Seed1 = 8;
+    C.Env.Seed0 = 0; // fresh entropy: layout differs between sessions
+    C.Env.Seed1 = 0;
+    Session S(C);
+    layout::LayoutResult R;
+    RunReport Report = S.run([&] { R = layout::run(64); });
+    D = Report.RecordedDemo;
+    Hash = R.OrderHash;
+  };
+  auto Replay = [&](RecordPolicy Policy, const Demo &D, uint64_t &Hash) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                         Policy);
+    C.ReplayDemo = &D;
+    C.Env.Seed0 = 0;
+    C.Env.Seed1 = 0;
+    Session S(C);
+    layout::LayoutResult R;
+    RunReport Report = S.run([&] { R = layout::run(64); });
+    Hash = R.OrderHash;
+    return Report.Desync;
+  };
+
+  // Sparse policy (httpd preset: clock recorded, alloc hints not).
+  {
+    Demo D;
+    uint64_t RecHash = 0, RepHash = 0;
+    Record(RecordPolicy::httpd(), D, RecHash);
+    const DesyncKind Desync = Replay(RecordPolicy::httpd(), D, RepHash);
+    // Layout differs almost surely; either the clock-call pattern
+    // diverged (hard desync) or at minimum the order hash changed.
+    EXPECT_TRUE(Desync == DesyncKind::Hard || RepHash != RecHash);
+  }
+  // Full policy: everything recorded; replay is faithful.
+  {
+    Demo D;
+    uint64_t RecHash = 0, RepHash = 0;
+    Record(RecordPolicy::full(), D, RecHash);
+    const DesyncKind Desync = Replay(RecordPolicy::full(), D, RepHash);
+    EXPECT_EQ(Desync, DesyncKind::None);
+    EXPECT_EQ(RepHash, RecHash);
+  }
+}
+
+} // namespace

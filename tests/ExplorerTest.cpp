@@ -1,0 +1,185 @@
+//===-- tests/ExplorerTest.cpp - Exploration driver & delay bounding -----===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/litmus/Litmus.h"
+#include "runtime/Tsr.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsr;
+
+namespace {
+
+ExploreOptions baseOptions(StrategyKind K, int Runs, uint64_t SeedBase) {
+  ExploreOptions O;
+  O.Base = presets::tsan11rec(K);
+  O.Base.Env.Seed0 = 5;
+  O.Base.Env.Seed1 = 6;
+  O.Base.LivenessIntervalMs = 0;
+  O.Runs = Runs;
+  O.SeedBase = SeedBase;
+  return O;
+}
+
+/// A closed racy scenario with a schedule-dependent outcome.
+uint64_t racyBody() {
+  Atomic<int> Winner(0);
+  Var<int> Unprotected(0, "explored.counter");
+  Thread A = Thread::spawn([&] {
+    int Expected = 0;
+    Winner.compareExchange(Expected, 1);
+    Unprotected.set(Unprotected.get() + 1);
+  });
+  Thread B = Thread::spawn([&] {
+    int Expected = 0;
+    Winner.compareExchange(Expected, 2);
+    Unprotected.set(Unprotected.get() + 1);
+  });
+  A.join();
+  B.join();
+  return static_cast<uint64_t>(Winner.load());
+}
+
+TEST(Explorer, FindsMultipleOutcomesAndRaces) {
+  const ExploreResult R =
+      explore(baseOptions(StrategyKind::Random, 40, 11), racyBody);
+  EXPECT_EQ(R.Runs, 40);
+  // Both CAS winners appear across schedules.
+  EXPECT_EQ(R.Outcomes.size(), 2u);
+  EXPECT_TRUE(R.Outcomes.count(1));
+  EXPECT_TRUE(R.Outcomes.count(2));
+  // The unprotected counter races on at least some schedules, and the
+  // reports deduplicate to one named location (read/write + write/write
+  // kinds may both appear).
+  EXPECT_GT(R.RacyRuns, 0);
+  EXPECT_EQ(R.RacySeeds.size(), static_cast<size_t>(R.RacyRuns));
+  ASSERT_FALSE(R.UniqueRaces.empty());
+  EXPECT_LE(R.UniqueRaces.size(), 3u);
+  for (const RaceReport &Race : R.UniqueRaces)
+    EXPECT_EQ(Race.Name, "explored.counter");
+}
+
+TEST(Explorer, SweepIsReproducible) {
+  const ExploreResult A =
+      explore(baseOptions(StrategyKind::Random, 20, 7), racyBody);
+  const ExploreResult B =
+      explore(baseOptions(StrategyKind::Random, 20, 7), racyBody);
+  EXPECT_EQ(A.Outcomes, B.Outcomes);
+  EXPECT_EQ(A.RacyRuns, B.RacyRuns);
+  EXPECT_EQ(A.RacySeeds, B.RacySeeds);
+}
+
+TEST(Explorer, RacySeedsReproduceTheRace) {
+  const ExploreResult R =
+      explore(baseOptions(StrategyKind::Random, 40, 13), racyBody);
+  ASSERT_FALSE(R.RacySeeds.empty());
+  // Re-run one racy seed directly: the race must reappear.
+  SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+  C.Seed0 = R.RacySeeds[0].first;
+  C.Seed1 = R.RacySeeds[0].second;
+  C.Env.Seed0 = 5;
+  C.Env.Seed1 = 6;
+  C.LivenessIntervalMs = 0;
+  Session S(C);
+  RunReport Report = S.run([] { (void)racyBody(); });
+  EXPECT_FALSE(Report.Races.empty());
+}
+
+TEST(Explorer, CapturesAReplayableDemoOfTheFirstRacyRun) {
+  ExploreOptions O = baseOptions(StrategyKind::Random, 40, 17);
+  O.CaptureFirstRacyDemo = true;
+  O.CapturePolicy = RecordPolicy::httpd();
+  const ExploreResult R = explore(O, racyBody);
+  ASSERT_GT(R.RacyRuns, 0);
+  ASSERT_TRUE(R.FirstRacyDemo.has_value());
+  // Replaying the captured demo reproduces a racy execution.
+  SessionConfig C = presets::tsan11rec(StrategyKind::Random, Mode::Replay,
+                                       RecordPolicy::httpd());
+  C.ReplayDemo = &*R.FirstRacyDemo;
+  C.Env.Seed0 = 5;
+  C.Env.Seed1 = 6;
+  Session S(C);
+  RunReport Report = S.run([] { (void)racyBody(); });
+  EXPECT_EQ(Report.Desync, DesyncKind::None) << Report.DesyncMessage;
+  EXPECT_FALSE(Report.Races.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Delay-bounded strategy
+//===----------------------------------------------------------------------===//
+
+TEST(DelayBounded, ZeroBudgetIsNonPreemptive) {
+  // With no delays, threads run to their blocking points in round-robin
+  // order: the interleaving-dependent outcome is fixed across seeds.
+  std::set<uint64_t> Outcomes;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::DelayBounded);
+    C.Params.DelayBudget = 0;
+    C.Seed0 = Seed;
+    C.Seed1 = Seed * 3;
+    C.Env.Seed0 = 1;
+    C.Env.Seed1 = 2;
+    C.LivenessIntervalMs = 0;
+    Session S(C);
+    uint64_t Out = 0;
+    S.run([&] { Out = racyBody(); });
+    Outcomes.insert(Out);
+  }
+  EXPECT_EQ(Outcomes.size(), 1u);
+}
+
+TEST(DelayBounded, BudgetEnablesPreemptions) {
+  // With a few delays per run, different seeds place them differently
+  // and both outcomes appear.
+  ExploreOptions O = baseOptions(StrategyKind::DelayBounded, 60, 3);
+  O.Base.Params.DelayBudget = 4;
+  O.Base.Params.DelayProb = 0.3;
+  const ExploreResult R = explore(O, racyBody);
+  EXPECT_EQ(R.Outcomes.size(), 2u);
+}
+
+TEST(DelayBounded, RunsTheWholeLitmusSuite) {
+  for (const auto &Test : litmus::suite()) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::DelayBounded);
+    C.Seed0 = 21;
+    C.Seed1 = 22;
+    C.Env.Seed0 = 23;
+    C.Env.Seed1 = 24;
+    C.LivenessIntervalMs = 0;
+    // Spin-heavy benchmarks rely on the fairness bound to terminate.
+    C.Params.DelayBoundedForcedSwitch = 64;
+    Session S(C);
+    RunReport R = S.run(Test.Body);
+    EXPECT_GE(R.Sched.Ticks, 3u) << Test.Name;
+  }
+}
+
+TEST(DelayBounded, RecordReplayWorks) {
+  SessionConfig RC = presets::tsan11rec(StrategyKind::DelayBounded,
+                                        Mode::Record, RecordPolicy::httpd());
+  RC.Seed0 = 31;
+  RC.Seed1 = 32;
+  RC.Env.Seed0 = 33;
+  RC.Env.Seed1 = 34;
+  Demo D;
+  uint64_t Recorded = 0;
+  {
+    Session S(RC);
+    RunReport R = S.run([&] { Recorded = racyBody(); });
+    D = R.RecordedDemo;
+  }
+  SessionConfig PC = presets::tsan11rec(StrategyKind::DelayBounded,
+                                        Mode::Replay, RecordPolicy::httpd());
+  PC.ReplayDemo = &D;
+  Session S(PC);
+  uint64_t Replayed = 0;
+  RunReport R = S.run([&] { Replayed = racyBody(); });
+  EXPECT_EQ(R.Desync, DesyncKind::None) << R.DesyncMessage;
+  EXPECT_EQ(Replayed, Recorded);
+}
+
+} // namespace

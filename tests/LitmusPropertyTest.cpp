@@ -1,0 +1,127 @@
+//===-- tests/LitmusPropertyTest.cpp - Litmus suite properties -----------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Property sweep over the CDSchecker benchmarks (TEST_P across benchmark ×
+// strategy): every combination terminates without deadlock, its recorded
+// execution replays without desync, and the sequentially-consistent model
+// is a refinement (no weak-only races appear under SC that were absent
+// under C++11 semantics... and vice versa: SC must never observe a stale
+// atomic read).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/litmus/Litmus.h"
+#include "runtime/Tsr.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsr;
+
+namespace {
+
+struct LitmusCase {
+  size_t TestIndex;
+  StrategyKind Strategy;
+};
+
+class LitmusProperty : public ::testing::TestWithParam<LitmusCase> {
+protected:
+  const litmus::LitmusTest &test() const {
+    return litmus::suite()[GetParam().TestIndex];
+  }
+};
+
+TEST_P(LitmusProperty, TerminatesUnderManySeeds) {
+  for (uint64_t Seed = 0; Seed != 8; ++Seed) {
+    SessionConfig C = presets::tsan11rec(GetParam().Strategy);
+    C.Seed0 = 0xAA00 + Seed * 7;
+    C.Seed1 = 0xBB00 + Seed * 11;
+    C.Env.Seed0 = 1;
+    C.Env.Seed1 = 2;
+    C.LivenessIntervalMs = 0;
+    Session S(C);
+    RunReport R = S.run(test().Body);
+    ASSERT_GE(R.Sched.Ticks, 3u);
+    ASSERT_EQ(R.Desync, DesyncKind::None);
+  }
+}
+
+TEST_P(LitmusProperty, RecordedRunReplaysCleanly) {
+  SessionConfig RC = presets::tsan11rec(GetParam().Strategy, Mode::Record,
+                                        RecordPolicy::httpd());
+  RC.Seed0 = 0xCC01;
+  RC.Seed1 = 0xDD02;
+  RC.Env.Seed0 = 3;
+  RC.Env.Seed1 = 4;
+  RC.LivenessIntervalMs = 0;
+  Demo D;
+  size_t RecordedRaces = 0;
+  uint64_t RecordedTicks = 0;
+  {
+    Session S(RC);
+    RunReport R = S.run(test().Body);
+    D = R.RecordedDemo;
+    RecordedRaces = R.Races.size();
+    RecordedTicks = R.Sched.Ticks;
+  }
+  SessionConfig PC = presets::tsan11rec(GetParam().Strategy, Mode::Replay,
+                                        RecordPolicy::httpd());
+  PC.ReplayDemo = &D;
+  PC.LivenessIntervalMs = 0;
+  Session S(PC);
+  RunReport R = S.run(test().Body);
+  EXPECT_EQ(R.Desync, DesyncKind::None) << R.DesyncMessage;
+  // Race detection is itself deterministic given the schedule and the
+  // weak-memory choices, both of which the demo pins down.
+  EXPECT_EQ(R.Races.size(), RecordedRaces);
+  EXPECT_EQ(R.Sched.Ticks, RecordedTicks);
+}
+
+TEST_P(LitmusProperty, SequentialConsistencyNeverReadsStale) {
+  SessionConfig C = presets::tsan11rec(GetParam().Strategy);
+  C.WeakMemory = false;
+  C.Seed0 = 0xEE05;
+  C.Seed1 = 0xFF06;
+  C.Env.Seed0 = 5;
+  C.Env.Seed1 = 6;
+  C.LivenessIntervalMs = 0;
+  Session S(C);
+  RunReport R = S.run(test().Body);
+  EXPECT_EQ(R.Atomics.StaleReads, 0u);
+}
+
+std::vector<LitmusCase> litmusCases() {
+  std::vector<LitmusCase> Cases;
+  for (size_t I = 0; I != litmus::suite().size(); ++I)
+    for (StrategyKind K : {StrategyKind::Random, StrategyKind::Queue,
+                           StrategyKind::RoundRobin, StrategyKind::Pct})
+      Cases.push_back({I, K});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, LitmusProperty, ::testing::ValuesIn(litmusCases()),
+    [](const ::testing::TestParamInfo<LitmusCase> &Info) {
+      std::string Name = litmus::suite()[Info.param.TestIndex].Name + "_" +
+                         strategyName(Info.param.Strategy);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(LitmusSuite, HasThePaperSevenBenchmarks) {
+  const auto &Suite = litmus::suite();
+  ASSERT_EQ(Suite.size(), 7u);
+  EXPECT_EQ(Suite[0].Name, "barrier");
+  EXPECT_EQ(Suite[1].Name, "chase-lev-deque");
+  EXPECT_EQ(Suite[2].Name, "dekker-fences");
+  EXPECT_EQ(Suite[3].Name, "linuxrwlocks");
+  EXPECT_EQ(Suite[4].Name, "mcs-lock");
+  EXPECT_EQ(Suite[5].Name, "mpmc-queue");
+  EXPECT_EQ(Suite[6].Name, "ms-queue");
+}
+
+} // namespace

@@ -1,0 +1,550 @@
+//===-- tests/RaceTest.cpp - Race detector & atomic model unit tests -----===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// These tests drive RaceDetector and AtomicModel directly — no sessions,
+// no OS threads. Thread ids are simulated and the atomic model's
+// nondeterministic store choice is scripted, so every weak-memory corner
+// is reached deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/AtomicModel.h"
+#include "race/RaceDetector.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+using namespace tsr;
+
+namespace {
+
+constexpr auto Relaxed = std::memory_order_relaxed;
+constexpr auto Acquire = std::memory_order_acquire;
+constexpr auto Release = std::memory_order_release;
+constexpr auto AcqRel = std::memory_order_acq_rel;
+constexpr auto SeqCst = std::memory_order_seq_cst;
+
+/// Fixture with a detector and helpers to fork simulated threads.
+class RaceDetectorTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    RD.registerMainThread();
+    RD.forkChild(0, 1);
+    RD.forkChild(0, 2);
+  }
+
+  /// Distinct fake addresses, 8-byte spaced (separate granules).
+  uintptr_t addr(int I) const { return 0x1000 + 64 * I; }
+
+  RaceDetector RD;
+};
+
+//===----------------------------------------------------------------------===//
+// Plain-access race matrix
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaceDetectorTest, WriteWriteRace) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  ASSERT_EQ(RD.reportCount(), 1u);
+  const RaceReport R = RD.reports()[0];
+  EXPECT_EQ(R.Prior, AccessKind::PlainWrite);
+  EXPECT_EQ(R.Current, AccessKind::PlainWrite);
+  EXPECT_EQ(R.PriorTid, 1u);
+  EXPECT_EQ(R.CurrentTid, 2u);
+}
+
+TEST_F(RaceDetectorTest, WriteReadRace) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ReadWriteRace) {
+  RD.onPlainRead(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ReadReadIsNotARace) {
+  RD.onPlainRead(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4);
+  RD.onPlainRead(0, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, SameThreadNeverRaces) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainRead(1, addr(0), 4);
+  RD.onPlainWrite(1, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, DisjointBytesInOneGranuleDoNotRace) {
+  // Two adjacent 4-byte fields sharing an 8-byte granule.
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0) + 4, 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, OverlappingBytesRace) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0) + 2, 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, AccessSpanningGranulesChecksBoth) {
+  RD.onPlainWrite(1, addr(0) + 6, 4); // spans two granules
+  RD.onPlainRead(2, addr(0) + 8, 2);  // overlaps the second half
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Happens-before suppression
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaceDetectorTest, ReleaseAcquireOrdersAccesses) {
+  VectorClock Lock;
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.releaseJoin(1, Lock); // unlock by thread 1
+  RD.acquire(2, Lock);     // lock by thread 2
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, ReleaseWithoutAcquireDoesNotOrder) {
+  VectorClock Lock;
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.releaseJoin(1, Lock);
+  RD.onPlainWrite(2, addr(0), 4); // never acquired
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ForkOrdersParentBeforeChild) {
+  RD.onPlainWrite(0, addr(0), 4); // parent writes before fork
+  RD.forkChild(0, 3);
+  RD.onPlainRead(3, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, ForkDoesNotOrderParentWritesAfterFork) {
+  RD.forkChild(0, 3);
+  RD.onPlainWrite(0, addr(0), 4); // parent writes after fork
+  RD.onPlainRead(3, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, JoinOrdersChildBeforeParent) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.joinChild(0, 1);
+  RD.onPlainWrite(0, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, EpochTickSeparatesEvents) {
+  // Release into a lock, then write again: the second write is NOT
+  // covered by the released clock.
+  VectorClock Lock;
+  RD.releaseJoin(1, Lock);
+  RD.onPlainWrite(1, addr(0), 4); // after the release
+  RD.acquire(2, Lock);
+  RD.onPlainRead(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-read inflation (FastTrack adaptive representation)
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaceDetectorTest, WriteAfterConcurrentReadsRacesWithBoth) {
+  RD.onPlainRead(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4); // inflates to shared read clock
+  RD.onPlainWrite(0, addr(0), 4);
+  // One deduplicated report (read/write on this granule).
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, SharedReadsAllCoveredDoNotRace) {
+  VectorClock L1, L2;
+  RD.onPlainRead(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4);
+  RD.releaseJoin(1, L1);
+  RD.releaseJoin(2, L2);
+  RD.acquire(0, L1);
+  RD.acquire(0, L2);
+  RD.onPlainWrite(0, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, WriteResetsReadState) {
+  VectorClock Lock;
+  RD.onPlainRead(1, addr(0), 4);
+  RD.releaseJoin(1, Lock);
+  RD.acquire(2, Lock);
+  RD.onPlainWrite(2, addr(0), 4); // covers the read, resets state
+  RD.releaseJoin(2, Lock);
+  RD.acquire(0, Lock);
+  RD.onPlainWrite(0, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic vs plain conflicts
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaceDetectorTest, AtomicOpsNeverRaceWithEachOther) {
+  RD.onAtomicWrite(1, addr(0), 4);
+  RD.onAtomicWrite(2, addr(0), 4);
+  RD.onAtomicRead(0, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, PlainWriteRacesWithAtomicWrite) {
+  RD.onAtomicWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, PlainWriteRacesWithAtomicRead) {
+  RD.onAtomicRead(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, PlainReadRacesWithAtomicWrite) {
+  RD.onAtomicWrite(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, PlainReadDoesNotRaceWithAtomicRead) {
+  RD.onAtomicRead(1, addr(0), 4);
+  RD.onPlainRead(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Names, forgetting, dedup, enable switch
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaceDetectorTest, ReportsCarryRegisteredNames) {
+  RD.registerName(addr(0), 8, "flag");
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  ASSERT_EQ(RD.reportCount(), 1u);
+  EXPECT_EQ(RD.reports()[0].Name, "flag");
+  EXPECT_EQ(RD.reports()[0].str().find("data race on 'flag'"), 0u);
+}
+
+TEST_F(RaceDetectorTest, NameLookupRespectsRangeEnd) {
+  RD.registerName(addr(0), 4, "small");
+  RD.onPlainWrite(1, addr(0) + 4, 4); // next to, not inside, the range
+  RD.onPlainWrite(2, addr(0) + 4, 4);
+  ASSERT_EQ(RD.reportCount(), 1u);
+  EXPECT_TRUE(RD.reports()[0].Name.empty());
+}
+
+TEST_F(RaceDetectorTest, DuplicateRacesAreDeduplicated) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(RaceDetectorTest, ForgetRangeClearsHistory) {
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.forgetRange(addr(0), 4); // storage reused by a fresh object
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(RaceDetectorTest, DisabledDetectorReportsNothing) {
+  RD.setEnabled(false);
+  RD.onPlainWrite(1, addr(0), 4);
+  RD.onPlainWrite(2, addr(0), 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// AtomicModel: scripted-choice fixture
+//===----------------------------------------------------------------------===//
+
+/// Atomic model driven by a queue of scripted choices; an empty queue
+/// means "newest store" (choice = window size - 1).
+class AtomicModelTest : public ::testing::Test {
+protected:
+  AtomicModelTest()
+      : Model(RD,
+              [this](uint64_t Bound) {
+                if (Script.empty())
+                  return Bound - 1; // read the newest store
+                const uint64_t C = Script.front();
+                Script.pop_front();
+                EXPECT_LT(C, Bound) << "scripted choice out of range";
+                return C < Bound ? C : Bound - 1;
+              },
+              AtomicModelOptions()) {
+    RD.registerMainThread();
+    RD.forkChild(0, 1);
+    RD.forkChild(0, 2);
+  }
+
+  static constexpr uintptr_t X = 0x2000;
+  static constexpr uintptr_t Y = 0x2040;
+
+  RaceDetector RD;
+  std::deque<uint64_t> Script;
+  AtomicModel Model;
+};
+
+TEST_F(AtomicModelTest, LoadReadsInitialValue) {
+  Model.init(X, 41);
+  EXPECT_EQ(Model.load(0, X, SeqCst, 4), 41u);
+}
+
+TEST_F(AtomicModelTest, UninitialisedLocationReadsZero) {
+  EXPECT_EQ(Model.load(0, X, Relaxed, 4), 0u);
+}
+
+TEST_F(AtomicModelTest, RelaxedLoadMayReadStaleStore) {
+  Model.init(X, 0);
+  Model.store(1, X, 10, Relaxed, 4);
+  Model.store(1, X, 20, Relaxed, 4);
+  // Thread 2 has no happens-before edge: window is {0, 10, 20}.
+  Script = {0};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 0u);
+  EXPECT_GE(Model.statsSnapshot().StaleReads, 1u);
+}
+
+TEST_F(AtomicModelTest, ReadCoherencePerThread) {
+  Model.init(X, 0);
+  Model.store(1, X, 10, Relaxed, 4);
+  Model.store(1, X, 20, Relaxed, 4);
+  Script = {1}; // read 10 (index 1 of {0,10,20})
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 10u);
+  // Having read 10, thread 2 may never read 0 again: window is {10,20}.
+  Script = {0};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 10u);
+}
+
+TEST_F(AtomicModelTest, HappensBeforeHidesOldStores) {
+  Model.init(X, 0);
+  Model.store(1, X, 10, Release, 4);
+  // Thread 2 acquires the store of 10 via Y's release/acquire chain...
+  Model.store(1, Y, 1, Release, 4);
+  Script = {};
+  EXPECT_EQ(Model.load(2, Y, Acquire, 4), 1u);
+  // ...so the initial 0 of X is hidden: the only readable store is 10,
+  // whatever the choice script says.
+  Script = {0};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 10u);
+}
+
+TEST_F(AtomicModelTest, AcquireLoadSynchronises) {
+  RD.onPlainWrite(1, 0x3000, 4);        // data write
+  Model.store(1, X, 1, Release, 4);     // publish
+  Script = {};
+  EXPECT_EQ(Model.load(2, X, Acquire, 4), 1u);
+  RD.onPlainRead(2, 0x3000, 4); // ordered: no race
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(AtomicModelTest, RelaxedLoadDoesNotSynchronise) {
+  RD.onPlainWrite(1, 0x3000, 4);
+  Model.store(1, X, 1, Release, 4);
+  Script = {};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 1u);
+  RD.onPlainRead(2, 0x3000, 4); // unordered: race
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(AtomicModelTest, AcquireFenceCollectsDeferredSynchronisation) {
+  RD.onPlainWrite(1, 0x3000, 4);
+  Model.store(1, X, 1, Release, 4);
+  Script = {};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 1u);
+  Model.fence(2, Acquire); // fence upgrades the earlier relaxed load
+  RD.onPlainRead(2, 0x3000, 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(AtomicModelTest, ReleaseFencePublishesLaterRelaxedStore) {
+  RD.onPlainWrite(1, 0x3000, 4);
+  Model.fence(1, Release);
+  Model.store(1, X, 1, Relaxed, 4); // relaxed store after release fence
+  Script = {};
+  EXPECT_EQ(Model.load(2, X, Acquire, 4), 1u);
+  RD.onPlainRead(2, 0x3000, 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(AtomicModelTest, ReleaseFenceDoesNotCoverLaterWrites) {
+  Model.fence(1, Release);
+  RD.onPlainWrite(1, 0x3000, 4); // AFTER the fence: not published
+  Model.store(1, X, 1, Relaxed, 4);
+  Script = {};
+  EXPECT_EQ(Model.load(2, X, Acquire, 4), 1u);
+  RD.onPlainRead(2, 0x3000, 4);
+  EXPECT_EQ(RD.reportCount(), 1u);
+}
+
+TEST_F(AtomicModelTest, RmwReadsNewestStore) {
+  Model.init(X, 5);
+  Model.store(1, X, 7, Relaxed, 4);
+  // Even with a stale-favouring script, RMW must read 7.
+  Script = {0, 0, 0};
+  EXPECT_EQ(Model.rmw(2, X, RmwOp::Add, 1, Relaxed, 4), 7u);
+  Script = {};
+  EXPECT_EQ(Model.load(0, X, SeqCst, 4), 8u);
+}
+
+TEST_F(AtomicModelTest, RmwOperators) {
+  Model.init(X, 0b1100);
+  EXPECT_EQ(Model.rmw(0, X, RmwOp::And, 0b1010, Relaxed, 4), 0b1100u);
+  EXPECT_EQ(Model.rmw(0, X, RmwOp::Or, 0b0001, Relaxed, 4), 0b1000u);
+  EXPECT_EQ(Model.rmw(0, X, RmwOp::Xor, 0b1111, Relaxed, 4), 0b1001u);
+  EXPECT_EQ(Model.rmw(0, X, RmwOp::Sub, 2, Relaxed, 4), 0b0110u);
+  EXPECT_EQ(Model.rmw(0, X, RmwOp::Exchange, 99, Relaxed, 4), 4u);
+  EXPECT_EQ(Model.load(0, X, SeqCst, 4), 99u);
+}
+
+TEST_F(AtomicModelTest, RmwContinuesReleaseSequence) {
+  // T1: data write; release store. T2: relaxed RMW (fetch_add). T0:
+  // acquire-loads the RMW's store and must still synchronise with T1
+  // (release sequence, C++11 [intro.races]).
+  RD.onPlainWrite(1, 0x3000, 4);
+  Model.store(1, X, 10, Release, 4);
+  Model.rmw(2, X, RmwOp::Add, 1, Relaxed, 4);
+  Script = {};
+  EXPECT_EQ(Model.load(0, X, Acquire, 4), 11u);
+  RD.onPlainRead(0, 0x3000, 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(AtomicModelTest, CasSuccessAndFailure) {
+  Model.init(X, 10);
+  uint64_t Expected = 11;
+  EXPECT_FALSE(Model.cas(0, X, Expected, 99, AcqRel, Acquire, 4));
+  EXPECT_EQ(Expected, 10u); // failure reports the observed value
+  EXPECT_TRUE(Model.cas(0, X, Expected, 99, AcqRel, Acquire, 4));
+  EXPECT_EQ(Model.load(0, X, SeqCst, 4), 99u);
+}
+
+TEST_F(AtomicModelTest, CasSuccessSynchronises) {
+  RD.onPlainWrite(1, 0x3000, 4);
+  Model.store(1, X, 1, Release, 4);
+  uint64_t Expected = 1;
+  EXPECT_TRUE(Model.cas(2, X, Expected, 2, AcqRel, Acquire, 4));
+  RD.onPlainRead(2, 0x3000, 4);
+  EXPECT_EQ(RD.reportCount(), 0u);
+}
+
+TEST_F(AtomicModelTest, SeqCstLoadCannotReadPastSeqCstStore) {
+  Model.init(X, 0);
+  Model.store(1, X, 10, Relaxed, 4);
+  Model.store(1, X, 20, SeqCst, 4);
+  Model.store(1, X, 30, Relaxed, 4);
+  // A seq_cst load's window starts at the last seq_cst store: {20, 30}.
+  Script = {0};
+  EXPECT_EQ(Model.load(2, X, SeqCst, 4), 20u);
+  // A relaxed load by a fresh thread could still see the whole window.
+  RD.forkChild(0, 3);
+  Script = {0};
+  EXPECT_EQ(Model.load(3, X, Relaxed, 4), 0u);
+}
+
+TEST_F(AtomicModelTest, SequentialConsistencyModeReadsNewestOnly) {
+  AtomicModelOptions Opts;
+  Opts.WeakMemory = false;
+  AtomicModel Sc(RD, [](uint64_t) -> uint64_t { return 0; }, Opts);
+  Sc.init(X, 0);
+  Sc.store(1, X, 10, Relaxed, 4);
+  Sc.store(1, X, 20, Relaxed, 4);
+  EXPECT_EQ(Sc.load(2, X, Relaxed, 4), 20u);
+  EXPECT_EQ(Sc.statsSnapshot().StaleReads, 0u);
+}
+
+TEST_F(AtomicModelTest, HistoryPruningBoundsWindow) {
+  AtomicModelOptions Opts;
+  Opts.MaxHistory = 4;
+  AtomicModel Small(RD, [](uint64_t) -> uint64_t { return 0; }, Opts);
+  Small.init(X, 0);
+  for (int I = 1; I <= 100; ++I)
+    Small.store(1, X, static_cast<uint64_t>(I), Relaxed, 4);
+  // The oldest retained store is 97 (history holds 97..100): even the
+  // stalest possible choice cannot reach further back.
+  EXPECT_GE(Small.load(2, X, Relaxed, 4), 97u);
+}
+
+TEST_F(AtomicModelTest, InitResetsHistory) {
+  Model.init(X, 1);
+  Model.store(1, X, 2, Relaxed, 4);
+  Model.init(X, 50); // a new atomic constructed at the same address
+  Script = {0};
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 50u);
+}
+
+TEST_F(AtomicModelTest, ForgetDropsLocation) {
+  Model.init(X, 9);
+  Model.forget(X);
+  EXPECT_EQ(Model.load(0, X, Relaxed, 4), 0u);
+}
+
+TEST_F(AtomicModelTest, StatsCountOperations) {
+  Model.init(X, 0);
+  Model.load(0, X, Relaxed, 4);
+  Model.store(0, X, 1, Relaxed, 4);
+  Model.rmw(0, X, RmwOp::Add, 1, Relaxed, 4);
+  Model.fence(0, SeqCst);
+  const AtomicModelStats S = Model.statsSnapshot();
+  EXPECT_EQ(S.Loads, 1u);
+  EXPECT_EQ(S.Stores, 1u);
+  EXPECT_EQ(S.Rmws, 1u);
+  EXPECT_EQ(S.Fences, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Classic litmus shapes at model level
+//===----------------------------------------------------------------------===//
+
+TEST_F(AtomicModelTest, MessagePassingForbiddenOutcomeUnreachable) {
+  // MP: T1 stores X=1 (relaxed), Y=1 (release). T2 loads Y==1 (acquire)
+  // then X: reading X==0 is forbidden.
+  Model.init(X, 0);
+  Model.init(Y, 0);
+  Model.store(1, X, 1, Relaxed, 4);
+  Model.store(1, Y, 1, Release, 4);
+  Script = {};
+  ASSERT_EQ(Model.load(2, Y, Acquire, 4), 1u);
+  Script = {0}; // ask for the stalest: must still be 1
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 1u);
+}
+
+TEST_F(AtomicModelTest, MessagePassingRelaxedAllowsStaleRead) {
+  Model.init(X, 0);
+  Model.init(Y, 0);
+  Model.store(1, X, 1, Relaxed, 4);
+  Model.store(1, Y, 1, Relaxed, 4); // no release
+  Script = {1};
+  ASSERT_EQ(Model.load(2, Y, Relaxed, 4), 1u);
+  Script = {0}; // stale X visible: the weak MP outcome
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 0u);
+}
+
+TEST_F(AtomicModelTest, StoreBufferingBothReadZero) {
+  // SB: T1 stores X=1 then loads Y; T2 stores Y=1 then loads X. Under
+  // relaxed atomics both may read 0.
+  Model.init(X, 0);
+  Model.init(Y, 0);
+  Model.store(1, X, 1, Relaxed, 4);
+  Model.store(2, Y, 1, Relaxed, 4);
+  Script = {0, 0};
+  EXPECT_EQ(Model.load(1, Y, Relaxed, 4), 0u);
+  EXPECT_EQ(Model.load(2, X, Relaxed, 4), 0u);
+}
+
+} // namespace

@@ -1,0 +1,452 @@
+//===-- tests/ReplayTest.cpp - Record/replay property tests --------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// The core §4 contract, tested as properties: a recorded execution
+// replays to the same observable trace; replay constraints that cannot be
+// satisfied surface as hard desynchronisation; exhausted demos free-run.
+// A small randomized-program generator sweeps structurally diverse
+// concurrent programs through record→replay (TEST_P across strategies and
+// program shapes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/common/Util.h"
+#include "runtime/Tsr.h"
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Randomized program generator
+//===----------------------------------------------------------------------===//
+
+/// A deterministic "random" concurrent program: N threads perform a
+/// det()-derived sequence of operations over shared atomics, mutex-
+/// protected data and plain thread-local work, producing an observable
+/// trace hash. Same (Shape, schedule) => same hash; different schedules
+/// typically differ.
+struct GeneratedProgram {
+  uint64_t Shape;
+  int Threads;
+  int OpsPerThread;
+
+  uint64_t run() const {
+    constexpr int NumAtomics = 3;
+    struct Shared {
+      Atomic<uint64_t> Atomics[NumAtomics];
+      Mutex M;
+      uint64_t Protected = 0; // guarded by M
+      Mutex TraceMu;
+      uint64_t Trace = 0; // guarded by TraceMu
+    };
+    Shared S;
+    auto Note = [&S](uint64_t V) {
+      LockGuard G(S.TraceMu);
+      S.Trace = mix(S.Trace, V);
+    };
+    std::vector<Thread> Pool;
+    for (int T = 0; T != Threads; ++T) {
+      Pool.push_back(Thread::spawn([&, T] {
+        for (int I = 0; I != OpsPerThread; ++I) {
+          const uint64_t R = det(Shape * 131 + T, I);
+          Atomic<uint64_t> &A = S.Atomics[R % NumAtomics];
+          switch ((R >> 8) % 6) {
+          case 0:
+            Note(A.load((R >> 16) % 2 ? std::memory_order_acquire
+                                      : std::memory_order_relaxed));
+            break;
+          case 1:
+            A.store(R & 0xFFFF, (R >> 16) % 2
+                                    ? std::memory_order_release
+                                    : std::memory_order_relaxed);
+            break;
+          case 2:
+            Note(A.fetchAdd(1, std::memory_order_acq_rel));
+            break;
+          case 3: {
+            uint64_t Expected = R & 0xFF;
+            A.compareExchange(Expected, (R >> 8) & 0xFFFF);
+            Note(Expected);
+            break;
+          }
+          case 4: {
+            LockGuard G(S.M);
+            S.Protected += R & 0xFF;
+            break;
+          }
+          case 5:
+            sys::work(200 + (R & 0x3FF));
+            break;
+          }
+        }
+      }));
+    }
+    for (Thread &T : Pool)
+      T.join();
+    LockGuard G(S.TraceMu);
+    return mix(S.Trace, S.Protected);
+  }
+};
+
+struct ReplayCase {
+  StrategyKind Strategy;
+  uint64_t Shape;
+};
+
+class RecordReplayProperty
+    : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(RecordReplayProperty, ReplayReproducesTrace) {
+  const ReplayCase P = GetParam();
+  GeneratedProgram Prog{P.Shape, 3, 20};
+
+  SessionConfig RC = presets::tsan11rec(P.Strategy, Mode::Record,
+                                        RecordPolicy::httpd());
+  RC.Seed0 = 0x1000 + P.Shape;
+  RC.Seed1 = 0x2000 + P.Shape * 3;
+  RC.Env.Seed0 = 5;
+  RC.Env.Seed1 = 6;
+  Demo D;
+  uint64_t Recorded = 0;
+  {
+    Session S(RC);
+    RunReport R = S.run([&] { Recorded = Prog.run(); });
+    ASSERT_EQ(R.Desync, DesyncKind::None);
+    D = R.RecordedDemo;
+  }
+  for (int Rep = 0; Rep != 2; ++Rep) {
+    SessionConfig PC = presets::tsan11rec(P.Strategy, Mode::Replay,
+                                          RecordPolicy::httpd());
+    PC.ReplayDemo = &D;
+    Session S(PC);
+    uint64_t Replayed = 0;
+    RunReport R = S.run([&] { Replayed = Prog.run(); });
+    EXPECT_EQ(R.Desync, DesyncKind::None) << R.DesyncMessage;
+    EXPECT_EQ(Replayed, Recorded)
+        << "strategy=" << strategyName(P.Strategy)
+        << " shape=" << P.Shape;
+  }
+}
+
+std::vector<ReplayCase> replayCases() {
+  std::vector<ReplayCase> Cases;
+  for (StrategyKind K : {StrategyKind::Random, StrategyKind::Queue,
+                         StrategyKind::RoundRobin, StrategyKind::Pct})
+    for (uint64_t Shape = 1; Shape <= 6; ++Shape)
+      Cases.push_back({K, Shape});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecordReplayProperty, ::testing::ValuesIn(replayCases()),
+    [](const ::testing::TestParamInfo<ReplayCase> &Info) {
+      std::string Name = strategyName(Info.param.Strategy);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_shape" + std::to_string(Info.param.Shape);
+    });
+
+//===----------------------------------------------------------------------===//
+// Seeds alone reproduce runs (no demo needed when the environment is
+// deterministic)
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayProperties, SameSeedsSameTraceWithoutRecording) {
+  GeneratedProgram Prog{42, 3, 25};
+  uint64_t First = 0;
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+    C.Seed0 = 77;
+    C.Seed1 = 88;
+    C.Env.Seed0 = 9;
+    C.Env.Seed1 = 10;
+    Session S(C);
+    uint64_t Trace = 0;
+    S.run([&] { Trace = Prog.run(); });
+    if (Rep == 0)
+      First = Trace;
+    else
+      EXPECT_EQ(Trace, First);
+  }
+}
+
+TEST(ReplayProperties, DifferentSeedsUsuallyDifferentTraces) {
+  GeneratedProgram Prog{43, 3, 25};
+  std::set<uint64_t> Traces;
+  for (uint64_t Seed = 0; Seed != 6; ++Seed) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Random);
+    C.Seed0 = 1000 + Seed;
+    C.Seed1 = 2000 + Seed;
+    C.Env.Seed0 = 9;
+    C.Env.Seed1 = 10;
+    Session S(C);
+    uint64_t Trace = 0;
+    S.run([&] { Trace = Prog.run(); });
+    Traces.insert(Trace);
+  }
+  EXPECT_GT(Traces.size(), 1u) << "schedule variation had no effect";
+}
+
+//===----------------------------------------------------------------------===//
+// Desynchronisation injection
+//===----------------------------------------------------------------------===//
+
+Demo recordSmallProgram(uint64_t &TraceOut) {
+  GeneratedProgram Prog{7, 3, 15};
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                       RecordPolicy::httpd());
+  C.Seed0 = 3;
+  C.Seed1 = 4;
+  C.Env.Seed0 = 5;
+  C.Env.Seed1 = 6;
+  Session S(C);
+  RunReport R = S.run([&] { TraceOut = Prog.run(); });
+  return R.RecordedDemo;
+}
+
+TEST(ReplayDesync, CorruptedQueueStreamDesynchronises) {
+  uint64_t Trace = 0;
+  Demo D = recordSmallProgram(Trace);
+  // Rewrite QUEUE to designate a nonexistent thread.
+  ByteWriter W;
+  {
+    RleU64Writer RW(W);
+    RW.push(0);
+    RW.push(42); // thread 42 never exists
+    RW.push(0);
+  }
+  D.setStream(StreamKind::Queue, W.take());
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                       RecordPolicy::httpd());
+  C.ReplayDemo = &D;
+  Session S(C);
+  GeneratedProgram Prog{7, 3, 15};
+  uint64_t Replayed = 0;
+  const bool QuietWas = quietWarnings(true);
+  RunReport R = S.run([&] { Replayed = Prog.run(); });
+  quietWarnings(QuietWas);
+  EXPECT_EQ(R.Desync, DesyncKind::Hard);
+  EXPECT_NE(R.DesyncMessage.find("QUEUE"), std::string::npos);
+  // The run still completes (free-running after the desync).
+  EXPECT_NE(Replayed, 0u);
+}
+
+TEST(ReplayDesync, TruncatedQueueStreamFreeRunsToCompletion) {
+  uint64_t Trace = 0;
+  Demo D = recordSmallProgram(Trace);
+  // Keep only a prefix of QUEUE: the demo "ends" mid-run (§4: the empty
+  // demo is trivially synchronised; exhaustion is not a hard desync).
+  std::vector<uint8_t> Q = D.stream(StreamKind::Queue);
+  Q.resize(Q.size() / 2);
+  D.setStream(StreamKind::Queue, Q);
+  // Also truncate SYSCALL to match an early ending.
+  D.setStream(StreamKind::Syscall, {});
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                       RecordPolicy::httpd());
+  C.ReplayDemo = &D;
+  Session S(C);
+  GeneratedProgram Prog{7, 3, 15};
+  uint64_t Replayed = 0;
+  const bool QuietWas = quietWarnings(true);
+  RunReport R = S.run([&] { Replayed = Prog.run(); });
+  quietWarnings(QuietWas);
+  EXPECT_TRUE(R.Sched.DemoExhausted || R.Desync == DesyncKind::Hard);
+  EXPECT_NE(Replayed, 0u); // completed regardless
+}
+
+TEST(ReplayDesync, WrongStrategyIsRejectedUpFront) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  uint64_t Trace = 0;
+  Demo D = recordSmallProgram(Trace); // recorded under queue
+  EXPECT_DEATH(
+      {
+        SessionConfig C = presets::tsan11rec(
+            StrategyKind::Random, Mode::Replay, RecordPolicy::httpd());
+        C.ReplayDemo = &D;
+        Session S(C);
+        S.run([] {});
+      },
+      "strategy");
+}
+
+TEST(ReplayDesync, WrongPolicyIsRejectedUpFront) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  uint64_t Trace = 0;
+  Demo D = recordSmallProgram(Trace); // recorded under httpd policy
+  EXPECT_DEATH(
+      {
+        SessionConfig C = presets::tsan11rec(
+            StrategyKind::Queue, Mode::Replay, RecordPolicy::full());
+        C.ReplayDemo = &D;
+        Session S(C);
+        S.run([] {});
+      },
+      "policy");
+}
+
+TEST(ReplayDesync, GarbageMetaIsRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Demo D;
+  D.setStream(StreamKind::Meta, {1, 2, 3});
+  EXPECT_DEATH(
+      {
+        SessionConfig C = presets::tsan11rec(
+            StrategyKind::Queue, Mode::Replay, RecordPolicy::httpd());
+        C.ReplayDemo = &D;
+        Session S(C);
+        S.run([] {});
+      },
+      "META");
+}
+
+TEST(ReplayDesync, SyscallKindMismatchDesynchronises) {
+  // Record a program that issues clock syscalls; replay a program that
+  // issues a different recorded kind first: the SYSCALL stream disagrees.
+  Demo D;
+  {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         RecordPolicy::httpd());
+    C.Seed0 = 3;
+    C.Seed1 = 4;
+    C.Env.Seed0 = 5;
+    C.Env.Seed1 = 6;
+    Session S(C);
+    RunReport R = S.run([] {
+      (void)sys::clockNs();
+      (void)sys::clockNs();
+    });
+    D = R.RecordedDemo;
+  }
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                       RecordPolicy::httpd());
+  C.ReplayDemo = &D;
+  Session S(C);
+  const bool QuietWas = quietWarnings(true);
+  RunReport R = S.run([] {
+    const int Fd = sys::socket(); // recorded kind, but demo says clock
+    (void)Fd;
+  });
+  quietWarnings(QuietWas);
+  EXPECT_EQ(R.Desync, DesyncKind::Hard);
+  EXPECT_NE(R.DesyncMessage.find("SYSCALL"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Signal record/replay exactness (§4.3)
+//===----------------------------------------------------------------------===//
+
+TEST(ReplaySignals, SignalReplaysAtSameLogicalPoint) {
+  // The observable: how many fetchAdds the victim completed before the
+  // handler fired. Replay must reproduce it exactly, even though the
+  // recording's delivery point depended on physical timing.
+  auto Body = [](int *OpsBeforeSignal) {
+    return [OpsBeforeSignal] {
+      Atomic<int> Counter(0);
+      Atomic<int> Stop(0);
+      installSignalHandler(7, [&] {
+        *OpsBeforeSignal = Counter.load(std::memory_order_relaxed);
+        Stop.store(1);
+      });
+      Thread Victim = Thread::spawn([&] {
+        while (Stop.load(std::memory_order_relaxed) == 0)
+          Counter.fetchAdd(1, std::memory_order_relaxed);
+      });
+      // Let the victim spin a while before interrupting it.
+      for (int I = 0; I != 12; ++I)
+        (void)Counter.load(std::memory_order_relaxed);
+      raiseSignal(Victim.tid(), 7);
+      Victim.join();
+    };
+  };
+
+  for (StrategyKind K : {StrategyKind::Random, StrategyKind::Queue}) {
+    SessionConfig RC = presets::tsan11rec(K, Mode::Record,
+                                          RecordPolicy::httpd());
+    RC.Seed0 = 13;
+    RC.Seed1 = 14;
+    RC.Env.Seed0 = 15;
+    RC.Env.Seed1 = 16;
+    Demo D;
+    int Recorded = -1;
+    {
+      Session S(RC);
+      RunReport R = S.run(Body(&Recorded));
+      ASSERT_GE(Recorded, 0);
+      EXPECT_EQ(R.Sched.SignalsDelivered, 1u);
+      D = R.RecordedDemo;
+      EXPECT_GT(D.streamSize(StreamKind::Signal), 0u);
+    }
+    for (int Rep = 0; Rep != 2; ++Rep) {
+      SessionConfig PC = presets::tsan11rec(K, Mode::Replay,
+                                            RecordPolicy::httpd());
+      PC.ReplayDemo = &D;
+      Session S(PC);
+      int Replayed = -1;
+      RunReport R = S.run(Body(&Replayed));
+      EXPECT_EQ(R.Desync, DesyncKind::None) << R.DesyncMessage;
+      EXPECT_EQ(Replayed, Recorded) << strategyName(K);
+      EXPECT_EQ(R.Sched.SignalsDelivered, 1u);
+    }
+  }
+}
+
+TEST(ReplaySignals, ExternalPostsAreIgnoredDuringReplay) {
+  // Record a signal-free run; replay the same program while the host
+  // injects a signal mid-run. Recorded SIGNAL entries (none) drive
+  // delivery, so the handler must not fire and the replay stays
+  // synchronised.
+  auto Body = [](bool *HandlerRan) {
+    return [HandlerRan] {
+      installSignalHandler(9, [HandlerRan] { *HandlerRan = true; });
+      Atomic<int> A(0);
+      for (int I = 0; I != 20; ++I)
+        A.fetchAdd(1);
+    };
+  };
+  Demo D;
+  {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         RecordPolicy::httpd());
+    C.Seed0 = 23;
+    C.Seed1 = 24;
+    C.Env.Seed0 = 25;
+    C.Env.Seed1 = 26;
+    Session S(C);
+    bool HandlerRan = false;
+    RunReport R = S.run(Body(&HandlerRan));
+    EXPECT_FALSE(HandlerRan);
+    D = R.RecordedDemo;
+  }
+  SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                                       RecordPolicy::httpd());
+  C.ReplayDemo = &D;
+  Session S(C);
+  bool HandlerRan = false;
+  std::atomic<bool> StartInjector{false};
+  std::thread Injector([&] {
+    while (!StartInjector.load())
+      std::this_thread::yield();
+    S.postSignal(0, 9); // external injection, mid-replay
+  });
+  RunReport R = S.run([&] {
+    StartInjector = true;
+    Body(&HandlerRan)();
+  });
+  Injector.join();
+  EXPECT_FALSE(HandlerRan);
+  EXPECT_EQ(R.Sched.SignalsDelivered, 0u);
+  EXPECT_EQ(R.Desync, DesyncKind::None) << R.DesyncMessage;
+}
+
+} // namespace

@@ -1,0 +1,579 @@
+//===-- tests/SchedTest.cpp - Scheduler and strategy tests ----------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Strategy units run against a mock thread table; scheduler protocol
+// behaviours run through real sessions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Tsr.h"
+#include "sched/Strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace tsr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Strategy units
+//===----------------------------------------------------------------------===//
+
+/// Mock thread table for driving strategies directly.
+class MockThreads final : public ThreadView {
+public:
+  explicit MockThreads(std::vector<bool> Enabled)
+      : Enabled(std::move(Enabled)) {}
+
+  bool isEnabled(Tid T) const override {
+    return T < Enabled.size() && Enabled[T];
+  }
+  bool isFinished(Tid) const override { return false; }
+  Tid threadCount() const override {
+    return static_cast<Tid>(Enabled.size());
+  }
+
+  std::vector<bool> Enabled;
+};
+
+TEST(Strategy, RandomPicksOnlyEnabledThreads) {
+  auto S = makeStrategy(StrategyKind::Random);
+  MockThreads Threads({true, false, true, false, true});
+  Prng Rng(1, 2);
+  for (int I = 0; I != 200; ++I) {
+    const Tid T = S->pickNext(Threads, Rng);
+    ASSERT_TRUE(T == 0 || T == 2 || T == 4) << "picked disabled " << T;
+  }
+}
+
+TEST(Strategy, RandomEventuallyPicksEveryEnabledThread) {
+  auto S = makeStrategy(StrategyKind::Random);
+  MockThreads Threads({true, true, true});
+  Prng Rng(3, 4);
+  std::set<Tid> Seen;
+  for (int I = 0; I != 100; ++I)
+    Seen.insert(S->pickNext(Threads, Rng));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(Strategy, RandomWithNoEnabledReturnsInvalid) {
+  auto S = makeStrategy(StrategyKind::Random);
+  MockThreads Threads({false, false});
+  Prng Rng(1, 2);
+  EXPECT_EQ(S->pickNext(Threads, Rng), InvalidTid);
+}
+
+TEST(Strategy, QueueIsFirstComeFirstServed) {
+  auto S = makeStrategy(StrategyKind::Queue);
+  MockThreads Threads({true, true, true});
+  Prng Rng(1, 2);
+  S->onArrive(2);
+  S->onArrive(0);
+  S->onArrive(1);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 2u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 0u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 1u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), AnyTid); // empty queue
+}
+
+TEST(Strategy, QueueSkipsDisabledWithoutLosingOrder) {
+  auto S = makeStrategy(StrategyKind::Queue);
+  MockThreads Threads({true, false, true});
+  Prng Rng(1, 2);
+  S->onArrive(1); // disabled: must keep its slot
+  S->onArrive(0);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 0u);
+  Threads.Enabled[1] = true; // re-enabled: still first in line
+  S->onArrive(2);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 1u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 2u);
+}
+
+TEST(Strategy, QueueIgnoresDuplicateArrivals) {
+  auto S = makeStrategy(StrategyKind::Queue);
+  MockThreads Threads({true, true});
+  Prng Rng(1, 2);
+  S->onArrive(0);
+  S->onArrive(0);
+  S->onArrive(1);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 0u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), 1u);
+  EXPECT_EQ(S->pickNext(Threads, Rng), AnyTid);
+}
+
+TEST(Strategy, QueueOnDesignatedRemovesFromQueue) {
+  auto S = makeStrategy(StrategyKind::Queue);
+  MockThreads Threads({true, true});
+  Prng Rng(1, 2);
+  S->onArrive(0);
+  S->onArrive(1);
+  S->onDesignated(0); // granted outside pickNext (AnyTid path)
+  EXPECT_EQ(S->pickNext(Threads, Rng), 1u);
+}
+
+TEST(Strategy, RoundRobinCyclesEnabledThreads) {
+  auto S = makeStrategy(StrategyKind::RoundRobin);
+  MockThreads Threads({true, true, false, true});
+  Prng Rng(1, 2);
+  std::vector<Tid> Picks;
+  for (int I = 0; I != 6; ++I)
+    Picks.push_back(S->pickNext(Threads, Rng));
+  EXPECT_EQ(Picks, (std::vector<Tid>{1, 3, 0, 1, 3, 0}));
+}
+
+TEST(Strategy, PctPrefersHighestPriorityUntilDemoted) {
+  StrategyParams Params;
+  Params.PctChangeProb = 1.0; // demote on every tick
+  auto S = makeStrategy(StrategyKind::Pct, Params);
+  MockThreads Threads({true, true, true});
+  Prng Rng(5, 6);
+  for (Tid T = 0; T != 3; ++T)
+    S->onThreadNew(T, Rng);
+  const Tid First = S->pickNext(Threads, Rng);
+  // Without a demotion the pick is stable.
+  EXPECT_EQ(S->pickNext(Threads, Rng), First);
+  // Demote the runner: the next pick must differ.
+  S->onTick(0, First, Rng);
+  const Tid Second = S->pickNext(Threads, Rng);
+  EXPECT_NE(Second, First);
+  // Demote again: the third thread surfaces.
+  S->onTick(1, Second, Rng);
+  const Tid Third = S->pickNext(Threads, Rng);
+  EXPECT_NE(Third, First);
+  EXPECT_NE(Third, Second);
+  // After all demotions, ordering among demoted threads is
+  // least-recently-demoted last.
+  S->onTick(2, Third, Rng);
+  EXPECT_EQ(S->pickNext(Threads, Rng), First);
+}
+
+TEST(Strategy, PickWaiterDefaultIsFifoRandomDraws) {
+  Prng Rng(1, 2);
+  const std::vector<Tid> Waiters = {5, 6, 7};
+  auto Queue = makeStrategy(StrategyKind::Queue);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(Queue->pickWaiter(Waiters, Rng), 0u);
+  auto Random = makeStrategy(StrategyKind::Random);
+  std::set<size_t> Seen;
+  for (int I = 0; I != 100; ++I)
+    Seen.insert(Random->pickWaiter(Waiters, Rng));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(Strategy, NamesRoundTrip) {
+  EXPECT_STREQ(strategyName(StrategyKind::Random), "random");
+  EXPECT_STREQ(strategyName(StrategyKind::Queue), "queue");
+  EXPECT_STREQ(strategyName(StrategyKind::RoundRobin), "round-robin");
+  EXPECT_STREQ(strategyName(StrategyKind::Pct), "pct");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler protocol through sessions
+//===----------------------------------------------------------------------===//
+
+SessionConfig fixedSeeds(SessionConfig C, uint64_t Salt = 0) {
+  C.Seed0 = 501 + Salt;
+  C.Seed1 = 601 + Salt;
+  C.Env.Seed0 = 701 + Salt;
+  C.Env.Seed1 = 801 + Salt;
+  return C;
+}
+
+TEST(SchedProtocol, EveryVisibleOpIsOneTick) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  C.LivenessIntervalMs = 0;
+  Session S(C);
+  RunReport R = S.run([] {
+    Atomic<int> A(0);
+    for (int I = 0; I != 10; ++I)
+      A.store(I, std::memory_order_relaxed);
+  });
+  // 10 stores + main's thread-delete = 11 ticks exactly.
+  EXPECT_EQ(R.Sched.Ticks, 11u);
+}
+
+TEST(SchedProtocol, ThreadLifecycleTicks) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  C.LivenessIntervalMs = 0;
+  Session S(C);
+  RunReport R = S.run([] {
+    Thread T = Thread::spawn([] {});
+    T.join();
+  });
+  // spawn + child delete + join + main delete = 4 ticks (join may take
+  // one extra section if it blocked first).
+  EXPECT_GE(R.Sched.Ticks, 4u);
+  EXPECT_LE(R.Sched.Ticks, 5u);
+}
+
+TEST(SchedProtocol, JoinFinishedThreadDoesNotBlock) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  bool Ran = false;
+  S.run([&] {
+    Thread T = Thread::spawn([&] { Ran = true; });
+    // Let the child finish first under FCFS by doing some visible ops.
+    Atomic<int> A(0);
+    for (int I = 0; I != 20; ++I)
+      A.fetchAdd(1);
+    T.join();
+  });
+  EXPECT_TRUE(Ran);
+}
+
+TEST(SchedProtocol, ManyThreadsAllComplete) {
+  for (StrategyKind K : {StrategyKind::Random, StrategyKind::Queue,
+                         StrategyKind::RoundRobin, StrategyKind::Pct}) {
+    SessionConfig C = fixedSeeds(presets::tsan11rec(K), 17);
+    Session S(C);
+    int Sum = 0;
+    S.run([&] {
+      Atomic<int> Total(0);
+      std::vector<Thread> Threads;
+      for (int I = 0; I != 12; ++I)
+        Threads.push_back(
+            Thread::spawn([&, I] { Total.fetchAdd(I + 1); }));
+      for (Thread &T : Threads)
+        T.join();
+      Sum = Total.load();
+    });
+    EXPECT_EQ(Sum, 78) << strategyName(K);
+  }
+}
+
+TEST(SchedProtocol, MutexBlocksUntilUnlock) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  std::vector<int> Order;
+  S.run([&] {
+    Mutex M;
+    Atomic<int> HolderReady(0);
+    M.lock();
+    Thread T = Thread::spawn([&] {
+      HolderReady.store(1);
+      M.lock(); // must block until main unlocks
+      Order.push_back(2);
+      M.unlock();
+    });
+    while (HolderReady.load() == 0) {
+    }
+    // Give the contender time to hit the lock and disable itself.
+    for (int I = 0; I != 5; ++I)
+      (void)HolderReady.load();
+    Order.push_back(1);
+    M.unlock();
+    T.join();
+  });
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], 1);
+  EXPECT_EQ(Order[1], 2);
+}
+
+TEST(SchedProtocol, TryLockNeverBlocks) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  bool FirstTry = false, SecondTry = true;
+  S.run([&] {
+    Mutex M;
+    FirstTry = M.tryLock();
+    SecondTry = M.tryLock(); // held by ourselves: must fail, not block
+    if (FirstTry)
+      M.unlock();
+  });
+  EXPECT_TRUE(FirstTry);
+  EXPECT_FALSE(SecondTry);
+}
+
+TEST(SchedProtocol, CondBroadcastWakesAllWaiters) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  int Woken = 0;
+  S.run([&] {
+    Mutex M;
+    CondVar Cv;
+    Var<int> Go(0);
+    Atomic<int> Waiting(0);
+    std::vector<Thread> Threads;
+    for (int I = 0; I != 4; ++I)
+      Threads.push_back(Thread::spawn([&] {
+        UniqueLock L(M);
+        Waiting.fetchAdd(1);
+        Cv.wait(M, [&] { return Go.get() == 1; });
+        ++Woken;
+      }));
+    while (Waiting.load() != 4) {
+    }
+    {
+      UniqueLock L(M);
+      Go.set(1);
+      Cv.broadcast();
+    }
+    for (Thread &T : Threads)
+      T.join();
+  });
+  EXPECT_EQ(Woken, 4);
+}
+
+TEST(SchedProtocol, CondSignalWakesExactlyOne) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  int FirstBatch = 0;
+  S.run([&] {
+    Mutex M;
+    CondVar Cv;
+    Var<int> Tokens(0);
+    Atomic<int> Waiting(0);
+    Atomic<int> Consumed(0);
+    std::vector<Thread> Threads;
+    for (int I = 0; I != 3; ++I)
+      Threads.push_back(Thread::spawn([&] {
+        UniqueLock L(M);
+        Waiting.fetchAdd(1);
+        Cv.wait(M, [&] { return Tokens.get() > 0; });
+        Tokens.set(Tokens.get() - 1);
+        Consumed.fetchAdd(1);
+      }));
+    while (Waiting.load() != 3) {
+    }
+    {
+      UniqueLock L(M);
+      Tokens.set(1);
+      Cv.signal();
+    }
+    while (Consumed.load() != 1) {
+    }
+    FirstBatch = Consumed.load();
+    // Release the rest.
+    {
+      UniqueLock L(M);
+      Tokens.set(2);
+      Cv.broadcast();
+    }
+    for (Thread &T : Threads)
+      T.join();
+  });
+  EXPECT_EQ(FirstBatch, 1);
+}
+
+TEST(SchedProtocol, TimedCondWaitTimesOutWithoutSignal) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  bool Signaled = true;
+  S.run([&] {
+    Mutex M;
+    CondVar Cv;
+    UniqueLock L(M);
+    // Nobody will ever signal: the timed waiter stays enabled (§3.2) and
+    // resumes via the timeout path.
+    Signaled = Cv.waitFor(M, 50);
+  });
+  EXPECT_FALSE(Signaled);
+}
+
+TEST(SchedProtocol, TimedCondWaitCanEatASignal) {
+  // A timed waiter stays enabled and may time out before any signal
+  // lands (§3.2) — but it must remain *able* to eat one: keep waiting
+  // and signalling until a wait returns "signalled".
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  bool SawSignal = false;
+  S.run([&] {
+    Mutex M;
+    CondVar Cv;
+    Atomic<int> Eaten(0);
+    Thread T = Thread::spawn([&] {
+      UniqueLock L(M);
+      for (int I = 0; I != 10000 && !Eaten.load(); ++I)
+        if (Cv.waitFor(M, 1)) {
+          SawSignal = true;
+          Eaten.store(1);
+        }
+    });
+    while (Eaten.load() == 0) {
+      UniqueLock L(M);
+      Cv.signal();
+    }
+    T.join();
+  });
+  EXPECT_TRUE(SawSignal);
+}
+
+//===----------------------------------------------------------------------===//
+// Signals (§4.3)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignals, HandlerRunsOnTargetThread) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  Tid HandlerTid = InvalidTid;
+  S.run([&] {
+    Atomic<int> Done(0);
+    installSignalHandler(10, [&] {
+      HandlerTid = Session::currentTid();
+      Done.store(1);
+    });
+    Thread T = Thread::spawn([&] {
+      while (Done.load() == 0) {
+      }
+    });
+    raiseSignal(T.tid(), 10);
+    T.join();
+  });
+  EXPECT_EQ(HandlerTid, 1u);
+}
+
+TEST(SchedSignals, SignalToDisabledThreadWakesIt) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  bool HandlerRan = false;
+  S.run([&] {
+    Mutex M;
+    Atomic<int> Blocked(0);
+    Atomic<int> Release(0);
+    installSignalHandler(12, [&] { HandlerRan = true; });
+    M.lock();
+    Thread T = Thread::spawn([&] {
+      Blocked.store(1);
+      M.lock(); // disables the thread (main holds M)
+      M.unlock();
+    });
+    while (Blocked.load() == 0) {
+    }
+    for (int I = 0; I != 8; ++I)
+      (void)Release.load(); // let the child reach the failed trylock
+    raiseSignal(T.tid(), 12); // wakeup + handler, then re-block (§4.5)
+    while (!HandlerRan) {
+    }
+    M.unlock();
+    T.join();
+  });
+  EXPECT_TRUE(HandlerRan);
+}
+
+TEST(SchedSignals, SignalsWhileInHandlerAreDeferred) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  int MaxDepth = 0;
+  S.run([&] {
+    Atomic<int> Depth(0);
+    Atomic<int> Runs(0);
+    installSignalHandler(11, [&] {
+      const int D = Depth.fetchAdd(1) + 1;
+      if (D > MaxDepth)
+        MaxDepth = D;
+      // Do a few visible ops so a nested delivery would have a window.
+      for (int I = 0; I != 4; ++I)
+        (void)Depth.load();
+      Depth.fetchSub(1);
+      Runs.fetchAdd(1);
+    });
+    Thread T = Thread::spawn([&] {
+      while (Runs.load() < 2) {
+      }
+    });
+    raiseSignal(T.tid(), 11);
+    raiseSignal(T.tid(), 11);
+    T.join();
+  });
+  EXPECT_EQ(MaxDepth, 1); // never nested
+}
+
+TEST(SchedSignals, ExternalPostFromHostThread) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+  Session S(C);
+  std::atomic<bool> Posted{false};
+  bool HandlerRan = false;
+  std::thread Injector;
+  RunReport R = S.run([&] {
+    Atomic<int> Quit(0);
+    installSignalHandler(2, [&] {
+      HandlerRan = true;
+      Quit.store(1);
+    });
+    // The host-side injector models a user pressing Ctrl-C.
+    Injector = std::thread([&] {
+      S.postSignal(0, 2);
+      Posted = true;
+    });
+    while (Quit.load() == 0) {
+    }
+  });
+  Injector.join();
+  EXPECT_TRUE(Posted);
+  EXPECT_TRUE(HandlerRan);
+  EXPECT_EQ(R.Sched.SignalsDelivered, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlock detection
+//===----------------------------------------------------------------------===//
+
+TEST(SchedDeadlock, SelfJoinDeadlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
+        C.LivenessIntervalMs = 0;
+        Session S(C);
+        S.run([] {
+          Mutex A, B;
+          Atomic<int> Step(0);
+          Thread T = Thread::spawn([&] {
+            B.lock();
+            Step.store(1);
+            while (Step.load() != 2) {
+            }
+            A.lock(); // deadlock: main holds A, we hold B
+            A.unlock();
+            B.unlock();
+          });
+          A.lock();
+          while (Step.load() != 1) {
+          }
+          Step.store(2);
+          B.lock(); // deadlock: child holds B waiting for A
+          B.unlock();
+          A.unlock();
+          T.join();
+        });
+      },
+      "deadlock: every live thread is disabled");
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness rescheduling (§3.3)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedLiveness, RescheduleRescuesStalledRandomDesignation) {
+  // A thread that burns a long invisible stretch while designated would
+  // stall everyone; the liveness poll forces a reschedule and the run
+  // completes quickly. With liveness disabled this test would still pass
+  // eventually — the assertion is on the recorded Reschedules counter.
+  SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Random), 3);
+  C.LivenessIntervalMs = 5;
+  Session S(C);
+  RunReport R = S.run([] {
+    Atomic<int> Flag(0);
+    Thread Slow = Thread::spawn([&] {
+      // Long invisible region: real milliseconds without a visible op.
+      const auto Until =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+      while (std::chrono::steady_clock::now() < Until) {
+      }
+      Flag.store(1);
+    });
+    Thread Fast = Thread::spawn([&] {
+      while (Flag.load(std::memory_order_relaxed) == 0) {
+      }
+    });
+    Slow.join();
+    Fast.join();
+  });
+  EXPECT_GT(R.Sched.Reschedules, 0u);
+}
+
+} // namespace

@@ -1,0 +1,300 @@
+//===-- tests/UtilAppsTest.cpp - App building blocks ---------------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// The shared workload utilities (Barrier, WorkQueue) under real
+// controlled scheduling, and the MiniPbzip LZ compressor as pure
+// property-tested code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/common/Util.h"
+#include "apps/pbzip/Lz.h"
+#include "runtime/Tsr.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsr;
+using namespace tsr::apps;
+
+namespace {
+
+SessionConfig fixedSeeds(StrategyKind K, uint64_t Salt = 0) {
+  SessionConfig C = presets::tsan11rec(K);
+  C.Seed0 = 301 + Salt;
+  C.Seed1 = 302 + Salt;
+  C.Env.Seed0 = 303 + Salt;
+  C.Env.Seed1 = 304 + Salt;
+  C.LivenessIntervalMs = 0;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier
+//===----------------------------------------------------------------------===//
+
+class BarrierTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(BarrierTest, PhasesNeverOverlap) {
+  Session S(fixedSeeds(GetParam()));
+  bool Ok = true;
+  S.run([&] {
+    constexpr int Parties = 4;
+    constexpr int Phases = 5;
+    Barrier B(Parties);
+    Atomic<int> InPhase(0);
+    std::vector<Thread> Threads;
+    for (int T = 0; T != Parties; ++T)
+      Threads.push_back(Thread::spawn([&] {
+        for (int P = 0; P != Phases; ++P) {
+          // Everyone must observe the same phase boundaries: the count
+          // of threads inside a phase never exceeds Parties and drains
+          // to zero at each barrier.
+          InPhase.fetchAdd(1);
+          if (InPhase.load() > Parties)
+            Ok = false;
+          InPhase.fetchSub(1);
+          B.arriveAndWait();
+        }
+      }));
+    for (Thread &T : Threads)
+      T.join();
+  });
+  EXPECT_TRUE(Ok);
+}
+
+TEST_P(BarrierTest, ReusableAcrossGenerations) {
+  Session S(fixedSeeds(GetParam(), 5));
+  int Sum = 0;
+  S.run([&] {
+    Barrier B(2);
+    Var<int> Cell(0);
+    Thread T = Thread::spawn([&] {
+      for (int I = 0; I != 3; ++I) {
+        Cell.set(Cell.get() + 1); // writer phase
+        B.arriveAndWait();
+        B.arriveAndWait(); // reader phase barrier
+      }
+    });
+    for (int I = 0; I != 3; ++I) {
+      B.arriveAndWait();
+      Sum += Cell.get(); // reads 1, then 2, then 3
+      B.arriveAndWait();
+    }
+    T.join();
+  });
+  EXPECT_EQ(Sum, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BarrierTest,
+                         ::testing::Values(StrategyKind::Random,
+                                           StrategyKind::Queue,
+                                           StrategyKind::Pct),
+                         [](const auto &Info) {
+                           std::string N = strategyName(Info.param);
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// WorkQueue
+//===----------------------------------------------------------------------===//
+
+TEST(WorkQueue, FifoSingleConsumer) {
+  Session S(fixedSeeds(StrategyKind::Queue));
+  std::vector<int> Out;
+  S.run([&] {
+    WorkQueue<int> Q;
+    Thread Producer = Thread::spawn([&] {
+      for (int I = 0; I != 20; ++I)
+        Q.push(I);
+      Q.close();
+    });
+    while (auto V = Q.pop())
+      Out.push_back(*V);
+    Producer.join();
+  });
+  ASSERT_EQ(Out.size(), 20u);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Out[I], I);
+}
+
+TEST(WorkQueue, BoundedCapacityBlocksProducer) {
+  Session S(fixedSeeds(StrategyKind::Queue, 1));
+  int MaxObserved = 0;
+  S.run([&] {
+    WorkQueue<int> Q(3);
+    Atomic<int> Pushed(0);
+    Atomic<int> Popped(0);
+    Thread Producer = Thread::spawn([&] {
+      for (int I = 0; I != 12; ++I) {
+        Q.push(I);
+        Pushed.fetchAdd(1);
+        const int Outstanding = Pushed.load() - Popped.load();
+        if (Outstanding > MaxObserved)
+          MaxObserved = Outstanding;
+      }
+      Q.close();
+    });
+    while (auto V = Q.pop()) {
+      Popped.fetchAdd(1);
+      sys::work(500);
+    }
+    Producer.join();
+  });
+  // Capacity 3 + one in flight: never more than 4 outstanding.
+  EXPECT_LE(MaxObserved, 4);
+}
+
+TEST(WorkQueue, MultipleConsumersDrainEverything) {
+  Session S(fixedSeeds(StrategyKind::Random, 2));
+  int Total = 0;
+  S.run([&] {
+    WorkQueue<int> Q(4);
+    Atomic<int> Sum(0);
+    std::vector<Thread> Consumers;
+    for (int C = 0; C != 3; ++C)
+      Consumers.push_back(Thread::spawn([&] {
+        while (auto V = Q.pop())
+          Sum.fetchAdd(*V);
+      }));
+    for (int I = 1; I <= 30; ++I)
+      Q.push(I);
+    Q.close();
+    for (Thread &T : Consumers)
+      T.join();
+    Total = Sum.load();
+  });
+  EXPECT_EQ(Total, 465);
+}
+
+TEST(WorkQueue, CloseUnblocksIdleConsumers) {
+  Session S(fixedSeeds(StrategyKind::Queue, 3));
+  int Nulls = 0;
+  S.run([&] {
+    WorkQueue<int> Q;
+    std::vector<Thread> Consumers;
+    Atomic<int> NullCount(0);
+    for (int C = 0; C != 3; ++C)
+      Consumers.push_back(Thread::spawn([&] {
+        if (!Q.pop())
+          NullCount.fetchAdd(1);
+      }));
+    sys::sleepMs(1);
+    Q.close();
+    for (Thread &T : Consumers)
+      T.join();
+    Nulls = NullCount.load();
+  });
+  EXPECT_EQ(Nulls, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic workload generator
+//===----------------------------------------------------------------------===//
+
+TEST(DetGenerator, IsPureAndSpread) {
+  EXPECT_EQ(det(1, 2), det(1, 2));
+  EXPECT_NE(det(1, 2), det(1, 3));
+  EXPECT_NE(det(1, 2), det(2, 2));
+  for (int I = 0; I != 100; ++I) {
+    const double D = detDouble(9, I);
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(Checksums, FnvAndMixAreOrderSensitive) {
+  EXPECT_NE(mix(mix(0, 1), 2), mix(mix(0, 2), 1));
+  const char A[] = "abc";
+  EXPECT_EQ(fnv1a(A, 3), fnv1a(A, 3));
+  EXPECT_NE(fnv1a(A, 3), fnv1a(A, 2));
+}
+
+//===----------------------------------------------------------------------===//
+// LZ block compressor (pure code — no session needed)
+//===----------------------------------------------------------------------===//
+
+class LzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzRoundTrip, CompressDecompressIdentity) {
+  const int Shape = GetParam();
+  Prng Rng(777 + Shape, 888 + Shape * 3);
+  std::vector<uint8_t> Data;
+  switch (Shape) {
+  case 0: // empty
+    break;
+  case 1: // single byte
+    Data = {0x42};
+    break;
+  case 2: // all zeros (maximum run)
+    Data.assign(100000, 0);
+    break;
+  case 3: // incompressible randomness
+    for (int I = 0; I != 50000; ++I)
+      Data.push_back(static_cast<uint8_t>(Rng.nextBelow(256)));
+    break;
+  case 4: // text-like with repeats
+    for (int I = 0; I != 3000; ++I) {
+      const std::string Word =
+          "lorem ipsum dolor " + std::to_string(I % 13) + " ";
+      Data.insert(Data.end(), Word.begin(), Word.end());
+    }
+    break;
+  case 5: // overlapping-match stress: abababab...
+    for (int I = 0; I != 9999; ++I)
+      Data.push_back(I % 2 ? 'a' : 'b');
+    break;
+  case 6: // long-distance matches beyond the window
+    for (int Block = 0; Block != 20; ++Block)
+      for (int I = 0; I != 5000; ++I)
+        Data.push_back(static_cast<uint8_t>(det(4, I) & 0xFF));
+    break;
+  case 7: // short, just under MinMatch granularity
+    Data = {1, 2, 3};
+    break;
+  default:
+    FAIL();
+  }
+  const std::vector<uint8_t> Packed = lz::compress(Data);
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(lz::decompress(Packed, Out));
+  EXPECT_EQ(Out, Data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LzRoundTrip, ::testing::Range(0, 8));
+
+TEST(Lz, ActuallyCompressesRedundantData) {
+  std::vector<uint8_t> Data;
+  for (int I = 0; I != 1000; ++I) {
+    const char *S = "the same phrase again and again ";
+    Data.insert(Data.end(), S, S + 32);
+  }
+  const std::vector<uint8_t> Packed = lz::compress(Data);
+  EXPECT_LT(Packed.size(), Data.size() / 4);
+}
+
+TEST(Lz, DecompressRejectsGarbage) {
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(lz::decompress({0x01, 0x00, 0x05}, Out)); // distance 0
+  EXPECT_FALSE(lz::decompress({0x07}, Out));             // unknown tag
+  EXPECT_FALSE(lz::decompress({0x00, 0x05, 'a'}, Out));  // short literals
+  // A back-reference pointing before the start of output.
+  EXPECT_FALSE(lz::decompress({0x00, 0x01, 'a', 0x01, 0x09, 0x00}, Out));
+}
+
+TEST(Lz, DecompressionIsDeterministic) {
+  Prng Rng(5, 6);
+  std::vector<uint8_t> Data;
+  for (int I = 0; I != 4096; ++I)
+    Data.push_back(static_cast<uint8_t>(Rng.nextBelow(7) * 37));
+  const auto P1 = lz::compress(Data);
+  const auto P2 = lz::compress(Data);
+  EXPECT_EQ(P1, P2);
+}
+
+} // namespace
