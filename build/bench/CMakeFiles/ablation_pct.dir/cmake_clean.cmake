@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pct.dir/ablation_pct.cpp.o"
+  "CMakeFiles/ablation_pct.dir/ablation_pct.cpp.o.d"
+  "ablation_pct"
+  "ablation_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

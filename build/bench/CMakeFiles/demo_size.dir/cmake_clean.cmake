@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_size.dir/demo_size.cpp.o"
+  "CMakeFiles/demo_size.dir/demo_size.cpp.o.d"
+  "demo_size"
+  "demo_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

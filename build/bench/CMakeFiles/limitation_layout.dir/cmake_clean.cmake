@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limitation_layout.dir/limitation_layout.cpp.o"
+  "CMakeFiles/limitation_layout.dir/limitation_layout.cpp.o.d"
+  "limitation_layout"
+  "limitation_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limitation_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

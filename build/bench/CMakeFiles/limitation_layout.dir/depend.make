@@ -1,0 +1,2 @@
+# Empty dependencies file for limitation_layout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cdschecker.dir/table1_cdschecker.cpp.o"
+  "CMakeFiles/table1_cdschecker.dir/table1_cdschecker.cpp.o.d"
+  "table1_cdschecker"
+  "table1_cdschecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cdschecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_httpd.dir/table2_httpd.cpp.o"
+  "CMakeFiles/table2_httpd.dir/table2_httpd.cpp.o.d"
+  "table2_httpd"
+  "table2_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

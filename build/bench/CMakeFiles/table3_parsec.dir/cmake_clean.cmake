@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_parsec.dir/table3_parsec.cpp.o"
+  "CMakeFiles/table3_parsec.dir/table3_parsec.cpp.o.d"
+  "table3_parsec"
+  "table3_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_game.dir/table5_game.cpp.o"
+  "CMakeFiles/table5_game.dir/table5_game.cpp.o.d"
+  "table5_game"
+  "table5_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

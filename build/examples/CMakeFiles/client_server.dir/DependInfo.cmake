@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/client_server.cpp" "examples/CMakeFiles/client_server.dir/client_server.cpp.o" "gcc" "examples/CMakeFiles/client_server.dir/client_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tsr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tsr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/tsr_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/tsr_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tsr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

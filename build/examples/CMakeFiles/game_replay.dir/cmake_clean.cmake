@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_replay.dir/game_replay.cpp.o"
+  "CMakeFiles/game_replay.dir/game_replay.cpp.o.d"
+  "game_replay"
+  "game_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

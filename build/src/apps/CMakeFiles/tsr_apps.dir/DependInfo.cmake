@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/figures/Figures.cpp" "src/apps/CMakeFiles/tsr_apps.dir/figures/Figures.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/figures/Figures.cpp.o.d"
+  "/root/repo/src/apps/game/Game.cpp" "src/apps/CMakeFiles/tsr_apps.dir/game/Game.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/game/Game.cpp.o.d"
+  "/root/repo/src/apps/htop/Htop.cpp" "src/apps/CMakeFiles/tsr_apps.dir/htop/Htop.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/htop/Htop.cpp.o.d"
+  "/root/repo/src/apps/httpd/Httpd.cpp" "src/apps/CMakeFiles/tsr_apps.dir/httpd/Httpd.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/httpd/Httpd.cpp.o.d"
+  "/root/repo/src/apps/layout/Layout.cpp" "src/apps/CMakeFiles/tsr_apps.dir/layout/Layout.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/layout/Layout.cpp.o.d"
+  "/root/repo/src/apps/litmus/Litmus.cpp" "src/apps/CMakeFiles/tsr_apps.dir/litmus/Litmus.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/litmus/Litmus.cpp.o.d"
+  "/root/repo/src/apps/parsec/Kernels.cpp" "src/apps/CMakeFiles/tsr_apps.dir/parsec/Kernels.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/parsec/Kernels.cpp.o.d"
+  "/root/repo/src/apps/pbzip/Lz.cpp" "src/apps/CMakeFiles/tsr_apps.dir/pbzip/Lz.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/pbzip/Lz.cpp.o.d"
+  "/root/repo/src/apps/pbzip/Pbzip.cpp" "src/apps/CMakeFiles/tsr_apps.dir/pbzip/Pbzip.cpp.o" "gcc" "src/apps/CMakeFiles/tsr_apps.dir/pbzip/Pbzip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tsr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/tsr_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/tsr_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tsr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_apps.dir/figures/Figures.cpp.o"
+  "CMakeFiles/tsr_apps.dir/figures/Figures.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/game/Game.cpp.o"
+  "CMakeFiles/tsr_apps.dir/game/Game.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/htop/Htop.cpp.o"
+  "CMakeFiles/tsr_apps.dir/htop/Htop.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/httpd/Httpd.cpp.o"
+  "CMakeFiles/tsr_apps.dir/httpd/Httpd.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/layout/Layout.cpp.o"
+  "CMakeFiles/tsr_apps.dir/layout/Layout.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/litmus/Litmus.cpp.o"
+  "CMakeFiles/tsr_apps.dir/litmus/Litmus.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/parsec/Kernels.cpp.o"
+  "CMakeFiles/tsr_apps.dir/parsec/Kernels.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/pbzip/Lz.cpp.o"
+  "CMakeFiles/tsr_apps.dir/pbzip/Lz.cpp.o.d"
+  "CMakeFiles/tsr_apps.dir/pbzip/Pbzip.cpp.o"
+  "CMakeFiles/tsr_apps.dir/pbzip/Pbzip.cpp.o.d"
+  "libtsr_apps.a"
+  "libtsr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/CostModel.cpp" "src/env/CMakeFiles/tsr_env.dir/CostModel.cpp.o" "gcc" "src/env/CMakeFiles/tsr_env.dir/CostModel.cpp.o.d"
+  "/root/repo/src/env/SimEnv.cpp" "src/env/CMakeFiles/tsr_env.dir/SimEnv.cpp.o" "gcc" "src/env/CMakeFiles/tsr_env.dir/SimEnv.cpp.o.d"
+  "/root/repo/src/env/Syscall.cpp" "src/env/CMakeFiles/tsr_env.dir/Syscall.cpp.o" "gcc" "src/env/CMakeFiles/tsr_env.dir/Syscall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tsr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

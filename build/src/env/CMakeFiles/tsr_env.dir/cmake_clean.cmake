@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_env.dir/CostModel.cpp.o"
+  "CMakeFiles/tsr_env.dir/CostModel.cpp.o.d"
+  "CMakeFiles/tsr_env.dir/SimEnv.cpp.o"
+  "CMakeFiles/tsr_env.dir/SimEnv.cpp.o.d"
+  "CMakeFiles/tsr_env.dir/Syscall.cpp.o"
+  "CMakeFiles/tsr_env.dir/Syscall.cpp.o.d"
+  "libtsr_env.a"
+  "libtsr_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsr_env.a"
+)

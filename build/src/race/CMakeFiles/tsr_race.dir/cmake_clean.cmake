@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_race.dir/AtomicModel.cpp.o"
+  "CMakeFiles/tsr_race.dir/AtomicModel.cpp.o.d"
+  "CMakeFiles/tsr_race.dir/RaceDetector.cpp.o"
+  "CMakeFiles/tsr_race.dir/RaceDetector.cpp.o.d"
+  "libtsr_race.a"
+  "libtsr_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

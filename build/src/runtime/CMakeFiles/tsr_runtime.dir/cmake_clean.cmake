@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_runtime.dir/Explorer.cpp.o"
+  "CMakeFiles/tsr_runtime.dir/Explorer.cpp.o.d"
+  "CMakeFiles/tsr_runtime.dir/Mutex.cpp.o"
+  "CMakeFiles/tsr_runtime.dir/Mutex.cpp.o.d"
+  "CMakeFiles/tsr_runtime.dir/Session.cpp.o"
+  "CMakeFiles/tsr_runtime.dir/Session.cpp.o.d"
+  "CMakeFiles/tsr_runtime.dir/Sys.cpp.o"
+  "CMakeFiles/tsr_runtime.dir/Sys.cpp.o.d"
+  "CMakeFiles/tsr_runtime.dir/Thread.cpp.o"
+  "CMakeFiles/tsr_runtime.dir/Thread.cpp.o.d"
+  "libtsr_runtime.a"
+  "libtsr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

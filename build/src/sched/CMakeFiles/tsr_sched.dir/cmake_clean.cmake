@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_sched.dir/Scheduler.cpp.o"
+  "CMakeFiles/tsr_sched.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/tsr_sched.dir/Strategy.cpp.o"
+  "CMakeFiles/tsr_sched.dir/Strategy.cpp.o.d"
+  "libtsr_sched.a"
+  "libtsr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

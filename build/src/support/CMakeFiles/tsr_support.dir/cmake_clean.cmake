@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr_support.dir/Demo.cpp.o"
+  "CMakeFiles/tsr_support.dir/Demo.cpp.o.d"
+  "CMakeFiles/tsr_support.dir/DemoInspect.cpp.o"
+  "CMakeFiles/tsr_support.dir/DemoInspect.cpp.o.d"
+  "CMakeFiles/tsr_support.dir/Diag.cpp.o"
+  "CMakeFiles/tsr_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/tsr_support.dir/Rle.cpp.o"
+  "CMakeFiles/tsr_support.dir/Rle.cpp.o.d"
+  "libtsr_support.a"
+  "libtsr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

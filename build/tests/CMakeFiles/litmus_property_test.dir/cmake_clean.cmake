@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_property_test.dir/LitmusPropertyTest.cpp.o"
+  "CMakeFiles/litmus_property_test.dir/LitmusPropertyTest.cpp.o.d"
+  "litmus_property_test"
+  "litmus_property_test.pdb"
+  "litmus_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_apps_test.dir/UtilAppsTest.cpp.o"
+  "CMakeFiles/util_apps_test.dir/UtilAppsTest.cpp.o.d"
+  "util_apps_test"
+  "util_apps_test.pdb"
+  "util_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/session_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/race_test[1]_include.cmake")
+include("/root/repo/build/tests/env_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/util_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/explorer_test[1]_include.cmake")

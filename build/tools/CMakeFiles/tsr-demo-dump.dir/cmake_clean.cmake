@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsr-demo-dump.dir/DemoDump.cpp.o"
+  "CMakeFiles/tsr-demo-dump.dir/DemoDump.cpp.o.d"
+  "tsr-demo-dump"
+  "tsr-demo-dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsr-demo-dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
