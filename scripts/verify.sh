@@ -1,0 +1,33 @@
+#!/bin/sh
+# Verifies the tree the way CI would: the tier-1 suite in the plain
+# configuration, then again under AddressSanitizer and UBSan (via the
+# TSR_SANITIZE CMake option). Each configuration builds into its own
+# directory so incremental plain builds stay untouched.
+#
+# Usage: scripts/verify.sh [--fast]
+#   --fast  plain configuration only (skips the sanitizer builds).
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+run_config() {
+  name="$1"
+  sanitize="$2"
+  dir="build-verify-$name"
+  [ "$name" = "plain" ] && dir="build"
+  echo "== $name: configure + build ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "== $name: ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config plain ""
+if [ "$FAST" -eq 0 ]; then
+  run_config asan address
+  run_config ubsan undefined
+fi
+echo "verify: all configurations passed"

@@ -1,0 +1,220 @@
+//===-- env/FaultPlan.cpp - Deterministic fault injection -------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/FaultPlan.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tsr;
+
+FaultPlan FaultPlan::none() { return FaultPlan(); }
+
+FaultPlan &FaultPlan::failWith(SyscallKind Kind, int Err,
+                               double Probability) {
+  ErrnoRule R;
+  R.Kind = Kind;
+  R.Err = Err;
+  R.Probability = Probability;
+  Errnos.push_back(R);
+  return *this;
+}
+
+FaultPlan &FaultPlan::failWithOn(SyscallKind Kind, FdClass Class, int Err,
+                                 double Probability) {
+  ErrnoRule R;
+  R.Kind = Kind;
+  R.Class = Class;
+  R.AnyClass = false;
+  R.Err = Err;
+  R.Probability = Probability;
+  Errnos.push_back(R);
+  return *this;
+}
+
+FaultPlan &FaultPlan::failNth(SyscallKind Kind, uint64_t Nth, int Err) {
+  return storm(Kind, Nth, 1, Err);
+}
+
+FaultPlan &FaultPlan::failNthOn(SyscallKind Kind, FdClass Class,
+                                uint64_t Nth, int Err) {
+  assert(Nth >= 1 && "occurrence indices are 1-based");
+  ScriptedRule R;
+  R.Kind = Kind;
+  R.Class = Class;
+  R.AnyClass = false;
+  R.Nth = Nth;
+  R.Err = Err;
+  Scripted.push_back(R);
+  return *this;
+}
+
+FaultPlan &FaultPlan::storm(SyscallKind Kind, uint64_t Nth, uint64_t Count,
+                            int Err) {
+  assert(Nth >= 1 && "occurrence indices are 1-based");
+  assert(Count >= 1 && "a storm fails at least one occurrence");
+  ScriptedRule R;
+  R.Kind = Kind;
+  R.Nth = Nth;
+  R.Count = Count;
+  R.Err = Err;
+  Scripted.push_back(R);
+  return *this;
+}
+
+FaultPlan &FaultPlan::shortReads(double Probability) {
+  ShortReadP = Probability;
+  return *this;
+}
+
+FaultPlan &FaultPlan::shortWrites(double Probability) {
+  ShortWriteP = Probability;
+  return *this;
+}
+
+FaultPlan &FaultPlan::dropPeerMessages(double Probability) {
+  DropP = Probability;
+  return *this;
+}
+
+FaultPlan &FaultPlan::duplicatePeerMessages(double Probability) {
+  DuplicateP = Probability;
+  return *this;
+}
+
+bool FaultPlan::active() const {
+  return !Errnos.empty() || !Scripted.empty() || ShortReadP > 0.0 ||
+         ShortWriteP > 0.0 || DropP > 0.0 || DuplicateP > 0.0;
+}
+
+uint64_t FaultPlan::hash() const {
+  if (!active())
+    return 0;
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001b3ull;
+  };
+  // Probabilities enter through their raw bit pattern: the hash only needs
+  // to distinguish plans, not compare them numerically.
+  auto MixP = [&Mix](double P) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(P));
+    __builtin_memcpy(&Bits, &P, sizeof(Bits));
+    Mix(Bits);
+  };
+  Mix(Errnos.size());
+  for (const ErrnoRule &R : Errnos) {
+    Mix(static_cast<uint64_t>(R.Kind));
+    Mix(R.AnyClass ? ~0ull : static_cast<uint64_t>(R.Class));
+    Mix(static_cast<uint64_t>(R.Err));
+    MixP(R.Probability);
+  }
+  Mix(Scripted.size());
+  for (const ScriptedRule &R : Scripted) {
+    Mix(static_cast<uint64_t>(R.Kind));
+    Mix(R.AnyClass ? ~0ull : static_cast<uint64_t>(R.Class));
+    Mix(R.Nth);
+    Mix(R.Count);
+    Mix(static_cast<uint64_t>(R.Err));
+  }
+  MixP(ShortReadP);
+  MixP(ShortWriteP);
+  MixP(DropP);
+  MixP(DuplicateP);
+  return H;
+}
+
+void FaultInjector::arm(const FaultPlan &NewPlan, uint64_t Seed0,
+                        uint64_t Seed1) {
+  Plan = NewPlan;
+  // Derive a stream distinct from the scheduler's (which is seeded with
+  // the raw words): the same two META seeds still fully determine it.
+  Rng.reseed(Seed0 ^ 0xFA517EC7ED5EED00ull, Seed1 + 0x0DDFA117);
+  Armed = true;
+  ScriptedSeen.assign(Plan.scriptedRules().size(), 0);
+  Stats = Counters();
+}
+
+bool FaultInjector::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return Rng.nextBool(P);
+}
+
+bool FaultInjector::preIssue(SyscallKind Kind, FdClass Class,
+                             SyscallResult &R) {
+  if (!enabled())
+    return false;
+  // Scripted rules first — they are the reproducible regression triggers
+  // and must not be masked by a probabilistic draw.
+  const auto &Scripted = Plan.scriptedRules();
+  for (size_t I = 0; I != Scripted.size(); ++I) {
+    const FaultPlan::ScriptedRule &Rule = Scripted[I];
+    if (Rule.Kind != Kind || (!Rule.AnyClass && Rule.Class != Class))
+      continue;
+    const uint64_t Seen = ++ScriptedSeen[I];
+    if (Seen >= Rule.Nth && Seen < Rule.Nth + Rule.Count) {
+      R = SyscallResult();
+      R.Ret = -1;
+      R.Err = Rule.Err;
+      ++Stats.ErrnosInjected;
+      return true;
+    }
+  }
+  for (const FaultPlan::ErrnoRule &Rule : Plan.errnoRules()) {
+    if (Rule.Kind != Kind || (!Rule.AnyClass && Rule.Class != Class))
+      continue;
+    if (chance(Rule.Probability)) {
+      R = SyscallResult();
+      R.Ret = -1;
+      R.Err = Rule.Err;
+      ++Stats.ErrnosInjected;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::postIssue(SyscallKind Kind, FdClass, SyscallResult &R) {
+  if (!enabled() || R.Ret <= 1 || R.Err != 0)
+    return; // Nothing to shorten: failed, empty or single-byte transfer.
+  const bool IsRead = Kind == SyscallKind::Read || Kind == SyscallKind::Recv ||
+                      Kind == SyscallKind::RecvMsg;
+  const bool IsWrite = Kind == SyscallKind::Write ||
+                       Kind == SyscallKind::Send ||
+                       Kind == SyscallKind::SendMsg;
+  if (IsRead && chance(Plan.shortReadProbability())) {
+    const uint64_t Len = 1 + Rng.nextBelow(static_cast<uint64_t>(R.Ret) - 1);
+    R.Ret = static_cast<int64_t>(Len);
+    if (R.OutBuf.size() > Len)
+      R.OutBuf.resize(Len);
+    ++Stats.ShortTransfers;
+    return;
+  }
+  if (IsWrite && chance(Plan.shortWriteProbability())) {
+    R.Ret = static_cast<int64_t>(
+        1 + Rng.nextBelow(static_cast<uint64_t>(R.Ret) - 1));
+    ++Stats.ShortTransfers;
+  }
+}
+
+FaultInjector::MessageFate FaultInjector::messageFate() {
+  if (!enabled())
+    return MessageFate::Deliver;
+  if (chance(Plan.dropProbability())) {
+    ++Stats.MessagesDropped;
+    return MessageFate::Drop;
+  }
+  if (chance(Plan.duplicateProbability())) {
+    ++Stats.MessagesDuplicated;
+    return MessageFate::Duplicate;
+  }
+  return MessageFate::Deliver;
+}

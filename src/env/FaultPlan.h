@@ -1,0 +1,191 @@
+//===-- env/FaultPlan.h - Deterministic fault injection ---------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the virtual syscall layer.
+///
+/// The paper's robustness argument rests on the environment being *hostile*:
+/// sockets reset, reads come up short, the kernel says EAGAIN at the worst
+/// possible moment. A FaultPlan describes such hostility declaratively —
+/// per-kind/per-fd-class failure probabilities, scripted triggers ("fail
+/// the 3rd recv on a socket with VECONNRESET"), short transfers, and
+/// peer-message drop/duplication — and a FaultInjector executes it from a
+/// dedicated PRNG seeded with the same two words the demo META records.
+///
+/// The injector sits *before* the record/replay split in
+/// Session::doSyscall: a faulted result is recorded into the SYSCALL
+/// stream exactly like a genuine one, so a demo captured under injection
+/// replays the faults bit-for-bit with the injector disarmed. During
+/// replay the injector is never armed — injecting again would double-fault
+/// a stream that already contains the failures.
+///
+/// All injector entry points run inside the session's critical section
+/// (syscalls and peer callbacks are serialized by the scheduler protocol),
+/// so the injector needs no locking and its PRNG draw sequence is
+/// deterministic for a fixed schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_ENV_FAULTPLAN_H
+#define TSR_ENV_FAULTPLAN_H
+
+#include "env/Syscall.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tsr {
+
+/// A declarative description of the faults to inject into one run.
+/// Builder-style: chain the configuration calls, then hand the plan to
+/// SessionConfig::Faults.
+class FaultPlan {
+public:
+  /// Probabilistic errno fault: each matching call fails with \p Err with
+  /// probability \p Probability, without touching the environment.
+  struct ErrnoRule {
+    SyscallKind Kind = SyscallKind::Read;
+    FdClass Class = FdClass::None;
+    bool AnyClass = true; ///< Match every fd class (Class ignored).
+    int Err = 0;
+    double Probability = 0.0;
+  };
+
+  /// Scripted errno fault: the occurrences [Nth, Nth + Count) of a
+  /// matching call fail with \p Err. Occurrences are counted per rule,
+  /// 1-based, over the whole run.
+  struct ScriptedRule {
+    SyscallKind Kind = SyscallKind::Read;
+    FdClass Class = FdClass::None;
+    bool AnyClass = true;
+    uint64_t Nth = 1;
+    uint64_t Count = 1;
+    int Err = 0;
+  };
+
+  /// A plan that injects nothing (the default).
+  static FaultPlan none();
+
+  /// Fails calls of \p Kind (any fd class) with \p Err at \p Probability.
+  FaultPlan &failWith(SyscallKind Kind, int Err, double Probability);
+
+  /// As failWith, restricted to fds of \p Class.
+  FaultPlan &failWithOn(SyscallKind Kind, FdClass Class, int Err,
+                        double Probability);
+
+  /// Fails exactly the \p Nth call of \p Kind with \p Err ("fail the 3rd
+  /// recv with VECONNRESET").
+  FaultPlan &failNth(SyscallKind Kind, uint64_t Nth, int Err);
+
+  /// As failNth, restricted to fds of \p Class.
+  FaultPlan &failNthOn(SyscallKind Kind, FdClass Class, uint64_t Nth,
+                       int Err);
+
+  /// Scripted storm: occurrences [Nth, Nth + Count) of \p Kind all fail
+  /// with \p Err — e.g. a VEAGAIN storm that forces the application
+  /// through its retry loop \p Count times in a row.
+  FaultPlan &storm(SyscallKind Kind, uint64_t Nth, uint64_t Count, int Err);
+
+  /// Truncates successful reads (read/recv/recvmsg) to a random shorter
+  /// length with probability \p Probability. The simulated tail is
+  /// dropped, modelling a partial delivery.
+  FaultPlan &shortReads(double Probability);
+
+  /// Shortens the reported length of successful writes (write/send/
+  /// sendmsg) with probability \p Probability. The environment still
+  /// receives the full payload; only the application's view shrinks —
+  /// enough to exercise partial-write handling deterministically.
+  FaultPlan &shortWrites(double Probability);
+
+  /// Silently discards peer->application messages with \p Probability.
+  FaultPlan &dropPeerMessages(double Probability);
+
+  /// Enqueues peer->application messages twice with \p Probability.
+  FaultPlan &duplicatePeerMessages(double Probability);
+
+  /// True when any rule or probability is set.
+  bool active() const;
+
+  /// Stable hash over the whole plan; stored in the demo META stream so
+  /// tools can see that (and under which plan) a demo was recorded with
+  /// injection. Zero for an inactive plan.
+  uint64_t hash() const;
+
+  const std::vector<ErrnoRule> &errnoRules() const { return Errnos; }
+  const std::vector<ScriptedRule> &scriptedRules() const { return Scripted; }
+  double shortReadProbability() const { return ShortReadP; }
+  double shortWriteProbability() const { return ShortWriteP; }
+  double dropProbability() const { return DropP; }
+  double duplicateProbability() const { return DuplicateP; }
+
+private:
+  std::vector<ErrnoRule> Errnos;
+  std::vector<ScriptedRule> Scripted;
+  double ShortReadP = 0.0;
+  double ShortWriteP = 0.0;
+  double DropP = 0.0;
+  double DuplicateP = 0.0;
+};
+
+/// Executes a FaultPlan. Owned by the Session; armed (outside replay) with
+/// the seeds that go into META, consulted by Session::doSyscall around
+/// every native issue and by SimEnv for each peer message.
+class FaultInjector {
+public:
+  /// What happened to the run, for RunReport.
+  struct Counters {
+    uint64_t ErrnosInjected = 0;   ///< Calls failed outright.
+    uint64_t ShortTransfers = 0;   ///< Reads/writes truncated.
+    uint64_t MessagesDropped = 0;  ///< Peer messages discarded.
+    uint64_t MessagesDuplicated = 0;
+
+    uint64_t total() const {
+      return ErrnosInjected + ShortTransfers + MessagesDropped +
+             MessagesDuplicated;
+    }
+  };
+
+  /// Fate of one peer->application message.
+  enum class MessageFate { Deliver, Drop, Duplicate };
+
+  /// Arms the injector. \p Seed0/\p Seed1 are the session's META seeds;
+  /// the injector derives its own stream from them so scheduler draws and
+  /// fault draws stay independent.
+  void arm(const FaultPlan &Plan, uint64_t Seed0, uint64_t Seed1);
+
+  /// True when armed with an active plan.
+  bool enabled() const { return Armed && Plan.active(); }
+
+  /// Consulted before the environment executes a call. Returns true when
+  /// the call must fail without running: \p R is filled with ret -1 and
+  /// the injected errno.
+  bool preIssue(SyscallKind Kind, FdClass Class, SyscallResult &R);
+
+  /// Consulted after a successful native issue; may shorten the result
+  /// (short reads / short writes).
+  void postIssue(SyscallKind Kind, FdClass Class, SyscallResult &R);
+
+  /// Decides the fate of one peer->application message.
+  MessageFate messageFate();
+
+  const Counters &counters() const { return Stats; }
+
+private:
+  bool chance(double P);
+
+  FaultPlan Plan;
+  Prng Rng;
+  bool Armed = false;
+  /// Per-ScriptedRule occurrence counters (parallel to scriptedRules()).
+  std::vector<uint64_t> ScriptedSeen;
+  Counters Stats;
+};
+
+} // namespace tsr
+
+#endif // TSR_ENV_FAULTPLAN_H

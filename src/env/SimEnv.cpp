@@ -7,6 +7,8 @@
 
 #include "env/SimEnv.h"
 
+#include "env/FaultPlan.h"
+
 #include "support/Compiler.h"
 #include "support/Diag.h"
 
@@ -47,6 +49,11 @@ public:
     Connection &C = Env.Conns[It->second];
     if (C.AppClosed)
       return;
+    auto Fate = FaultInjector::MessageFate::Deliver;
+    if (Env.Faults)
+      Fate = Env.Faults->messageFate();
+    if (Fate == FaultInjector::MessageFate::Drop)
+      return; // Lost on the simulated wire.
     Message M;
     M.ArriveAt = Now_ + Env.latency() + ExtraDelay;
     M.Data = std::move(Data);
@@ -54,6 +61,10 @@ public:
     // delay may not overtake in-order stream transport.
     if (!C.ToApp.empty())
       M.ArriveAt = std::max(M.ArriveAt, C.ToApp.back().ArriveAt);
+    if (Fate == FaultInjector::MessageFate::Duplicate) {
+      Message Dup = M; // Same arrival: back-to-back duplicate delivery.
+      C.ToApp.push_back(std::move(Dup));
+    }
     C.ToApp.push_back(std::move(M));
   }
 
@@ -499,7 +510,7 @@ SyscallResult SimEnv::sysOpen(Tid, const std::string &Path, bool Create) {
     }
     Fs[Path] = {};
   }
-  Files.push_back({Path, 0, Create});
+  Files.push_back({Path, 0, Create, false, {}});
   R.Ret = allocFd(FdClass::File, Files.size() - 1);
   return R;
 }

@@ -67,6 +67,9 @@ inline constexpr int VENOTCONN = 107;
 inline constexpr int VEADDRINUSE = 98;
 inline constexpr int VECONNREFUSED = 111;
 inline constexpr int VENOENT = 2;
+// Used (so far) only by injected faults (env/FaultPlan.h).
+inline constexpr int VEINTR = 4;
+inline constexpr int VECONNRESET = 104;
 
 /// ioctl request codes understood by virtual devices.
 enum class IoctlReq : uint64_t {
@@ -77,6 +80,7 @@ enum class IoctlReq : uint64_t {
 };
 
 class SimEnv;
+class FaultInjector;
 
 /// Interface a scripted peer uses to act on the world. Valid only for the
 /// duration of the callback it is passed to.
@@ -196,6 +200,11 @@ public:
   /// Reads back a virtual file (empty if absent).
   std::vector<uint8_t> fileContents(const std::string &Path);
 
+  /// Attaches (or detaches, with null) the session's fault injector: each
+  /// peer->application message then asks it for a deliver/drop/duplicate
+  /// fate. Null and disarmed injectors deliver everything.
+  void setFaultInjector(FaultInjector *F) { Faults = F; }
+
   CostModel &cost() { return Cost; }
 
 private:
@@ -265,6 +274,7 @@ private:
   CostModel &Cost;
   Options Opts;
   Prng Rng;
+  FaultInjector *Faults = nullptr;
   std::mutex Mu;
 
   struct PeerSlot {

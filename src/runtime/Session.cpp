@@ -50,13 +50,17 @@ void Session::writeMeta() {
   W.writeVarU64(UsedSeed0);
   W.writeVarU64(UsedSeed1);
   W.writeVarU64(Config.Policy.hash());
+  // Informational: nonzero marks a demo recorded under fault injection
+  // (the faults themselves live in the SYSCALL stream, so replay needs no
+  // plan — but tools and humans deserve to know).
+  W.writeVarU64(Config.Faults.hash());
   RecordDemo.setStream(StreamKind::Meta, W.take());
 }
 
 bool Session::checkMeta(std::string &Error) {
   ByteReader R = Config.ReplayDemo->reader(StreamKind::Meta);
   std::string Magic;
-  uint64_t Version, S0, S1, PolicyHash;
+  uint64_t Version, S0, S1, PolicyHash, FaultHash;
   uint8_t Strategy, Controlled, WeakMemory;
   if (!R.readString(Magic) || Magic != "tsrdemo") {
     Error = "demo META missing or not a tsr demo";
@@ -68,7 +72,7 @@ bool Session::checkMeta(std::string &Error) {
   }
   if (!R.readByte(Strategy) || !R.readByte(Controlled) ||
       !R.readByte(WeakMemory) || !R.readVarU64(S0) || !R.readVarU64(S1) ||
-      !R.readVarU64(PolicyHash)) {
+      !R.readVarU64(PolicyHash) || !R.readVarU64(FaultHash)) {
     Error = "truncated demo META";
     return false;
   }
@@ -99,6 +103,9 @@ RunReport Session::run(std::function<void()> MainFn) {
     if (!checkMeta(Error))
       fatal("cannot replay demo: %s", Error.c_str());
     SyscallReader = ByteReader(Config.ReplayDemo->stream(StreamKind::Syscall));
+    if (Config.Faults.active())
+      warn("fault plan ignored during replay: recorded faults replay "
+           "from the SYSCALL stream with the injector disarmed");
   } else {
     UsedSeed0 = Config.Seed0;
     UsedSeed1 = Config.Seed1;
@@ -108,6 +115,12 @@ RunReport Session::run(std::function<void()> MainFn) {
       const auto E = Prng::freshEntropy();
       UsedSeed0 = E.first;
       UsedSeed1 = E.second;
+    }
+    if (Config.Faults.active()) {
+      // Armed from the META seeds: the recorded demo pins both the world
+      // and the faults injected into it.
+      Injector.arm(Config.Faults, UsedSeed0, UsedSeed1);
+      Env->setFaultInjector(&Injector);
     }
   }
 
@@ -168,9 +181,14 @@ RunReport Session::run(std::function<void()> MainFn) {
         Sched->desyncKind() == DesyncKind::None) {
       // A schedule constraint that can never be satisfied manifests as a
       // stall: classify it as hard desync and free-run to completion.
-      Sched->declareHardDesync(
-          "watchdog: replay made no progress; a recorded schedule "
-          "constraint cannot be satisfied");
+      DesyncReport WD = syscallDesyncReport(DesyncReason::WatchdogStall,
+                                            InvalidTid);
+      WD.Stream = StreamKind::Queue;
+      WD.Actual = formatString(
+          "watchdog: replay made no progress for %llu ms; a recorded "
+          "schedule constraint cannot be satisfied",
+          static_cast<unsigned long long>(Config.WatchdogTimeoutMs));
+      Sched->declareDesync(std::move(WD));
       Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
     }
     if (!Done)
@@ -198,11 +216,23 @@ RunReport Session::run(std::function<void()> MainFn) {
   R.Races = Race->reports();
   R.Sched = Sched->statsSnapshot();
   R.Atomics = Atomics->statsSnapshot();
-  R.Desync = Sched->desyncKind();
-  R.DesyncMessage = Sched->desyncMessage();
+  {
+    DesyncReport DR = Sched->desyncReport();
+    if (SyscallStreamExhausted)
+      ++DR.SoftResyncs;
+    if (DR.SyscallCursor.Total == 0 && DR.SyscallCursor.Consumed == 0)
+      DR.SyscallCursor = {SyscallReader.position(), SyscallReader.size()};
+    DR.Message = renderDesyncReport(DR);
+    R.Desync = DR.Kind;
+    R.DesyncMessage = DR.hard() ? DR.Message : "";
+    R.Sched.SoftResyncs = DR.SoftResyncs;
+    R.DesyncInfo = std::move(DR);
+  }
   R.SyscallsIssued = SyscallsIssued.load();
   R.SyscallsRecorded = SyscallsRecorded.load();
   R.SyscallsReplayed = SyscallsReplayed.load();
+  R.FaultsInjected = Injector.counters();
+  R.SyscallsInjected = R.FaultsInjected.ErrnosInjected;
   R.VirtualNs = Cost->makespan();
   R.WallSeconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - WallStart)
@@ -303,26 +333,44 @@ void Session::postSignal(Tid Target, Signo S) {
     Sched->postSignal(Target, S);
 }
 
-SyscallResult Session::replaySyscall(SyscallKind Kind) {
+DesyncReport Session::syscallDesyncReport(DesyncReason Reason,
+                                          Tid Self) const {
+  DesyncReport R;
+  R.Reason = Reason;
+  R.Stream = StreamKind::Syscall;
+  R.Thread = Self;
+  R.SyscallCursor = {SyscallReader.position(), SyscallReader.size()};
+  return R;
+}
+
+SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
   if (SyscallReader.atEnd()) {
     // Demo exhausted: free-run from here on (soft desync territory).
     SyscallResult R;
     R.Err = -1;
     return R;
   }
+  const size_t RecordStart = SyscallReader.position();
   uint64_t K;
   if (!SyscallReader.readVarU64(K) ||
       K >= static_cast<uint64_t>(SyscallKind::NumKinds)) {
-    Sched->declareHardDesync("corrupt SYSCALL stream");
+    DesyncReport D = syscallDesyncReport(DesyncReason::SyscallCorrupt, Self);
+    D.Expected = "a syscall kind varint";
+    D.Actual = formatString("undecodable value at stream offset %zu",
+                            RecordStart);
+    Sched->declareDesync(std::move(D));
     SyscallResult R;
     R.Err = -1;
     return R;
   }
   if (K != static_cast<uint64_t>(Kind)) {
-    Sched->declareHardDesync(formatString(
-        "SYSCALL stream expects '%s' but the program issued '%s'",
-        syscallKindName(static_cast<SyscallKind>(K)),
-        syscallKindName(Kind)));
+    DesyncReport D =
+        syscallDesyncReport(DesyncReason::SyscallKindMismatch, Self);
+    D.Expected = formatString(
+        "'%s' (next recorded call, at stream offset %zu)",
+        syscallKindName(static_cast<SyscallKind>(K)), RecordStart);
+    D.Actual = formatString("the program issued '%s'", syscallKindName(Kind));
+    Sched->declareDesync(std::move(D));
     SyscallResult R;
     R.Err = -1;
     return R;
@@ -332,7 +380,13 @@ SyscallResult Session::replaySyscall(SyscallKind Kind) {
   uint64_t Err;
   if (!SyscallReader.readVarI64(Ret) || !SyscallReader.readVarU64(Err) ||
       !rle::decodeBytes(SyscallReader, R.OutBuf)) {
-    Sched->declareHardDesync("truncated SYSCALL record");
+    DesyncReport D =
+        syscallDesyncReport(DesyncReason::SyscallTruncated, Self);
+    D.Expected = formatString("a complete '%s' record starting at stream "
+                              "offset %zu",
+                              syscallKindName(Kind), RecordStart);
+    D.Actual = "the stream ends mid-record";
+    Sched->declareDesync(std::move(D));
     R.Err = -1;
     return R;
   }
@@ -355,20 +409,34 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
                           ? Config.Cost.SyscallRecordCost
                           : 0;
   return visibleOp(
-      [&](Tid) -> SyscallResult {
+      [&](Tid Self) -> SyscallResult {
         SyscallsIssued.fetch_add(1);
         if (Config.ExecMode == Mode::Replay && Recordable &&
             Sched->desyncKind() == DesyncKind::None) {
           const size_t Before = SyscallReader.position();
-          SyscallResult R = replaySyscall(Kind);
+          SyscallResult R = replaySyscall(Kind, Self);
           if (Sched->desyncKind() == DesyncKind::None &&
               (SyscallReader.position() != Before)) {
             SyscallsReplayed.fetch_add(1);
             return R;
           }
-          // Exhausted or desynced: fall through and issue natively.
+          // Exhausted or desynced: fall through and issue natively. The
+          // first exhaustion is one soft resync (the recording simply
+          // ended before the program did).
+          if (Sched->desyncKind() == DesyncKind::None)
+            SyscallStreamExhausted = true;
         }
-        SyscallResult R = Issue();
+        // The fault injector sits before the record/replay split: an
+        // injected failure is recorded like a genuine one, so replay
+        // reproduces it from the stream with the injector disarmed.
+        SyscallResult R;
+        const bool Faulted = Config.ExecMode != Mode::Replay &&
+                             Injector.preIssue(Kind, Class, R);
+        if (!Faulted) {
+          R = Issue();
+          if (Config.ExecMode != Mode::Replay)
+            Injector.postIssue(Kind, Class, R);
+        }
         if (Config.ExecMode == Mode::Record && Recordable) {
           recordSyscall(Kind, R);
           SyscallsRecorded.fetch_add(1);

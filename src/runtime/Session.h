@@ -38,6 +38,7 @@
 #define TSR_RUNTIME_SESSION_H
 
 #include "env/CostModel.h"
+#include "env/FaultPlan.h"
 #include "env/SimEnv.h"
 #include "env/Syscall.h"
 #include "race/AtomicModel.h"
@@ -88,6 +89,12 @@ struct SessionConfig {
   /// Sparse syscall recording policy (§4.4).
   RecordPolicy Policy = RecordPolicy::none();
 
+  /// Deterministic fault injection plan. Applied in Free and Record modes
+  /// only — it sits before the record/replay split, so a demo recorded
+  /// under injection replays the faults from the SYSCALL stream with the
+  /// injector disarmed. Ignored (with a warning) during replay.
+  FaultPlan Faults = FaultPlan::none();
+
   /// Demo to replay (required when ExecMode == Replay).
   const Demo *ReplayDemo = nullptr;
 
@@ -116,12 +123,22 @@ struct RunReport {
   SchedulerStats Sched;
   AtomicModelStats Atomics;
 
+  /// Replay health. Desync/DesyncMessage summarise DesyncInfo (the
+  /// message is empty unless a hard desync occurred); DesyncInfo carries
+  /// the full structured report — reason, tick, thread, expected vs
+  /// actual, per-stream cursors and the soft-resync count.
   DesyncKind Desync = DesyncKind::None;
   std::string DesyncMessage;
+  DesyncReport DesyncInfo;
 
   uint64_t SyscallsIssued = 0;
   uint64_t SyscallsRecorded = 0;
   uint64_t SyscallsReplayed = 0;
+
+  /// Faults the injector placed into this run (zero in replay, where
+  /// recorded faults come back through the SYSCALL stream instead).
+  FaultInjector::Counters FaultsInjected;
+  uint64_t SyscallsInjected = 0; ///< == FaultsInjected.ErrnosInjected.
 
   /// Deterministic virtual makespan (see CostModel.h).
   VTime VirtualNs = 0;
@@ -226,8 +243,9 @@ private:
   void runHandlerIfPending(Tid Self);
   void writeMeta();
   bool checkMeta(std::string &Error);
-  SyscallResult replaySyscall(SyscallKind Kind);
+  SyscallResult replaySyscall(SyscallKind Kind, Tid Self);
   void recordSyscall(SyscallKind Kind, const SyscallResult &R);
+  DesyncReport syscallDesyncReport(DesyncReason Reason, Tid Self) const;
 
   SessionConfig Config;
   Demo RecordDemo;
@@ -255,6 +273,12 @@ private:
   std::atomic<uint64_t> SyscallsIssued{0};
   std::atomic<uint64_t> SyscallsRecorded{0};
   std::atomic<uint64_t> SyscallsReplayed{0};
+
+  /// Executes SessionConfig::Faults (armed outside replay only).
+  FaultInjector Injector;
+
+  /// Set when the SYSCALL stream ran dry mid-replay: one soft resync.
+  bool SyscallStreamExhausted = false;
 
   std::thread LivenessThread;
   std::mutex LivenessMu;

@@ -14,6 +14,7 @@
 #ifndef TSR_SCHED_COMMON_H
 #define TSR_SCHED_COMMON_H
 
+#include "support/Desync.h"
 #include "support/VectorClock.h"
 
 #include <cstdint>

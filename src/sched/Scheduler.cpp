@@ -156,11 +156,17 @@ void Scheduler::chooseNextLocked() {
     if (CurTick < ReplayQueue.size()) {
       const uint64_t T = ReplayQueue[CurTick];
       if (T >= Threads.size() || Threads[T].Finished) {
-        hardDesyncLocked(formatString(
-            "QUEUE designates thread %llu at tick %llu, but it %s",
-            static_cast<unsigned long long>(T),
-            static_cast<unsigned long long>(CurTick),
-            T >= Threads.size() ? "does not exist" : "has finished"));
+        DesyncReport R;
+        R.Reason = DesyncReason::QueueBadThread;
+        R.Stream = StreamKind::Queue;
+        R.Thread = T < InvalidTid ? static_cast<Tid>(T) : InvalidTid;
+        R.Expected = formatString(
+            "thread %llu runnable", static_cast<unsigned long long>(T));
+        R.Actual = T >= Threads.size()
+                       ? formatString("only %zu threads exist",
+                                      Threads.size())
+                       : "it has finished";
+        hardDesyncLocked(std::move(R));
         return;
       }
       Active = static_cast<Tid>(T);
@@ -170,11 +176,15 @@ void Scheduler::chooseNextLocked() {
       return;
     }
     // Demo exhausted: the recording ended here; continue free-running
-    // (soft desynchronisation territory, §4).
+    // (soft desynchronisation territory, §4). Exhaustion with live
+    // threads is a soft resync; exhaustion at the natural end of the
+    // program (every thread finished) is a clean replay.
     if (!Stats.DemoExhausted) {
       Stats.DemoExhausted = true;
       Stats.DemoExhaustedAtTick = CurTick;
       FreeRunFcfs = true;
+      if (!allFinishedLocked())
+        ++Stats.SoftResyncs;
     }
     Active = AnyTid;
     return;
@@ -196,9 +206,16 @@ void Scheduler::applyInjectionsLocked() {
          ReplaySignals[ReplaySignalPos].Tick <= CurTick) {
     const SignalEntry &E = ReplaySignals[ReplaySignalPos++];
     if (E.Thread >= Threads.size()) {
-      hardDesyncLocked(formatString(
-          "SIGNAL targets unknown thread %u at tick %llu", E.Thread,
-          static_cast<unsigned long long>(E.Tick)));
+      DesyncReport R;
+      R.Reason = DesyncReason::SignalBadThread;
+      R.Stream = StreamKind::Signal;
+      R.Thread = E.Thread;
+      R.Expected = formatString("thread %u registered for signal %d at "
+                                "tick %llu",
+                                E.Thread, E.Sig,
+                                static_cast<unsigned long long>(E.Tick));
+      R.Actual = formatString("only %zu threads exist", Threads.size());
+      hardDesyncLocked(std::move(R));
       return;
     }
     Threads[E.Thread].DeliverableSignals.push_back(E.Sig);
@@ -212,9 +229,15 @@ void Scheduler::applyInjectionsLocked() {
     switch (E.Kind) {
     case AsyncEventKind::SignalWakeup:
       if (E.Thread >= Threads.size()) {
-        hardDesyncLocked(formatString(
-            "ASYNC wakeup targets unknown thread %u at tick %llu", E.Thread,
-            static_cast<unsigned long long>(E.Tick)));
+        DesyncReport R;
+        R.Reason = DesyncReason::AsyncBadThread;
+        R.Stream = StreamKind::Async;
+        R.Thread = E.Thread;
+        R.Expected = formatString(
+            "thread %u registered for a wakeup at tick %llu", E.Thread,
+            static_cast<unsigned long long>(E.Tick));
+        R.Actual = formatString("only %zu threads exist", Threads.size());
+        hardDesyncLocked(std::move(R));
         return;
       }
       enableForWakeupLocked(E.Thread);
@@ -258,15 +281,27 @@ void Scheduler::deadlockCheckLocked() {
         dumpStateLocked().c_str());
 }
 
-void Scheduler::hardDesyncLocked(std::string Message) {
-  if (Desync == DesyncKind::Hard)
-    return;
-  Desync = DesyncKind::Hard;
-  DesyncMsg = std::move(Message);
+void Scheduler::fillCursorsLocked(DesyncReport &R) const {
+  const uint64_t Total = ReplayQueue.size();
+  R.QueueCursor = {CurTick < Total ? CurTick : Total, Total};
+  R.SignalCursor = {ReplaySignalPos, ReplaySignals.size()};
+  R.AsyncCursor = {ReplayAsyncPos, ReplayAsync.size()};
+  // SyscallCursor belongs to the session; it stays as the caller set it.
+}
+
+void Scheduler::hardDesyncLocked(DesyncReport R) {
+  if (Report.Kind == DesyncKind::Hard)
+    return; // First report wins; later ones are downstream noise.
+  R.Kind = DesyncKind::Hard;
+  R.Tick = CurTick;
+  fillCursorsLocked(R);
+  R.SoftResyncs = Stats.SoftResyncs;
+  R.Message = renderDesyncReport(R);
+  Report = std::move(R);
   if (Opts.AbortOnHardDesync)
-    fatal("replay hard desynchronisation: %s", DesyncMsg.c_str());
+    fatal("replay hard desynchronisation: %s", Report.Message.c_str());
   warn("replay hard desynchronisation: %s (continuing uncontrolled)",
-       DesyncMsg.c_str());
+       Report.Message.c_str());
   FreeRunFcfs = true;
   // Reset the designation unless a thread is mid-critical-section (its
   // tick() will re-designate through the free-run path).
@@ -558,9 +593,16 @@ bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
   return true;
 }
 
-void Scheduler::declareHardDesync(const std::string &Message) {
+void Scheduler::declareDesync(DesyncReport Report) {
   std::lock_guard<std::mutex> L(Mu);
-  hardDesyncLocked(Message);
+  hardDesyncLocked(std::move(Report));
+}
+
+void Scheduler::declareHardDesync(const std::string &Message) {
+  DesyncReport R;
+  R.Reason = DesyncReason::Other;
+  R.Actual = Message;
+  declareDesync(std::move(R));
 }
 
 void Scheduler::finishRecording() {
@@ -580,12 +622,21 @@ uint64_t Scheduler::currentTick() {
 
 DesyncKind Scheduler::desyncKind() {
   std::lock_guard<std::mutex> L(Mu);
-  return Desync;
+  return Report.Kind;
 }
 
 std::string Scheduler::desyncMessage() {
   std::lock_guard<std::mutex> L(Mu);
-  return DesyncMsg;
+  return Report.Message;
+}
+
+DesyncReport Scheduler::desyncReport() {
+  std::lock_guard<std::mutex> L(Mu);
+  DesyncReport R = Report;
+  if (R.Kind == DesyncKind::None)
+    fillCursorsLocked(R);
+  R.SoftResyncs = Stats.SoftResyncs;
+  return R;
 }
 
 SchedulerStats Scheduler::statsSnapshot() {

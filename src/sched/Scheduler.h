@@ -48,13 +48,9 @@
 
 namespace tsr {
 
-/// Replay health (§4): a synchronised replay satisfies every recorded
-/// constraint; a hard desynchronisation is a constraint the tool could not
-/// enforce.
-enum class DesyncKind : unsigned {
-  None = 0,
-  Hard,
-};
+// DesyncKind and the structured DesyncReport live in support/Desync.h
+// (pulled in through sched/Common.h): the session's syscall layer fills
+// the same report type without depending on the scheduler.
 
 /// Scheduler configuration.
 struct SchedulerOptions {
@@ -98,6 +94,11 @@ struct SchedulerStats {
   uint64_t SignalWakeups = 0;
   uint64_t DemoExhaustedAtTick = 0;
   bool DemoExhausted = false;
+
+  /// Soft resyncs: the QUEUE stream ran dry while threads were still live,
+  /// so replay fell back to free-running. Exhaustion at the natural end of
+  /// the program (all threads finished) is not counted.
+  uint64_t SoftResyncs = 0;
 };
 
 /// The controlled scheduler. All public methods are thread-safe.
@@ -191,8 +192,14 @@ public:
   bool waitAllFinished(uint64_t TimeoutMs);
 
   /// Declares a hard desynchronisation discovered by a higher layer (e.g.
-  /// a SYSCALL kind mismatch): records the reason and drops to
-  /// uncontrolled first-come-first-served execution.
+  /// a SYSCALL kind mismatch): drops to uncontrolled first-come-first-
+  /// served execution and keeps the report. The caller fills Reason,
+  /// Stream, Thread, Expected/Actual and (for SYSCALL desyncs) the
+  /// SyscallCursor; the scheduler stamps the tick and its own cursors and
+  /// renders the message.
+  void declareDesync(DesyncReport Report);
+
+  /// Legacy free-form variant (Reason::Other).
   void declareHardDesync(const std::string &Message);
 
   /// Flushes record-mode streams into the record demo.
@@ -204,6 +211,12 @@ public:
   /// Replay health.
   DesyncKind desyncKind();
   std::string desyncMessage();
+
+  /// Snapshot of the structured desync report. For a synchronised run the
+  /// report has Kind == None with the current cursor positions and soft-
+  /// resync count filled in; after a hard desync it is the report frozen
+  /// at declaration time (with SoftResyncs kept current).
+  DesyncReport desyncReport();
 
   SchedulerStats statsSnapshot();
 
@@ -248,7 +261,8 @@ private:
   void applyInjectionsLocked();
   void noticeSignalsLocked(Tid Self);
   void deadlockCheckLocked();
-  void hardDesyncLocked(std::string Message);
+  void hardDesyncLocked(DesyncReport Report);
+  void fillCursorsLocked(DesyncReport &Report) const;
   void enableForWakeupLocked(Tid T);
   void removeFromWaitListsLocked(Tid T);
   void recordAsyncLocked(AsyncEventKind Kind, Tid T);
@@ -300,8 +314,8 @@ private:
   Tid LastGranter = InvalidTid;
   unsigned SelfGrantStreak = 0;
 
-  DesyncKind Desync = DesyncKind::None;
-  std::string DesyncMsg;
+  /// Structured desync state; Report.Kind doubles as the health flag.
+  DesyncReport Report;
 
   uint64_t LastLivenessTick = ~0ull;
   SchedulerStats Stats;

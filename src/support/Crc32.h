@@ -1,0 +1,60 @@
+//===-- support/Crc32.h - CRC-32 checksums ----------------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+/// Guards every demo stream on disk: a bit-flip or truncation of a demo
+/// file must surface as a precise load error, never as a confusing replay
+/// desynchronisation hours later.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_CRC32_H
+#define TSR_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tsr {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> makeCrc32Table() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+inline constexpr std::array<uint32_t, 256> Crc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/// CRC-32 of \p Size bytes at \p Data. \p Seed chains incremental updates:
+/// pass the previous return value to continue a running checksum.
+inline uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I != Size; ++I)
+    C = detail::Crc32Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+/// CRC-32 of a whole byte vector.
+inline uint32_t crc32(const std::vector<uint8_t> &Bytes, uint32_t Seed = 0) {
+  return crc32(Bytes.data(), Bytes.size(), Seed);
+}
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_CRC32_H

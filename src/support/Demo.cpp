@@ -8,6 +8,8 @@
 #include "support/Demo.h"
 
 #include "support/Compiler.h"
+#include "support/Crc32.h"
+#include "support/Diag.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -39,16 +41,48 @@ size_t Demo::totalSize() const {
   return Total;
 }
 
-static bool writeFile(const std::string &Path,
-                      const std::vector<uint8_t> &Bytes, std::string &Error) {
+namespace {
+
+/// On-disk per-stream header (little-endian):
+///   [0..3]   magic "TSRS"
+///   [4]      demo format version
+///   [5]      stream kind
+///   [6..7]   reserved (zero)
+///   [8..11]  payload length
+///   [12..15] CRC-32 of the payload
+void packHeader(uint8_t Out[Demo::StreamHeaderSize], StreamKind Kind,
+                const std::vector<uint8_t> &Payload) {
+  std::memcpy(Out, Demo::StreamMagic, 4);
+  Out[4] = static_cast<uint8_t>(Demo::FormatVersion);
+  Out[5] = static_cast<uint8_t>(Kind);
+  Out[6] = Out[7] = 0;
+  const uint32_t Len = static_cast<uint32_t>(Payload.size());
+  const uint32_t Crc = crc32(Payload);
+  for (int I = 0; I != 4; ++I) {
+    Out[8 + I] = static_cast<uint8_t>(Len >> (8 * I));
+    Out[12 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+  }
+}
+
+uint32_t unpackU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 |
+         static_cast<uint32_t>(P[3]) << 24;
+}
+
+bool writeStreamFile(const std::string &Path, StreamKind Kind,
+                     const std::vector<uint8_t> &Payload,
+                     std::string &Error) {
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
     Error = Path + ": " + std::strerror(errno);
     return false;
   }
-  bool Ok = true;
-  if (!Bytes.empty())
-    Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  uint8_t Header[Demo::StreamHeaderSize];
+  packHeader(Header, Kind, Payload);
+  bool Ok = std::fwrite(Header, 1, sizeof(Header), F) == sizeof(Header);
+  if (Ok && !Payload.empty())
+    Ok = std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
   if (std::fclose(F) != 0)
     Ok = false;
   if (!Ok)
@@ -56,30 +90,101 @@ static bool writeFile(const std::string &Path,
   return Ok;
 }
 
-static bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes,
-                     bool &Missing, std::string &Error) {
+/// Reads and validates one stream file. On success fills \p Payload.
+/// \p Missing reports a nonexistent file (not an error by itself; the
+/// caller decides based on LoadMode). Every failure message names the
+/// stream and the byte offset where validation broke down.
+bool readStreamFile(const std::string &Path, StreamKind Kind,
+                    std::vector<uint8_t> &Payload, bool &Missing,
+                    std::string &Error) {
   Missing = false;
+  const char *Name = streamName(Kind);
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (errno == ENOENT) {
       Missing = true;
       return true;
     }
-    Error = Path + ": " + std::strerror(errno);
+    Error = formatString("%s: %s stream unreadable: %s", Path.c_str(), Name,
+                         std::strerror(errno));
     return false;
   }
   std::fseek(F, 0, SEEK_END);
-  const long Size = std::ftell(F);
+  const long FileSize = std::ftell(F);
   std::fseek(F, 0, SEEK_SET);
-  Bytes.resize(Size > 0 ? static_cast<size_t>(Size) : 0);
+  uint8_t Header[Demo::StreamHeaderSize];
+  if (FileSize < 0 ||
+      static_cast<size_t>(FileSize) < Demo::StreamHeaderSize ||
+      std::fread(Header, 1, sizeof(Header), F) != sizeof(Header)) {
+    Error = formatString(
+        "%s: %s stream truncated in its header: %ld bytes on disk, the "
+        "%zu-byte header does not fit",
+        Path.c_str(), Name, FileSize < 0 ? 0L : FileSize,
+        Demo::StreamHeaderSize);
+    std::fclose(F);
+    return false;
+  }
+  if (std::memcmp(Header, Demo::StreamMagic, 4) != 0) {
+    Error = formatString(
+        "%s: %s stream has bad magic at offset 0 — not a tsr demo stream",
+        Path.c_str(), Name);
+    std::fclose(F);
+    return false;
+  }
+  if (Header[4] != Demo::FormatVersion) {
+    Error = formatString(
+        "%s: %s stream is demo format version %u, this build reads "
+        "version %u",
+        Path.c_str(), Name, Header[4], Demo::FormatVersion);
+    std::fclose(F);
+    return false;
+  }
+  if (Header[5] != static_cast<uint8_t>(Kind)) {
+    const unsigned Claimed = Header[5];
+    Error = formatString(
+        "%s: stream kind byte at offset 5 says %s but the file is named "
+        "%s — demo files swapped or renamed",
+        Path.c_str(),
+        Claimed < NumStreamKinds
+            ? streamName(static_cast<StreamKind>(Claimed))
+            : "an unknown stream",
+        Name);
+    std::fclose(F);
+    return false;
+  }
+  const uint32_t Len = unpackU32(Header + 8);
+  const uint32_t WantCrc = unpackU32(Header + 12);
+  const size_t Avail = static_cast<size_t>(FileSize) - Demo::StreamHeaderSize;
+  if (Avail != Len) {
+    Error = formatString(
+        "%s: %s stream %s: header promises %u payload bytes at offset "
+        "%zu, file holds %zu",
+        Path.c_str(), Name, Avail < Len ? "truncated" : "has trailing bytes",
+        Len, Demo::StreamHeaderSize, Avail);
+    std::fclose(F);
+    return false;
+  }
+  Payload.resize(Len);
   bool Ok = true;
-  if (!Bytes.empty())
-    Ok = std::fread(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  if (Len)
+    Ok = std::fread(Payload.data(), 1, Len, F) == Len;
   std::fclose(F);
-  if (!Ok)
-    Error = Path + ": short read";
-  return Ok;
+  if (!Ok) {
+    Error = formatString("%s: %s stream short read", Path.c_str(), Name);
+    return false;
+  }
+  const uint32_t GotCrc = crc32(Payload);
+  if (GotCrc != WantCrc) {
+    Error = formatString(
+        "%s: %s stream CRC mismatch: header says 0x%08x, payload hashes "
+        "to 0x%08x — corrupted at or after offset %zu",
+        Path.c_str(), Name, WantCrc, GotCrc, Demo::StreamHeaderSize);
+    return false;
+  }
+  return true;
 }
+
+} // namespace
 
 bool Demo::saveToDirectory(const std::string &Path, std::string &Error) const {
   std::error_code EC;
@@ -89,28 +194,96 @@ bool Demo::saveToDirectory(const std::string &Path, std::string &Error) const {
     return false;
   }
   for (unsigned I = 0; I != NumStreamKinds; ++I) {
-    const std::string File =
-        Path + "/" + streamName(static_cast<StreamKind>(I));
-    if (!writeFile(File, Streams[I], Error))
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    const std::string File = Path + "/" + streamName(Kind);
+    if (!writeStreamFile(File, Kind, Streams[I], Error))
       return false;
   }
   return true;
 }
 
-bool Demo::loadFromDirectory(const std::string &Path, std::string &Error) {
+bool Demo::loadFromDirectory(const std::string &Path, std::string &Error,
+                             LoadMode Mode) {
   std::error_code EC;
   if (!std::filesystem::is_directory(Path, EC)) {
     Error = Path + ": not a directory";
     return false;
   }
+  std::array<std::vector<uint8_t>, NumStreamKinds> Loaded;
   for (unsigned I = 0; I != NumStreamKinds; ++I) {
-    const std::string File =
-        Path + "/" + streamName(static_cast<StreamKind>(I));
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    const std::string File = Path + "/" + streamName(Kind);
     bool Missing = false;
-    if (!readFile(File, Streams[I], Missing, Error))
+    if (!readStreamFile(File, Kind, Loaded[I], Missing, Error))
       return false;
-    if (Missing)
-      Streams[I].clear();
+    if (Missing) {
+      // A demo with no META was never recorded: refuse it up front
+      // instead of letting an all-empty "demo" desynchronise mid-replay.
+      if (Kind == StreamKind::Meta) {
+        Error = formatString(
+            "%s: no META stream — this directory does not contain a tsr "
+            "demo (nothing was recorded here, or the path is wrong)",
+            Path.c_str());
+        return false;
+      }
+      if (Mode == LoadMode::Strict) {
+        Error = formatString(
+            "%s: %s stream file is missing (strict load: an absent sparse "
+            "stream is saved as an empty file, so a missing file means "
+            "deletion or truncation)",
+            Path.c_str(), streamName(Kind));
+        return false;
+      }
+      Loaded[I].clear();
+    }
   }
+  Streams = std::move(Loaded);
   return true;
+}
+
+bool Demo::verifyDirectory(const std::string &Path,
+                           std::array<StreamCheck, NumStreamKinds> &Out,
+                           std::string &Error) {
+  Error.clear();
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    Out[I] = StreamCheck();
+    Out[I].Kind = static_cast<StreamKind>(I);
+  }
+  std::error_code EC;
+  if (!std::filesystem::is_directory(Path, EC)) {
+    Error = Path + ": not a directory";
+    for (StreamCheck &C : Out)
+      C.Error = Error;
+    return false;
+  }
+  bool AllOk = true;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    StreamCheck &C = Out[I];
+    C = StreamCheck();
+    C.Kind = Kind;
+    const std::string File = Path + "/" + streamName(Kind);
+    std::vector<uint8_t> Payload;
+    bool Missing = false;
+    if (!readStreamFile(File, Kind, Payload, Missing, C.Error)) {
+      AllOk = false;
+      C.Present = true;
+      if (Error.empty())
+        Error = C.Error;
+      continue;
+    }
+    if (Missing) {
+      if (Kind == StreamKind::Meta) {
+        C.Error = "META stream file is missing — not a tsr demo directory";
+        AllOk = false;
+        if (Error.empty())
+          Error = Path + ": " + C.Error;
+      }
+      continue;
+    }
+    C.Present = true;
+    C.PayloadBytes = Payload.size();
+    C.Crc = crc32(Payload);
+  }
+  return AllOk;
 }

@@ -18,6 +18,13 @@
 /// A Demo holds the five streams in memory and can round-trip through a
 /// directory of files with those exact names.
 ///
+/// On disk every stream is framed by a fixed 16-byte header (magic,
+/// format version, stream kind, payload length, CRC-32 of the payload) so
+/// corruption — truncation, bit rot, a file from a different tool — is
+/// diagnosed at load time with a message naming the stream and offset,
+/// instead of surfacing later as a replay desynchronisation (see
+/// support/Desync.h for that taxonomy).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TSR_SUPPORT_DEMO_H
@@ -50,7 +57,37 @@ const char *streamName(StreamKind Kind);
 class Demo {
 public:
   /// Demo format version; bumped on incompatible stream layout changes.
-  static constexpr uint32_t FormatVersion = 1;
+  /// Version history:
+  ///   1 — raw stream payloads on disk, no integrity protection.
+  ///   2 — per-stream on-disk header (magic/version/kind/length/CRC-32);
+  ///       META gained the fault-plan hash field.
+  static constexpr uint32_t FormatVersion = 2;
+
+  /// First bytes of every on-disk stream file: "TSRS".
+  static constexpr uint8_t StreamMagic[4] = {'T', 'S', 'R', 'S'};
+
+  /// Size of the fixed on-disk per-stream header.
+  static constexpr size_t StreamHeaderSize = 16;
+
+  /// How loadFromDirectory treats a missing stream file.
+  enum class LoadMode {
+    /// Missing stream files (other than META) load as empty streams — a
+    /// sparse demo saved by an older tool or hand-assembled directory.
+    Tolerant,
+    /// Every stream file must be present with a valid header. This
+    /// distinguishes "stream recorded as empty" (file present, zero-length
+    /// payload) from "file missing or deleted", which Tolerant conflates.
+    Strict,
+  };
+
+  /// Integrity facts about one on-disk stream file, from verifyDirectory.
+  struct StreamCheck {
+    StreamKind Kind = StreamKind::Meta;
+    bool Present = false;      ///< The file exists.
+    size_t PayloadBytes = 0;   ///< Payload length per the header.
+    uint32_t Crc = 0;          ///< CRC-32 the header promises.
+    std::string Error;         ///< Empty when the file verified clean.
+  };
 
   /// Mutable access to a stream's bytes (record side).
   std::vector<uint8_t> &stream(StreamKind Kind) {
@@ -77,14 +114,28 @@ public:
   /// Size of one stream in bytes.
   size_t streamSize(StreamKind Kind) const { return stream(Kind).size(); }
 
-  /// Writes all streams into directory \p Path (created if missing).
-  /// Returns false and sets \p Error on I/O failure.
+  /// Writes all streams into directory \p Path (created if missing), each
+  /// framed by the integrity header. Returns false and sets \p Error on
+  /// I/O failure.
   bool saveToDirectory(const std::string &Path, std::string &Error) const;
 
-  /// Reads all streams from directory \p Path. Missing individual files are
-  /// treated as empty streams (a sparse demo need not contain every file).
-  /// Returns false and sets \p Error if the directory is unreadable.
-  bool loadFromDirectory(const std::string &Path, std::string &Error);
+  /// Reads all streams from directory \p Path, verifying each file's
+  /// header and CRC. A directory containing no META file fails fast — it
+  /// is not a demo (never recorded, or the wrong path) and replaying it
+  /// would only manufacture a confusing desynchronisation later. Returns
+  /// false and sets \p Error (naming the offending stream and offset) on
+  /// any integrity violation.
+  bool loadFromDirectory(const std::string &Path, std::string &Error,
+                         LoadMode Mode = LoadMode::Tolerant);
+
+  /// Checks every stream file of an on-disk demo without loading it into
+  /// memory wholesale: header magic, version, kind byte, payload length
+  /// and CRC. Fills one StreamCheck per stream. Returns true iff the
+  /// directory is readable, META is present and no present file is
+  /// corrupt.
+  static bool verifyDirectory(const std::string &Path,
+                              std::array<StreamCheck, NumStreamKinds> &Out,
+                              std::string &Error);
 
   bool operator==(const Demo &Other) const { return Streams == Other.Streams; }
 

@@ -25,7 +25,8 @@ DemoInfo tsr::inspectDemo(const Demo &D) {
         R.readVarU64(Info.FormatVersion) && R.readByte(Strategy) &&
         R.readByte(Controlled) && R.readByte(Weak) &&
         R.readVarU64(Info.Seed0) && R.readVarU64(Info.Seed1) &&
-        R.readVarU64(Info.PolicyHash)) {
+        R.readVarU64(Info.PolicyHash) &&
+        R.readVarU64(Info.FaultPlanHash)) {
       Info.MetaValid = true;
       Info.Strategy = Strategy;
       Info.Controlled = Controlled != 0;
@@ -127,6 +128,10 @@ std::string tsr::formatDemoInfo(const DemoInfo &Info,
         static_cast<unsigned long long>(Info.Seed0),
         static_cast<unsigned long long>(Info.Seed1),
         static_cast<unsigned long long>(Info.PolicyHash));
+    if (Info.FaultPlanHash)
+      Out += formatString(
+          "      recorded under fault injection (plan %016llx)\n",
+          static_cast<unsigned long long>(Info.FaultPlanHash));
   } else {
     Out += "META: absent or invalid\n";
   }

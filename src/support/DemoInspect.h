@@ -35,6 +35,8 @@ struct DemoInfo {
   uint64_t Seed0 = 0;
   uint64_t Seed1 = 0;
   uint64_t PolicyHash = 0;
+  /// Nonzero when the demo was recorded under fault injection.
+  uint64_t FaultPlanHash = 0;
 
   // QUEUE: tid per tick.
   std::vector<uint64_t> Schedule;

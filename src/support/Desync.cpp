@@ -1,0 +1,74 @@
+//===-- support/Desync.cpp - Structured desynchronisation reports --------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Desync.h"
+
+#include "support/Compiler.h"
+#include "support/Diag.h"
+
+using namespace tsr;
+
+const char *tsr::desyncReasonName(DesyncReason Reason) {
+  switch (Reason) {
+  case DesyncReason::None:
+    return "none";
+  case DesyncReason::QueueBadThread:
+    return "queue-bad-thread";
+  case DesyncReason::SignalBadThread:
+    return "signal-bad-thread";
+  case DesyncReason::AsyncBadThread:
+    return "async-bad-thread";
+  case DesyncReason::SyscallKindMismatch:
+    return "syscall-kind-mismatch";
+  case DesyncReason::SyscallCorrupt:
+    return "syscall-corrupt";
+  case DesyncReason::SyscallTruncated:
+    return "syscall-truncated";
+  case DesyncReason::WatchdogStall:
+    return "watchdog-stall";
+  case DesyncReason::Other:
+    return "other";
+  }
+  TSR_UNREACHABLE("invalid DesyncReason");
+}
+
+std::string tsr::renderDesyncReport(const DesyncReport &R) {
+  if (R.Kind == DesyncKind::None) {
+    if (R.SoftResyncs)
+      return formatString(
+          "synchronised (after %llu soft resync%s: recorded streams ran "
+          "dry and replay fell back to native execution)",
+          static_cast<unsigned long long>(R.SoftResyncs),
+          R.SoftResyncs == 1 ? "" : "s");
+    return "synchronised";
+  }
+  std::string Out = formatString(
+      "hard desync [%s] in %s stream at tick %llu",
+      desyncReasonName(R.Reason), streamName(R.Stream),
+      static_cast<unsigned long long>(R.Tick));
+  if (R.Thread != InvalidTid)
+    Out += formatString(" (thread %u)", R.Thread);
+  if (R.Expected.empty() && !R.Actual.empty())
+    Out += ": " + R.Actual; // free-form detail (watchdog, legacy callers)
+  else if (!R.Expected.empty() || !R.Actual.empty())
+    Out += formatString(": expected %s, got %s",
+                        R.Expected.empty() ? "?" : R.Expected.c_str(),
+                        R.Actual.empty() ? "?" : R.Actual.c_str());
+  auto Cur = [](const StreamCursor &C) {
+    return formatString("%llu/%llu",
+                        static_cast<unsigned long long>(C.Consumed),
+                        static_cast<unsigned long long>(C.Total));
+  };
+  Out += "; cursors: QUEUE " + Cur(R.QueueCursor) + " ticks, SIGNAL " +
+         Cur(R.SignalCursor) + " records, ASYNC " + Cur(R.AsyncCursor) +
+         " records, SYSCALL " + Cur(R.SyscallCursor) + " bytes";
+  if (R.SoftResyncs)
+    Out += formatString("; %llu soft resync%s before this",
+                        static_cast<unsigned long long>(R.SoftResyncs),
+                        R.SoftResyncs == 1 ? "" : "s");
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===-- support/Desync.h - Structured desynchronisation reports -*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The desynchronisation taxonomy (§4). The paper's central robustness
+/// claim is that sparse replay degrades *diagnosably*: a mis-tuned
+/// recording policy produces a desynchronisation the user can act on, not
+/// silent corruption. A one-line string cannot carry what "act on" needs
+/// — which stream disagreed, at which tick, what was expected versus what
+/// the program did, and how far each replay cursor had advanced — so the
+/// runtime reports desyncs as a structured DesyncReport.
+///
+/// Two severities:
+///
+///   Soft — a stream ran out (the recording simply ended early). The
+///   replayer falls back to free-running; the run completes. Soft events
+///   are counted, not fatal.
+///
+///   Hard — a recorded constraint could not be enforced (the program took
+///   a different path than the recording). The replayer drops to
+///   uncontrolled execution, completes the run, and surfaces the report.
+///
+//======----------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_DESYNC_H
+#define TSR_SUPPORT_DESYNC_H
+
+#include "support/Demo.h"
+#include "support/VectorClock.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tsr {
+
+/// Replay health (§4): a synchronised replay satisfies every recorded
+/// constraint; a hard desynchronisation is a constraint the tool could not
+/// enforce.
+enum class DesyncKind : unsigned {
+  None = 0,
+  Hard,
+};
+
+/// What specifically went wrong. Each reason maps to one enforcement
+/// point in the scheduler or the session's syscall layer.
+enum class DesyncReason : unsigned {
+  None = 0,
+  /// QUEUE designates a thread that does not exist or has finished.
+  QueueBadThread,
+  /// SIGNAL targets a thread that does not exist.
+  SignalBadThread,
+  /// ASYNC wakeup targets a thread that does not exist.
+  AsyncBadThread,
+  /// SYSCALL stream expects one kind, the program issued another — the
+  /// classic symptom of an under-recording policy (§4.4).
+  SyscallKindMismatch,
+  /// SYSCALL stream contains an undecodable kind value.
+  SyscallCorrupt,
+  /// A SYSCALL record ends mid-field.
+  SyscallTruncated,
+  /// The watchdog saw no progress: a recorded schedule constraint can
+  /// never be satisfied by this program.
+  WatchdogStall,
+  /// Declared by a caller through the legacy free-form-string interface.
+  Other,
+};
+
+/// Human-readable name of \p Reason ("syscall-kind-mismatch", ...).
+const char *desyncReasonName(DesyncReason Reason);
+
+/// Position of one replay cursor when the desync was declared: how much
+/// of the stream had been consumed versus its total.
+struct StreamCursor {
+  uint64_t Consumed = 0;
+  uint64_t Total = 0;
+};
+
+/// Everything known about a desynchronisation, assembled by the scheduler
+/// (QUEUE/SIGNAL/ASYNC enforcement) and the session (SYSCALL enforcement,
+/// watchdog). Kind == None means the run stayed synchronised.
+struct DesyncReport {
+  DesyncKind Kind = DesyncKind::None;
+  DesyncReason Reason = DesyncReason::None;
+
+  /// Global tick counter at declaration time.
+  uint64_t Tick = 0;
+
+  /// Thread whose operation exposed the divergence (InvalidTid when no
+  /// single thread is implicated, e.g. watchdog stall).
+  Tid Thread = InvalidTid;
+
+  /// The demo stream whose constraint failed.
+  StreamKind Stream = StreamKind::Meta;
+
+  /// The recorded expectation versus what the program actually did, as
+  /// short operation descriptions ("recv on a socket" vs "clock_gettime").
+  std::string Expected;
+  std::string Actual;
+
+  /// Replay cursor positions at declaration time. QUEUE counts ticks;
+  /// SIGNAL and ASYNC count records; SYSCALL counts bytes.
+  StreamCursor QueueCursor;
+  StreamCursor SignalCursor;
+  StreamCursor AsyncCursor;
+  StreamCursor SyscallCursor;
+
+  /// Soft events survived before (or without) any hard desync: each is a
+  /// stream exhaustion that resynchronised by falling back to native
+  /// execution (demo ended, SYSCALL ran dry).
+  uint64_t SoftResyncs = 0;
+
+  /// Rendered one-line message (renderDesyncReport of this report).
+  std::string Message;
+
+  bool hard() const { return Kind == DesyncKind::Hard; }
+};
+
+/// Renders \p R as a diagnostic string: reason, tick, thread, stream,
+/// expected/actual and every cursor. Used for RunReport.DesyncMessage and
+/// the scheduler's warning output.
+std::string renderDesyncReport(const DesyncReport &R);
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_DESYNC_H
