@@ -4,14 +4,24 @@
 # TSR_SANITIZE CMake option). Each configuration builds into its own
 # directory so incremental plain builds stay untouched.
 #
-# Usage: scripts/verify.sh [--fast]
-#   --fast  plain configuration only (skips the sanitizer builds).
+# Usage: scripts/verify.sh [--fast] [--crash-matrix]
+#   --fast          plain configuration only (skips the sanitizer builds).
+#   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
+#                   ASan) — the crash-consistency gate, repeated to shake
+#                   out timing-dependent salvage bugs.
 set -eu
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
-[ "${1:-}" = "--fast" ] && FAST=1
+CRASH=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --fast) FAST=1 ;;
+  --crash-matrix) CRASH=1 ;;
+  *) echo "unknown option: $Arg" >&2; exit 2 ;;
+  esac
+done
 
 run_config() {
   name="$1"
@@ -24,6 +34,27 @@ run_config() {
   echo "== $name: ctest"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
+
+# Crash matrix: fork/kill/salvage/replay under both configurations.
+# --repeat hits different kill points each iteration.
+run_crash_matrix() {
+  name="$1"
+  sanitize="$2"
+  dir="build-verify-$name"
+  [ "$name" = "plain" ] && dir="build"
+  echo "== $name: crash matrix ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target crash_recovery_test >/dev/null
+  ctest --test-dir "$dir" --output-on-failure -R CrashRecovery \
+    --repeat until-fail:3
+}
+
+if [ "$CRASH" -eq 1 ]; then
+  run_crash_matrix plain ""
+  [ "$FAST" -eq 0 ] && run_crash_matrix asan address
+  echo "verify: crash matrix passed"
+  exit 0
+fi
 
 run_config plain ""
 if [ "$FAST" -eq 0 ]; then

@@ -7,12 +7,265 @@
 
 #include "env/FaultPlan.h"
 
+#include "env/SimEnv.h"
+#include "support/Diag.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <utility>
 
 using namespace tsr;
 
 FaultPlan FaultPlan::none() { return FaultPlan(); }
+
+namespace {
+
+/// Symbolic names for the virtual errno constants (env/SimEnv.h) accepted
+/// by FaultPlan::parse.
+struct ErrnoName {
+  const char *Name;
+  int Value;
+};
+constexpr ErrnoName ErrnoNames[] = {
+    {"EAGAIN", VEAGAIN},           {"EINTR", VEINTR},
+    {"ECONNRESET", VECONNRESET},   {"EBADF", VEBADF},
+    {"EINVAL", VEINVAL},           {"ENOTCONN", VENOTCONN},
+    {"EADDRINUSE", VEADDRINUSE},   {"ECONNREFUSED", VECONNREFUSED},
+    {"ENOENT", VENOENT},
+};
+
+std::string trimmed(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  size_t E = S.find_last_not_of(" \t");
+  return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+}
+
+bool parseErrno(const std::string &Name, int &Out) {
+  for (const ErrnoName &E : ErrnoNames)
+    if (Name == E.Name) {
+      Out = E.Value;
+      return true;
+    }
+  return false;
+}
+
+bool parseKind(const std::string &Name, SyscallKind &Out) {
+  for (unsigned I = 0; I != static_cast<unsigned>(SyscallKind::NumKinds);
+       ++I)
+    if (Name == syscallKindName(static_cast<SyscallKind>(I))) {
+      Out = static_cast<SyscallKind>(I);
+      return true;
+    }
+  return false;
+}
+
+bool parseClass(const std::string &Name, FdClass &Out) {
+  if (Name == "file")
+    Out = FdClass::File;
+  else if (Name == "socket")
+    Out = FdClass::Socket;
+  else if (Name == "pipe")
+    Out = FdClass::Pipe;
+  else if (Name == "device")
+    Out = FdClass::Device;
+  else
+    return false;
+  return true;
+}
+
+bool parseProbability(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return End == S.c_str() + S.size() && Out >= 0.0 && Out <= 1.0;
+}
+
+bool parseCount(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S[0] == '-' || S[0] == '+')
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End == S.c_str() + S.size();
+}
+
+/// Splits "kind[@class]" between the clause verb and its key list.
+bool parseTarget(const std::string &S, SyscallKind &Kind, FdClass &Class,
+                 bool &AnyClass, std::string &Why) {
+  const size_t At = S.find('@');
+  const std::string KindName = S.substr(0, At);
+  if (!parseKind(KindName, Kind)) {
+    Why = "unknown syscall kind '" + KindName + "'";
+    return false;
+  }
+  AnyClass = At == std::string::npos;
+  if (!AnyClass) {
+    const std::string ClassName = S.substr(At + 1);
+    if (!parseClass(ClassName, Class)) {
+      Why = "unknown fd class '" + ClassName + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits "k1=v1,k2=v2" into pairs, rejecting malformed or duplicate
+/// keys.
+bool parseKeyValues(const std::string &S,
+                    std::vector<std::pair<std::string, std::string>> &Out,
+                    std::string &Why) {
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    const std::string Pair = trimmed(S.substr(Pos, Comma - Pos));
+    const size_t Eq = Pair.find('=');
+    if (Pair.empty() || Eq == std::string::npos || Eq == 0) {
+      Why = "expected key=value, got '" + Pair + "'";
+      return false;
+    }
+    const std::string Key = Pair.substr(0, Eq);
+    for (const auto &Existing : Out)
+      if (Existing.first == Key) {
+        Why = "duplicate key '" + Key + "'";
+        return false;
+      }
+    Out.emplace_back(Key, Pair.substr(Eq + 1));
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
+                      std::string &Error) {
+  FaultPlan P;
+  bool SawShortReads = false, SawShortWrites = false, SawDrop = false,
+       SawDup = false;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Semi = Spec.find(';', Pos);
+    if (Semi == std::string::npos)
+      Semi = Spec.size();
+    const std::string Clause = trimmed(Spec.substr(Pos, Semi - Pos));
+    Pos = Semi + 1;
+    if (Clause.empty())
+      continue;
+    auto Fail = [&](const std::string &Why) {
+      Error = formatString("fault plan: clause '%s': %s", Clause.c_str(),
+                           Why.c_str());
+      return false;
+    };
+
+    if (Clause.compare(0, 5, "fail:") == 0 ||
+        Clause.compare(0, 4, "nth:") == 0) {
+      const bool Scripted = Clause[0] == 'n';
+      const size_t VerbEnd = Clause.find(':') + 1;
+      const size_t TargetEnd = Clause.find(':', VerbEnd);
+      if (TargetEnd == std::string::npos)
+        return Fail("expected '<kind>[@<class>]:' after the verb");
+      SyscallKind Kind;
+      FdClass Class = FdClass::None;
+      bool AnyClass;
+      std::string Why;
+      if (!parseTarget(Clause.substr(VerbEnd, TargetEnd - VerbEnd), Kind,
+                       Class, AnyClass, Why))
+        return Fail(Why);
+      std::vector<std::pair<std::string, std::string>> KVs;
+      if (!parseKeyValues(Clause.substr(TargetEnd + 1), KVs, Why))
+        return Fail(Why);
+
+      double Prob = -1.0;
+      uint64_t Nth = 0, Count = 1;
+      int Err = 0;
+      bool SawErr = false, SawCount = false;
+      for (const auto &[Key, Value] : KVs) {
+        if (Key == "errno") {
+          if (!parseErrno(Value, Err))
+            return Fail("unknown errno '" + Value + "'");
+          SawErr = true;
+        } else if (!Scripted && Key == "p") {
+          if (!parseProbability(Value, Prob))
+            return Fail("probability must be a number in [0, 1], got '" +
+                        Value + "'");
+        } else if (Scripted && Key == "n") {
+          if (!parseCount(Value, Nth) || Nth == 0)
+            return Fail("'n' must be a positive integer, got '" + Value +
+                        "'");
+        } else if (Scripted && Key == "count") {
+          if (!parseCount(Value, Count) || Count == 0)
+            return Fail("'count' must be a positive integer, got '" +
+                        Value + "'");
+          SawCount = true;
+        } else {
+          return Fail("unknown key '" + Key + "'");
+        }
+      }
+      (void)SawCount;
+      if (!SawErr)
+        return Fail("missing required key 'errno'");
+      if (!Scripted && Prob < 0.0)
+        return Fail("missing required key 'p'");
+      if (Scripted && Nth == 0)
+        return Fail("missing required key 'n'");
+
+      if (Scripted) {
+        ScriptedRule R;
+        R.Kind = Kind;
+        R.Class = Class;
+        R.AnyClass = AnyClass;
+        R.Nth = Nth;
+        R.Count = Count;
+        R.Err = Err;
+        P.Scripted.push_back(R);
+      } else {
+        ErrnoRule R;
+        R.Kind = Kind;
+        R.Class = Class;
+        R.AnyClass = AnyClass;
+        R.Err = Err;
+        R.Probability = Prob;
+        P.Errnos.push_back(R);
+      }
+      continue;
+    }
+
+    const size_t Eq = Clause.find('=');
+    if (Eq == std::string::npos)
+      return Fail("expected '<knob>=<probability>', 'fail:...' or "
+                  "'nth:...'");
+    const std::string Knob = trimmed(Clause.substr(0, Eq));
+    const std::string Value = trimmed(Clause.substr(Eq + 1));
+    double Prob;
+    if (!parseProbability(Value, Prob))
+      return Fail("probability must be a number in [0, 1], got '" + Value +
+                  "'");
+    bool *Seen = nullptr;
+    if (Knob == "shortreads") {
+      Seen = &SawShortReads;
+      P.ShortReadP = Prob;
+    } else if (Knob == "shortwrites") {
+      Seen = &SawShortWrites;
+      P.ShortWriteP = Prob;
+    } else if (Knob == "drop") {
+      Seen = &SawDrop;
+      P.DropP = Prob;
+    } else if (Knob == "dup") {
+      Seen = &SawDup;
+      P.DuplicateP = Prob;
+    } else {
+      return Fail("unknown knob '" + Knob + "'");
+    }
+    if (std::exchange(*Seen, true))
+      return Fail("knob '" + Knob + "' given twice");
+  }
+  Out = std::move(P);
+  Error.clear();
+  return true;
+}
 
 FaultPlan &FaultPlan::failWith(SyscallKind Kind, int Err,
                                double Probability) {

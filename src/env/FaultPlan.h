@@ -37,6 +37,7 @@
 #include "support/Prng.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace tsr {
@@ -70,6 +71,28 @@ public:
 
   /// A plan that injects nothing (the default).
   static FaultPlan none();
+
+  /// Parses a declarative fault-plan specification, the form a harness
+  /// passes through an environment variable:
+  ///
+  ///   spec   := clause (';' clause)*
+  ///   clause := knob '=' prob
+  ///           | 'fail:' kind ['@' class] ':' 'p=' prob ',' 'errno=' err
+  ///           | 'nth:' kind ['@' class] ':' 'n=' n [',' 'count=' c]
+  ///                    ',' 'errno=' err
+  ///   knob   := 'shortreads' | 'shortwrites' | 'drop' | 'dup'
+  ///   kind   := a syscall name ("read", "recv", "clock_gettime", ...)
+  ///   class  := 'file' | 'socket' | 'pipe' | 'device'
+  ///   err    := a symbolic virtual errno ("EAGAIN", "EINTR",
+  ///             "ECONNRESET", ...)
+  ///
+  /// Example: "shortreads=0.1;fail:recv@socket:p=0.05,errno=ECONNRESET;
+  /// nth:read@pipe:n=3,count=2,errno=EINTR". An empty spec parses to an
+  /// inactive plan. On success fills \p Out and returns true; otherwise
+  /// returns false with \p Error naming the offending clause and leaves
+  /// \p Out untouched.
+  static bool parse(const std::string &Spec, FaultPlan &Out,
+                    std::string &Error);
 
   /// Fails calls of \p Kind (any fd class) with \p Err at \p Probability.
   FaultPlan &failWith(SyscallKind Kind, int Err, double Probability);

@@ -11,13 +11,51 @@
 #include "support/Diag.h"
 #include "support/Rle.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstring>
+
+#include <signal.h>
 
 using namespace tsr;
 
 namespace {
 thread_local Session *TlsSession = nullptr;
 thread_local Tid TlsTid = 0;
+
+// Fatal-signal emergency flush (RecordFlushPolicy::OnFatalSignal). One
+// process-wide owner session; the handler performs a single best-effort
+// flush of the live recording, then restores the default disposition and
+// re-raises so the process still dies with the original signal.
+std::atomic<Session *> EmergencySession{nullptr};
+std::atomic<bool> EmergencyRan{false};
+constexpr int EmergencySignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGILL,
+                                    SIGFPE};
+constexpr size_t NumEmergencySignals =
+    sizeof(EmergencySignals) / sizeof(EmergencySignals[0]);
+struct sigaction EmergencyOldActions[NumEmergencySignals];
+
+void emergencyHandler(int Sig) {
+  if (!EmergencyRan.exchange(true))
+    if (Session *S = EmergencySession.load())
+      S->emergencyFlushDemo();
+  ::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+void installEmergencyHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = emergencyHandler;
+  sigemptyset(&SA.sa_mask);
+  for (size_t I = 0; I != NumEmergencySignals; ++I)
+    ::sigaction(EmergencySignals[I], &SA, &EmergencyOldActions[I]);
+}
+
+void uninstallEmergencyHandlers() {
+  for (size_t I = 0; I != NumEmergencySignals; ++I)
+    ::sigaction(EmergencySignals[I], &EmergencyOldActions[I], nullptr);
+}
 } // namespace
 
 Session *Session::current() { return TlsSession; }
@@ -66,7 +104,8 @@ bool Session::checkMeta(std::string &Error) {
     Error = "demo META missing or not a tsr demo";
     return false;
   }
-  if (!R.readVarU64(Version) || Version != Demo::FormatVersion) {
+  if (!R.readVarU64(Version) || (Version != Demo::FormatVersion &&
+                                 Version != Demo::LegacyFormatVersion)) {
     Error = "demo format version mismatch";
     return false;
   }
@@ -122,6 +161,30 @@ RunReport Session::run(std::function<void()> MainFn) {
       Injector.arm(Config.Faults, UsedSeed0, UsedSeed1);
       Env->setFaultInjector(&Injector);
     }
+    // META is complete the moment the seeds are pinned; writing it up
+    // front (and pushing it through the live writer as a closed stream)
+    // means even a first-tick crash leaves a demo whose header identifies
+    // the run.
+    writeMeta();
+    if (!Config.Flush.Directory.empty()) {
+      std::string WriterError;
+      if (!LiveWriter.open(Config.Flush.Directory, WriterError)) {
+        warn("incremental demo flushing disabled: %s", WriterError.c_str());
+      } else {
+        const auto &Meta = RecordDemo.stream(StreamKind::Meta);
+        LiveWriter.appendChunk(StreamKind::Meta, Meta.data(), Meta.size(),
+                               /*Frontier=*/0);
+        LiveWriter.closeStream(StreamKind::Meta);
+        if (Config.Flush.OnFatalSignal) {
+          Session *Expected = nullptr;
+          if (EmergencySession.compare_exchange_strong(Expected, this)) {
+            EmergencyRan.store(false);
+            installEmergencyHandlers();
+            EmergencyInstalled = true;
+          }
+        }
+      }
+    }
   }
 
   SchedulerOptions SO;
@@ -132,6 +195,17 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.Seed1 = UsedSeed1;
   SO.Controlled = Config.Controlled;
   SO.AbortOnHardDesync = Config.AbortOnHardDesync;
+  SO.AbortOnDeadlock = Config.AbortOnDeadlock;
+  SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
+                       Config.ReplayDemo && Config.ReplayDemo->truncated();
+  if (LiveWriter.isOpen()) {
+    SO.LiveWriter = &LiveWriter;
+    SO.FlushEveryTicks = Config.Flush.EveryTicks;
+    SO.FlushEveryBytes = Config.Flush.EveryBytes;
+    SO.SyscallFlushHook = [this](uint64_t Tick, bool Final) {
+      drainSyscallStream(Tick, Final);
+    };
+  }
   if (Config.Cost.ChainVisibleOps) {
     // Designating a thread that has not reached Wait() stalls the whole
     // visible-op chain until it arrives (§5.2's random-strategy cost).
@@ -178,7 +252,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   bool Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
   if (!Done) {
     if (Config.ExecMode == Mode::Replay &&
-        Sched->desyncKind() == DesyncKind::None) {
+        Sched->desyncKind() != DesyncKind::Hard) {
       // A schedule constraint that can never be satisfied manifests as a
       // stall: classify it as hard desync and free-run to completion.
       DesyncReport WD = syscallDesyncReport(DesyncReason::WatchdogStall,
@@ -197,20 +271,37 @@ RunReport Session::run(std::function<void()> MainFn) {
             Sched->dumpState().c_str());
   }
 
+  const bool DeadlockSalvaged = Sched->deadlocked();
+  if (DeadlockSalvaged && !Sched->waitLiveParked(5000))
+    warn("deadlocked threads did not all park within 5s; "
+         "proceeding with teardown");
+
   stopLiveness();
   {
     std::lock_guard<std::mutex> L(ThreadsMu);
     for (std::thread &T : OsThreads)
-      if (T.joinable())
-        T.join();
+      if (T.joinable()) {
+        if (DeadlockSalvaged)
+          // Deadlocked threads are parked forever inside Scheduler::wait
+          // and can never be joined. Detach them: from here on they touch
+          // only the scheduler, which is kept alive below.
+          T.detach();
+        else
+          T.join();
+      }
     OsThreads.clear();
   }
 
   if (Config.ExecMode == Mode::Record) {
     Sched->finishRecording();
-    writeMeta();
     RecordDemo.setStream(StreamKind::Syscall, SyscallBytes.take());
   }
+  if (EmergencyInstalled) {
+    uninstallEmergencyHandlers();
+    EmergencySession.store(nullptr);
+    EmergencyInstalled = false;
+  }
+  LiveWriter.closeAll();
 
   RunReport R;
   R.Races = Race->reports();
@@ -239,8 +330,20 @@ RunReport Session::run(std::function<void()> MainFn) {
                       .count();
   if (Config.ExecMode == Mode::Record)
     R.RecordedDemo = RecordDemo;
+  R.Deadlocked = DeadlockSalvaged;
   R.Seed0 = UsedSeed0;
   R.Seed1 = UsedSeed1;
+  if (DeadlockSalvaged) {
+    // The detached deadlocked threads are parked forever in this
+    // scheduler's condition variable; destroying it would pull the state
+    // out from under them. Park the scheduler in a never-destroyed
+    // registry instead (still reachable, so leak checkers stay quiet).
+    static std::mutex *const ParkedMu = new std::mutex();
+    static std::vector<std::unique_ptr<Scheduler>> *const Parked =
+        new std::vector<std::unique_ptr<Scheduler>>();
+    std::lock_guard<std::mutex> L(*ParkedMu);
+    Parked->push_back(std::move(Sched));
+  }
   return R;
 }
 
@@ -346,6 +449,20 @@ DesyncReport Session::syscallDesyncReport(DesyncReason Reason,
 SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
   if (SyscallReader.atEnd()) {
     // Demo exhausted: free-run from here on (soft desync territory).
+    SyscallStreamExhausted = true;
+    SyscallReplayStopped = true;
+    if (Config.ReplayDemo->truncated()) {
+      // Expected for a salvaged recording: the crash cut the stream here.
+      // Surface it as a structured soft report rather than silence.
+      DesyncReport D =
+          syscallDesyncReport(DesyncReason::TruncatedDemo, Self);
+      D.Expected = "more recorded syscalls";
+      D.Actual = formatString(
+          "the salvaged recording's SYSCALL stream ends before '%s'; "
+          "finishing free-run",
+          syscallKindName(Kind));
+      Sched->declareSoftDesync(std::move(D));
+    }
     SyscallResult R;
     R.Err = -1;
     return R;
@@ -380,13 +497,28 @@ SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
   uint64_t Err;
   if (!SyscallReader.readVarI64(Ret) || !SyscallReader.readVarU64(Err) ||
       !rle::decodeBytes(SyscallReader, R.OutBuf)) {
-    DesyncReport D =
-        syscallDesyncReport(DesyncReason::SyscallTruncated, Self);
-    D.Expected = formatString("a complete '%s' record starting at stream "
-                              "offset %zu",
-                              syscallKindName(Kind), RecordStart);
-    D.Actual = "the stream ends mid-record";
-    Sched->declareDesync(std::move(D));
+    if (Config.ReplayDemo->truncated()) {
+      // A salvaged recording may end mid-record; that is truncation, not
+      // divergence. Downgrade to a soft report and free-run the rest.
+      SyscallStreamExhausted = true;
+      SyscallReplayStopped = true;
+      DesyncReport D =
+          syscallDesyncReport(DesyncReason::TruncatedDemo, Self);
+      D.Expected = formatString("a complete '%s' record starting at "
+                                "stream offset %zu",
+                                syscallKindName(Kind), RecordStart);
+      D.Actual =
+          "the salvaged recording ends mid-record; finishing free-run";
+      Sched->declareSoftDesync(std::move(D));
+    } else {
+      DesyncReport D =
+          syscallDesyncReport(DesyncReason::SyscallTruncated, Self);
+      D.Expected = formatString("a complete '%s' record starting at "
+                                "stream offset %zu",
+                                syscallKindName(Kind), RecordStart);
+      D.Actual = "the stream ends mid-record";
+      Sched->declareDesync(std::move(D));
+    }
     R.Err = -1;
     return R;
   }
@@ -396,10 +528,38 @@ SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
 }
 
 void Session::recordSyscall(SyscallKind Kind, const SyscallResult &R) {
+  std::lock_guard<std::mutex> L(SyscallStreamMu);
   SyscallBytes.writeVarU64(static_cast<uint64_t>(Kind));
   SyscallBytes.writeVarI64(R.Ret);
   SyscallBytes.writeVarU64(static_cast<uint64_t>(R.Err));
   rle::encodeBytes(SyscallBytes, R.OutBuf);
+}
+
+void Session::drainSyscallStream(uint64_t Tick, bool Final) {
+  if (!LiveWriter.isOpen())
+    return;
+  std::lock_guard<std::mutex> L(SyscallStreamMu);
+  LiveWriter.appendChunk(StreamKind::Syscall,
+                         SyscallBytes.data() + SyscallFlushed,
+                         SyscallBytes.size() - SyscallFlushed, Tick);
+  SyscallFlushed = SyscallBytes.size();
+  if (Final)
+    LiveWriter.closeStream(StreamKind::Syscall);
+}
+
+void Session::emergencyFlushDemo() {
+  if (!LiveWriter.isOpen() || !Sched)
+    return;
+  const auto Tick = Sched->emergencyFlush();
+  if (!Tick)
+    return; // Scheduler lock unavailable: keep the durable prefix as-is.
+  if (!SyscallStreamMu.try_lock())
+    return; // A record append is mid-flight; its bytes stay unflushed.
+  LiveWriter.appendChunk(StreamKind::Syscall,
+                         SyscallBytes.data() + SyscallFlushed,
+                         SyscallBytes.size() - SyscallFlushed, *Tick);
+  SyscallFlushed = SyscallBytes.size();
+  SyscallStreamMu.unlock();
 }
 
 SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
@@ -412,19 +572,17 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
       [&](Tid Self) -> SyscallResult {
         SyscallsIssued.fetch_add(1);
         if (Config.ExecMode == Mode::Replay && Recordable &&
-            Sched->desyncKind() == DesyncKind::None) {
-          const size_t Before = SyscallReader.position();
+            !SyscallReplayStopped &&
+            Sched->desyncKind() != DesyncKind::Hard) {
           SyscallResult R = replaySyscall(Kind, Self);
-          if (Sched->desyncKind() == DesyncKind::None &&
-              (SyscallReader.position() != Before)) {
+          if (Sched->desyncKind() != DesyncKind::Hard &&
+              !SyscallReplayStopped) {
             SyscallsReplayed.fetch_add(1);
             return R;
           }
-          // Exhausted or desynced: fall through and issue natively. The
-          // first exhaustion is one soft resync (the recording simply
-          // ended before the program did).
-          if (Sched->desyncKind() == DesyncKind::None)
-            SyscallStreamExhausted = true;
+          // Exhausted (one soft resync: the recording simply ended
+          // before the program did) or hard-desynced: fall through and
+          // issue natively.
         }
         // The fault injector sits before the record/replay split: an
         // injected failure is recorded like a genuine one, so replay

@@ -45,6 +45,7 @@
 #include "race/RaceDetector.h"
 #include "sched/Scheduler.h"
 #include "support/Demo.h"
+#include "support/DemoWriter.h"
 
 #include <atomic>
 #include <cstdint>
@@ -57,6 +58,30 @@
 #include <vector>
 
 namespace tsr {
+
+/// When and where a recording is incrementally flushed to disk. With a
+/// non-empty Directory, record mode opens a live chunked writer there and
+/// pushes CRC-framed chunks of every stream as the run progresses, so a
+/// crash (SIGKILL, segfault, deadlock abort) leaves a salvageable demo
+/// prefix instead of losing the recording. See Demo::salvageDirectory and
+/// `tsr-demo-dump repair` for post-crash recovery.
+struct RecordFlushPolicy {
+  /// Demo directory for incremental flushing; empty keeps the legacy
+  /// end-of-run-only serialisation (RunReport::RecordedDemo is filled
+  /// either way).
+  std::string Directory;
+
+  /// Flush every N scheduler ticks (0 disables the tick trigger).
+  uint64_t EveryTicks = 64;
+
+  /// Flush once the unflushed record bytes exceed N (0 disables).
+  uint64_t EveryBytes = 0;
+
+  /// Install fatal-signal handlers (SIGABRT/SIGSEGV/SIGBUS/SIGILL/SIGFPE)
+  /// that perform one best-effort async-signal-safe flush before the
+  /// process dies, then re-raise with the default disposition.
+  bool OnFatalSignal = true;
+};
 
 /// Complete configuration of a session; every paper "tool configuration"
 /// (native, tsan11, tsan11rec rnd/queue, ±rec, rr-sim) is a preset over
@@ -115,6 +140,17 @@ struct SessionConfig {
 
   /// Abort the process on hard desync instead of free-running.
   bool AbortOnHardDesync = false;
+
+  /// Abort the process when every live thread is disabled (the legacy
+  /// fatal()). The default is a salvaging shutdown: the live recording is
+  /// flushed, the deadlocked threads are parked and detached, and run()
+  /// returns a RunReport with Deadlocked set and a structured Deadlock
+  /// desync report.
+  bool AbortOnDeadlock = false;
+
+  /// Incremental crash-consistent flushing of the recording (record mode
+  /// only; ignored otherwise).
+  RecordFlushPolicy Flush;
 };
 
 /// Everything a run produced.
@@ -148,6 +184,12 @@ struct RunReport {
 
   /// Demo captured when recording.
   Demo RecordedDemo;
+
+  /// The run ended in a deadlock handled by the salvaging shutdown
+  /// (SessionConfig::AbortOnDeadlock == false): every live thread became
+  /// disabled, the recording was flushed and the deadlocked threads were
+  /// detached. DesyncInfo carries the structured Deadlock report.
+  bool Deadlocked = false;
 
   /// Seeds actually used (match META).
   uint64_t Seed0 = 0;
@@ -237,6 +279,13 @@ public:
   /// Declared invisible compute (virtual ns) by the calling thread.
   void work(VTime Ns);
 
+  /// Best-effort flush of the live recording from a fatal-signal handler:
+  /// pushes the unflushed suffix of every record stream as final chunks.
+  /// Skips any stream whose state cannot be snapshotted consistently
+  /// (locks unavailable) — the durable prefix from earlier flushes
+  /// remains salvageable. Async-signal-safe apart from try-locks.
+  void emergencyFlushDemo();
+
 private:
   void mainThreadBody(std::function<void()> MainFn);
   void childThreadBody(Tid Self, std::function<void()> Fn);
@@ -245,6 +294,7 @@ private:
   bool checkMeta(std::string &Error);
   SyscallResult replaySyscall(SyscallKind Kind, Tid Self);
   void recordSyscall(SyscallKind Kind, const SyscallResult &R);
+  void drainSyscallStream(uint64_t Tick, bool Final);
   DesyncReport syscallDesyncReport(DesyncReason Reason, Tid Self) const;
 
   SessionConfig Config;
@@ -269,6 +319,16 @@ private:
   ByteWriter SyscallBytes;
   ByteReader SyscallReader;
 
+  /// Live incremental demo writer (record mode with a flush directory).
+  ChunkedDemoWriter LiveWriter;
+  /// Bytes of SyscallBytes already flushed to the live writer.
+  size_t SyscallFlushed = 0;
+  /// Serialises SyscallBytes/SyscallFlushed between the recording thread,
+  /// the flush hook and the fatal-signal path (which only try-locks).
+  std::mutex SyscallStreamMu;
+  /// This session installed the process-wide fatal-signal flush handlers.
+  bool EmergencyInstalled = false;
+
   std::atomic<uint64_t> NextSyncId{1};
   std::atomic<uint64_t> SyscallsIssued{0};
   std::atomic<uint64_t> SyscallsRecorded{0};
@@ -279,6 +339,11 @@ private:
 
   /// Set when the SYSCALL stream ran dry mid-replay: one soft resync.
   bool SyscallStreamExhausted = false;
+
+  /// Latched once replay stops consuming the SYSCALL stream (exhausted,
+  /// or a truncated demo ended mid-record): later syscalls issue
+  /// natively without re-probing the reader.
+  bool SyscallReplayStopped = false;
 
   std::thread LivenessThread;
   std::mutex LivenessMu;

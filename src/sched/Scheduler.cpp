@@ -8,6 +8,7 @@
 #include "sched/Scheduler.h"
 
 #include "support/Compiler.h"
+#include "support/DemoWriter.h"
 #include "support/Diag.h"
 
 #include <algorithm>
@@ -127,6 +128,7 @@ void Scheduler::tick(Tid Self) {
     noticeSignalsLocked(Self);
     chooseNextLocked();
     applyInjectionsLocked();
+    maybeFlushLocked();
     deadlockCheckLocked();
     Cv.notify_all();
     // Designation handoffs to parked threads hand the processor over
@@ -183,8 +185,20 @@ void Scheduler::chooseNextLocked() {
       Stats.DemoExhausted = true;
       Stats.DemoExhaustedAtTick = CurTick;
       FreeRunFcfs = true;
-      if (!allFinishedLocked())
+      if (!allFinishedLocked()) {
         ++Stats.SoftResyncs;
+        // A salvaged (truncated) demo is *expected* to run out with live
+        // threads: surface it as a structured soft report so the caller
+        // knows where the recorded prefix ended.
+        if (Opts.ReplayTruncated) {
+          DesyncReport R;
+          R.Reason = DesyncReason::TruncatedDemo;
+          R.Stream = StreamKind::Queue;
+          R.Actual = "the salvaged recording's schedule ends here; "
+                     "finishing free-run";
+          softDesyncLocked(std::move(R));
+        }
+      }
     }
     Active = AnyTid;
     return;
@@ -277,8 +291,102 @@ void Scheduler::noticeSignalsLocked(Tid Self) {
 void Scheduler::deadlockCheckLocked() {
   if (enabledCountLocked() != 0 || liveCountLocked() == 0)
     return;
-  fatal("deadlock: every live thread is disabled\n%s",
-        dumpStateLocked().c_str());
+  if (Opts.AbortOnDeadlock)
+    fatal("deadlock: every live thread is disabled\n%s",
+          dumpStateLocked().c_str());
+  if (Deadlocked)
+    return;
+  // Salvaging shutdown: flush the recording (the frozen prefix is exactly
+  // what reproduces this deadlock), fill a structured report, and wake
+  // waitAllFinished so the session can unwind. The deadlocked threads
+  // stay parked forever; the session detaches them.
+  Deadlocked = true;
+  Stats.Deadlocked = true;
+  flushRecordStreamsLocked(false);
+  if (Report.Kind != DesyncKind::Hard) {
+    DesyncReport R;
+    R.Kind = DesyncKind::Hard;
+    R.Reason = DesyncReason::Deadlock;
+    R.Tick = CurTick;
+    R.Actual = dumpStateLocked();
+    fillCursorsLocked(R);
+    R.SoftResyncs = Stats.SoftResyncs;
+    R.Message = renderDesyncReport(R);
+    Report = std::move(R);
+  }
+  warn("deadlock: every live thread is disabled at tick %llu — salvaging "
+       "shutdown (SchedulerOptions::AbortOnDeadlock restores the abort)\n%s",
+       static_cast<unsigned long long>(CurTick), dumpStateLocked().c_str());
+  Cv.notify_all();
+}
+
+void Scheduler::maybeFlushLocked() {
+  if (Opts.ExecMode != Mode::Record || !Opts.LiveWriter)
+    return;
+  const uint64_t Pending = (QueueBytes.size() - QueueFlushed) +
+                           (SignalBytes.size() - SignalFlushed) +
+                           (AsyncBytes.size() - AsyncFlushed);
+  const bool TickDue = Opts.FlushEveryTicks != 0 &&
+                       CurTick - LastFlushTick >= Opts.FlushEveryTicks;
+  const bool ByteDue =
+      Opts.FlushEveryBytes != 0 && Pending >= Opts.FlushEveryBytes;
+  if (TickDue || ByteDue)
+    flushRecordStreamsLocked(false);
+}
+
+void Scheduler::flushRecordStreamsLocked(bool Final) {
+  if (Opts.ExecMode != Mode::Record || !Opts.LiveWriter)
+    return;
+  ChunkedDemoWriter &W = *Opts.LiveWriter;
+  if (QueueLog)
+    QueueLog->flush(); // safe mid-run: splitting an RLE run decodes the same
+  // Every stream gets a chunk at every flush — even an empty one — so the
+  // four data streams always share the same frontier sequence and salvage
+  // can cross-trim them consistently.
+  W.appendChunk(StreamKind::Queue, QueueBytes.data() + QueueFlushed,
+                QueueBytes.size() - QueueFlushed, CurTick);
+  QueueFlushed = QueueBytes.size();
+  W.appendChunk(StreamKind::Signal, SignalBytes.data() + SignalFlushed,
+                SignalBytes.size() - SignalFlushed, CurTick);
+  SignalFlushed = SignalBytes.size();
+  W.appendChunk(StreamKind::Async, AsyncBytes.data() + AsyncFlushed,
+                AsyncBytes.size() - AsyncFlushed, CurTick);
+  AsyncFlushed = AsyncBytes.size();
+  LastFlushTick = CurTick;
+  ++Stats.DemoFlushes;
+  if (Opts.SyscallFlushHook)
+    Opts.SyscallFlushHook(CurTick, Final);
+  if (Final) {
+    W.closeStream(StreamKind::Queue);
+    W.closeStream(StreamKind::Signal);
+    W.closeStream(StreamKind::Async);
+  }
+}
+
+std::optional<uint64_t> Scheduler::emergencyFlush() {
+  if (Opts.ExecMode != Mode::Record || !Opts.LiveWriter)
+    return std::nullopt;
+  // A fatal signal may have landed while another thread held the lock and
+  // was mutating these streams; flushing anyway would write garbage after
+  // the consistent prefix already on disk. Skipping keeps the durable
+  // prefix intact — that is what salvage recovers.
+  if (!Mu.try_lock())
+    return std::nullopt;
+  const uint64_t Tick = CurTick;
+  ChunkedDemoWriter &W = *Opts.LiveWriter;
+  if (QueueLog)
+    QueueLog->flush();
+  W.appendChunk(StreamKind::Queue, QueueBytes.data() + QueueFlushed,
+                QueueBytes.size() - QueueFlushed, Tick);
+  QueueFlushed = QueueBytes.size();
+  W.appendChunk(StreamKind::Signal, SignalBytes.data() + SignalFlushed,
+                SignalBytes.size() - SignalFlushed, Tick);
+  SignalFlushed = SignalBytes.size();
+  W.appendChunk(StreamKind::Async, AsyncBytes.data() + AsyncFlushed,
+                AsyncBytes.size() - AsyncFlushed, Tick);
+  AsyncFlushed = AsyncBytes.size();
+  Mu.unlock();
+  return Tick;
 }
 
 void Scheduler::fillCursorsLocked(DesyncReport &R) const {
@@ -581,7 +689,7 @@ void Scheduler::livenessPoll() {
 bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
   std::unique_lock<std::mutex> L(Mu);
   uint64_t LastTicks = Stats.Ticks;
-  while (!allFinishedLocked()) {
+  while (!allFinishedLocked() && !Deadlocked) {
     const auto Status =
         Cv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
     if (Status == std::cv_status::timeout) {
@@ -605,11 +713,59 @@ void Scheduler::declareHardDesync(const std::string &Message) {
   declareDesync(std::move(R));
 }
 
+void Scheduler::declareSoftDesync(DesyncReport Report) {
+  std::lock_guard<std::mutex> L(Mu);
+  softDesyncLocked(std::move(Report));
+}
+
+void Scheduler::softDesyncLocked(DesyncReport R) {
+  if (Report.Kind != DesyncKind::None)
+    return; // A report already exists; soft events never displace one.
+  R.Kind = DesyncKind::Soft;
+  R.Tick = CurTick;
+  fillCursorsLocked(R);
+  R.SoftResyncs = Stats.SoftResyncs;
+  R.Message = renderDesyncReport(R);
+  Report = std::move(R);
+  warn("replay soft desynchronisation: %s", Report.Message.c_str());
+}
+
+bool Scheduler::deadlocked() {
+  std::lock_guard<std::mutex> L(Mu);
+  return Deadlocked;
+}
+
+bool Scheduler::waitLiveParked(uint64_t TimeoutMs) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      bool AllParked = true;
+      for (const ThreadState &T : Threads)
+        if (!T.Finished && !T.Parked) {
+          AllParked = false;
+          break;
+        }
+      // Once Parked is observed under Mu the thread's only remaining
+      // reads are of this scheduler (the wait() loop), so the caller may
+      // release everything else it references.
+      if (AllParked)
+        return true;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::yield();
+  }
+}
+
 void Scheduler::finishRecording() {
   std::lock_guard<std::mutex> L(Mu);
   if (Opts.ExecMode != Mode::Record || !RecordSink)
     return;
   QueueLog->flush();
+  if (Opts.LiveWriter)
+    flushRecordStreamsLocked(/*Final=*/true);
   RecordSink->setStream(StreamKind::Queue, QueueBytes.take());
   RecordSink->setStream(StreamKind::Signal, SignalBytes.take());
   RecordSink->setStream(StreamKind::Async, AsyncBytes.take());

@@ -48,6 +48,8 @@
 
 namespace tsr {
 
+class ChunkedDemoWriter;
+
 // DesyncKind and the structured DesyncReport live in support/Desync.h
 // (pulled in through sched/Common.h): the session's syscall layer fills
 // the same report type without depending on the scheduler.
@@ -79,6 +81,36 @@ struct SchedulerOptions {
   /// library default records the desync and free-runs instead).
   bool AbortOnHardDesync = false;
 
+  /// Abort the process when every live thread is disabled (deadlock). The
+  /// default is a salvaging shutdown instead: flush the live recording,
+  /// fill a structured Deadlock report, and unwind so the session can
+  /// return a RunReport (the demo then replays the deadlock).
+  bool AbortOnDeadlock = false;
+
+  /// The replay demo is the salvaged prefix of an interrupted recording
+  /// (Demo::truncated()). Running out of QUEUE entries mid-run is then
+  /// reported as a soft TruncatedDemo desync rather than being merely
+  /// counted as a resync.
+  bool ReplayTruncated = false;
+
+  /// Live incremental demo writer (record mode, may be null): record
+  /// streams are flushed to it as CRC-framed chunks so a crash leaves a
+  /// salvageable prefix on disk.
+  ChunkedDemoWriter *LiveWriter = nullptr;
+
+  /// Flush the live writer every N ticks (0 disables the tick trigger).
+  uint64_t FlushEveryTicks = 0;
+
+  /// Flush when the unflushed record bytes across the scheduler's streams
+  /// exceed N (0 disables the byte trigger).
+  uint64_t FlushEveryBytes = 0;
+
+  /// Called (under the scheduler lock) at every live-writer flush so the
+  /// session can flush its SYSCALL stream at the same tick frontier;
+  /// \p Final marks the flush performed by finishRecording, after which
+  /// the session must close its stream.
+  std::function<void(uint64_t Tick, bool Final)> SyscallFlushHook;
+
   /// Invoked (under the scheduler lock) whenever a concrete thread is
   /// designated; the argument says whether it was already parked at
   /// Wait(). Designating a non-parked thread stalls every other thread
@@ -99,6 +131,13 @@ struct SchedulerStats {
   /// so replay fell back to free-running. Exhaustion at the natural end of
   /// the program (all threads finished) is not counted.
   uint64_t SoftResyncs = 0;
+
+  /// The run ended in a deadlock handled by the salvaging shutdown
+  /// (SchedulerOptions::AbortOnDeadlock == false).
+  bool Deadlocked = false;
+
+  /// Incremental flushes performed by the live demo writer.
+  uint64_t DemoFlushes = 0;
 };
 
 /// The controlled scheduler. All public methods are thread-safe.
@@ -188,8 +227,22 @@ public:
   void livenessPoll();
 
   /// Blocks until every registered thread has finished, or returns false
-  /// after \p TimeoutMs with no progress (watchdog expired).
+  /// after \p TimeoutMs with no progress (watchdog expired). Also returns
+  /// (true) when the run deadlocked under the salvaging shutdown — check
+  /// deadlocked().
   bool waitAllFinished(uint64_t TimeoutMs);
+
+  /// True when the run ended in a salvaged deadlock: every live thread is
+  /// disabled and parked forever; the session must detach (not join) its
+  /// OS threads and keep this scheduler alive.
+  bool deadlocked();
+
+  /// Blocks until every unfinished thread is physically parked inside
+  /// wait() (false on timeout). After a salvaged deadlock the session
+  /// must not tear anything down before this: a thread can be *disabled*
+  /// (its wait registered) but still on its way into wait(), where it
+  /// will dereference session state one last time.
+  bool waitLiveParked(uint64_t TimeoutMs);
 
   /// Declares a hard desynchronisation discovered by a higher layer (e.g.
   /// a SYSCALL kind mismatch): drops to uncontrolled first-come-first-
@@ -201,6 +254,19 @@ public:
 
   /// Legacy free-form variant (Reason::Other).
   void declareHardDesync(const std::string &Message);
+
+  /// Declares a soft (informational) desynchronisation: recorded if no
+  /// report is present yet; a later hard desync overwrites it. Used for
+  /// the TruncatedDemo exhaustion report.
+  void declareSoftDesync(DesyncReport Report);
+
+  /// Best-effort flush of the record streams to the live writer from a
+  /// fatal-signal handler: skips entirely (returning nullopt) when the
+  /// scheduler lock cannot be acquired — a torn flush would corrupt the
+  /// prefix that earlier flushes already made durable. Returns the tick
+  /// frontier flushed at so the caller can flush its SYSCALL stream to
+  /// the same frontier.
+  std::optional<uint64_t> emergencyFlush();
 
   /// Flushes record-mode streams into the record demo.
   void finishRecording();
@@ -261,7 +327,10 @@ private:
   void applyInjectionsLocked();
   void noticeSignalsLocked(Tid Self);
   void deadlockCheckLocked();
+  void maybeFlushLocked();
+  void flushRecordStreamsLocked(bool Final);
   void hardDesyncLocked(DesyncReport Report);
+  void softDesyncLocked(DesyncReport Report);
   void fillCursorsLocked(DesyncReport &Report) const;
   void enableForWakeupLocked(Tid T);
   void removeFromWaitListsLocked(Tid T);
@@ -300,6 +369,16 @@ private:
   std::unique_ptr<RleU64Writer> QueueLog;
   ByteWriter SignalBytes;
   ByteWriter AsyncBytes;
+
+  // Live-writer flush cursors: how much of each record stream has already
+  // been pushed to disk as chunks.
+  size_t QueueFlushed = 0;
+  size_t SignalFlushed = 0;
+  size_t AsyncFlushed = 0;
+  uint64_t LastFlushTick = 0;
+
+  /// Deadlock latched by the salvaging shutdown.
+  bool Deadlocked = false;
 
   // Replay-side parsed streams and cursors.
   std::vector<uint64_t> ReplayQueue;

@@ -59,6 +59,12 @@ public:
   void writeString(const std::string &S) { writeBlob(S.data(), S.size()); }
 
   const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+  /// Raw pointer to the accumulated bytes. Lets an incremental flusher
+  /// copy out a suffix (bytes [Cursor, size())) without consuming the
+  /// buffer the way take() does.
+  const uint8_t *data() const { return Bytes.data(); }
+
   size_t size() const { return Bytes.size(); }
   bool empty() const { return Bytes.empty(); }
   void clear() { Bytes.clear(); }

@@ -43,25 +43,14 @@ size_t Demo::totalSize() const {
 
 namespace {
 
-/// On-disk per-stream header (little-endian):
-///   [0..3]   magic "TSRS"
-///   [4]      demo format version
-///   [5]      stream kind
-///   [6..7]   reserved (zero)
-///   [8..11]  payload length
-///   [12..15] CRC-32 of the payload
-void packHeader(uint8_t Out[Demo::StreamHeaderSize], StreamKind Kind,
-                const std::vector<uint8_t> &Payload) {
-  std::memcpy(Out, Demo::StreamMagic, 4);
-  Out[4] = static_cast<uint8_t>(Demo::FormatVersion);
-  Out[5] = static_cast<uint8_t>(Kind);
-  Out[6] = Out[7] = 0;
-  const uint32_t Len = static_cast<uint32_t>(Payload.size());
-  const uint32_t Crc = crc32(Payload);
-  for (int I = 0; I != 4; ++I) {
-    Out[8 + I] = static_cast<uint8_t>(Len >> (8 * I));
-    Out[12 + I] = static_cast<uint8_t>(Crc >> (8 * I));
-  }
+void packU32(uint8_t *Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+void packU64(uint8_t *Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out[I] = static_cast<uint8_t>(V >> (8 * I));
 }
 
 uint32_t unpackU32(const uint8_t *P) {
@@ -70,77 +59,146 @@ uint32_t unpackU32(const uint8_t *P) {
          static_cast<uint32_t>(P[3]) << 24;
 }
 
-bool writeStreamFile(const std::string &Path, StreamKind Kind,
-                     const std::vector<uint8_t> &Payload,
-                     std::string &Error) {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F) {
-    Error = Path + ": " + std::strerror(errno);
-    return false;
-  }
-  uint8_t Header[Demo::StreamHeaderSize];
-  packHeader(Header, Kind, Payload);
-  bool Ok = std::fwrite(Header, 1, sizeof(Header), F) == sizeof(Header);
-  if (Ok && !Payload.empty())
-    Ok = std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
-  if (std::fclose(F) != 0)
-    Ok = false;
-  if (!Ok)
-    Error = Path + ": short write";
-  return Ok;
+uint64_t unpackU64(const uint8_t *P) {
+  return static_cast<uint64_t>(unpackU32(P)) |
+         static_cast<uint64_t>(unpackU32(P + 4)) << 32;
 }
 
-/// Reads and validates one stream file. On success fills \p Payload.
-/// \p Missing reports a nonexistent file (not an error by itself; the
-/// caller decides based on LoadMode). Every failure message names the
-/// stream and the byte offset where validation broke down.
-bool readStreamFile(const std::string &Path, StreamKind Kind,
-                    std::vector<uint8_t> &Payload, bool &Missing,
-                    std::string &Error) {
+/// v2 on-disk per-stream header (little-endian):
+///   [0..3]   magic "TSRS"
+///   [4]      demo format version
+///   [5]      stream kind
+///   [6..7]   reserved (zero)
+///   [8..11]  payload length
+///   [12..15] CRC-32 of the payload
+/// v3 keeps the same 16-byte shape but zeroes bytes [8..15] (integrity
+/// lives in the chunk frames); the zeroes are validated on load so a bit
+/// flip anywhere in the header is still caught.
+void packStreamHeader(uint8_t Out[Demo::StreamHeaderSize], uint32_t Version,
+                      StreamKind Kind, const std::vector<uint8_t> &Payload) {
+  std::memcpy(Out, Demo::StreamMagic, 4);
+  Out[4] = static_cast<uint8_t>(Version);
+  Out[5] = static_cast<uint8_t>(Kind);
+  std::memset(Out + 6, 0, Demo::StreamHeaderSize - 6);
+  if (Version == Demo::LegacyFormatVersion) {
+    packU32(Out + 8, static_cast<uint32_t>(Payload.size()));
+    packU32(Out + 12, crc32(Payload));
+  }
+}
+
+void packChunkHeader(uint8_t Out[Demo::ChunkHeaderSize], const uint8_t *Data,
+                     size_t Size, uint64_t Frontier) {
+  std::memcpy(Out, Demo::ChunkMagic, 4);
+  packU32(Out + 4, static_cast<uint32_t>(Size));
+  packU32(Out + 8, crc32(Data, Size));
+  packU64(Out + 12, Frontier);
+  packU32(Out + 20, crc32(Out, 20));
+}
+
+/// One intact data chunk, as byte offsets into StreamScan::Payload.
+struct ChunkRef {
+  uint64_t Frontier = 0;
+  size_t Begin = 0;
+  size_t End = 0;
+};
+
+/// Result of parsing one stream file (either format version).
+struct StreamScan {
+  bool Missing = false;
+  uint32_t Version = 0;
+  std::vector<uint8_t> Payload;  ///< Concatenated data-chunk payloads.
+  std::vector<ChunkRef> Chunks;  ///< v3 data chunks (closing chunk excluded).
+  bool Closed = false;           ///< v2: always when intact; v3: sentinel seen.
+  size_t IntactBytes = 0;        ///< File prefix that parsed clean.
+  size_t FileSize = 0;
+  std::string TailError;         ///< Salvage mode: why parsing stopped early.
+
+  /// Largest data-chunk frontier (0 when the stream has no data chunks).
+  uint64_t lastFrontier() const {
+    uint64_t F = 0;
+    for (const ChunkRef &C : Chunks)
+      F = std::max(F, C.Frontier);
+    return F;
+  }
+};
+
+bool readWholeFile(const std::string &Path, StreamKind Kind,
+                   std::vector<uint8_t> &Bytes, bool &Missing,
+                   std::string &Error) {
   Missing = false;
-  const char *Name = streamName(Kind);
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (errno == ENOENT) {
       Missing = true;
       return true;
     }
-    Error = formatString("%s: %s stream unreadable: %s", Path.c_str(), Name,
-                         std::strerror(errno));
+    Error = formatString("%s: %s stream unreadable: %s", Path.c_str(),
+                         streamName(Kind), std::strerror(errno));
     return false;
   }
   std::fseek(F, 0, SEEK_END);
-  const long FileSize = std::ftell(F);
+  const long Size = std::ftell(F);
   std::fseek(F, 0, SEEK_SET);
-  uint8_t Header[Demo::StreamHeaderSize];
-  if (FileSize < 0 ||
-      static_cast<size_t>(FileSize) < Demo::StreamHeaderSize ||
-      std::fread(Header, 1, sizeof(Header), F) != sizeof(Header)) {
-    Error = formatString(
-        "%s: %s stream truncated in its header: %ld bytes on disk, the "
-        "%zu-byte header does not fit",
-        Path.c_str(), Name, FileSize < 0 ? 0L : FileSize,
-        Demo::StreamHeaderSize);
+  if (Size < 0) {
+    Error = formatString("%s: %s stream unreadable: %s", Path.c_str(),
+                         streamName(Kind), std::strerror(errno));
     std::fclose(F);
     return false;
   }
-  if (std::memcmp(Header, Demo::StreamMagic, 4) != 0) {
+  Bytes.resize(static_cast<size_t>(Size));
+  bool Ok = Size == 0 ||
+            std::fread(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  std::fclose(F);
+  if (!Ok) {
+    Error = formatString("%s: %s stream short read", Path.c_str(),
+                         streamName(Kind));
+    return false;
+  }
+  return true;
+}
+
+/// Parses one stream file of either format version. With \p AllowTornTail
+/// (salvage mode) damage after the header stops the scan and is described
+/// in S.TailError instead of failing; header-level damage (bad magic,
+/// unknown version, wrong kind byte) is always an error, as is any
+/// corruption in a v2 file — v2 has a single whole-payload CRC and no
+/// salvageable sub-structure.
+bool scanStreamFile(const std::string &Path, StreamKind Kind,
+                    bool AllowTornTail, StreamScan &S, std::string &Error) {
+  S = StreamScan();
+  const char *Name = streamName(Kind);
+  std::vector<uint8_t> Bytes;
+  if (!readWholeFile(Path, Kind, Bytes, S.Missing, Error))
+    return false;
+  if (S.Missing)
+    return true;
+  S.FileSize = Bytes.size();
+  if (Bytes.size() < Demo::StreamHeaderSize) {
+    Error = formatString(
+        "%s: %s stream truncated in its header: %zu bytes on disk, the "
+        "%zu-byte header does not fit",
+        Path.c_str(), Name, Bytes.size(), Demo::StreamHeaderSize);
+    return false;
+  }
+  const uint8_t *H = Bytes.data();
+  if (std::memcmp(H, Demo::StreamMagic, 4) != 0) {
     Error = formatString(
         "%s: %s stream has bad magic at offset 0 — not a tsr demo stream",
         Path.c_str(), Name);
-    std::fclose(F);
     return false;
   }
-  if (Header[4] != Demo::FormatVersion) {
+  S.Version = H[4];
+  if (S.Version != Demo::FormatVersion &&
+      S.Version != Demo::LegacyFormatVersion) {
     Error = formatString(
         "%s: %s stream is demo format version %u, this build reads "
-        "version %u",
-        Path.c_str(), Name, Header[4], Demo::FormatVersion);
-    std::fclose(F);
+        "versions %u and %u",
+        Path.c_str(), Name, H[4], Demo::LegacyFormatVersion,
+        Demo::FormatVersion);
     return false;
   }
-  if (Header[5] != static_cast<uint8_t>(Kind)) {
-    const unsigned Claimed = Header[5];
+  if (H[5] != static_cast<uint8_t>(Kind)) {
+    const unsigned Claimed = H[5];
     Error = formatString(
         "%s: stream kind byte at offset 5 says %s but the file is named "
         "%s — demo files swapped or renamed",
@@ -149,44 +207,184 @@ bool readStreamFile(const std::string &Path, StreamKind Kind,
             ? streamName(static_cast<StreamKind>(Claimed))
             : "an unknown stream",
         Name);
-    std::fclose(F);
     return false;
   }
-  const uint32_t Len = unpackU32(Header + 8);
-  const uint32_t WantCrc = unpackU32(Header + 12);
-  const size_t Avail = static_cast<size_t>(FileSize) - Demo::StreamHeaderSize;
-  if (Avail != Len) {
+  if (H[6] || H[7]) {
     Error = formatString(
-        "%s: %s stream %s: header promises %u payload bytes at offset "
-        "%zu, file holds %zu",
-        Path.c_str(), Name, Avail < Len ? "truncated" : "has trailing bytes",
-        Len, Demo::StreamHeaderSize, Avail);
-    std::fclose(F);
+        "%s: %s stream reserved header bytes [6..7] are nonzero — "
+        "corrupted header",
+        Path.c_str(), Name);
     return false;
   }
-  Payload.resize(Len);
-  bool Ok = true;
-  if (Len)
-    Ok = std::fread(Payload.data(), 1, Len, F) == Len;
-  std::fclose(F);
-  if (!Ok) {
-    Error = formatString("%s: %s stream short read", Path.c_str(), Name);
-    return false;
+
+  if (S.Version == Demo::LegacyFormatVersion) {
+    const uint32_t Len = unpackU32(H + 8);
+    const uint32_t WantCrc = unpackU32(H + 12);
+    const size_t Avail = Bytes.size() - Demo::StreamHeaderSize;
+    if (Avail != Len) {
+      Error = formatString(
+          "%s: %s stream %s: header promises %u payload bytes at offset "
+          "%zu, file holds %zu",
+          Path.c_str(), Name, Avail < Len ? "truncated" : "has trailing bytes",
+          Len, Demo::StreamHeaderSize, Avail);
+      return false;
+    }
+    S.Payload.assign(Bytes.begin() + Demo::StreamHeaderSize, Bytes.end());
+    const uint32_t GotCrc = crc32(S.Payload);
+    if (GotCrc != WantCrc) {
+      Error = formatString(
+          "%s: %s stream CRC mismatch: header says 0x%08x, payload hashes "
+          "to 0x%08x — corrupted at or after offset %zu",
+          Path.c_str(), Name, WantCrc, GotCrc, Demo::StreamHeaderSize);
+      return false;
+    }
+    S.Closed = true;
+    S.IntactBytes = Bytes.size();
+    return true;
   }
-  const uint32_t GotCrc = crc32(Payload);
-  if (GotCrc != WantCrc) {
+
+  // v3: bytes [8..15] must be zero; per-chunk CRCs carry the integrity.
+  for (size_t I = 8; I != Demo::StreamHeaderSize; ++I) {
+    if (H[I]) {
+      Error = formatString(
+          "%s: %s stream header byte at offset %zu is nonzero (v3 zeroes "
+          "the legacy length/CRC fields) — corrupted header",
+          Path.c_str(), Name, I);
+      return false;
+    }
+  }
+  S.IntactBytes = Demo::StreamHeaderSize;
+  size_t Off = Demo::StreamHeaderSize;
+  size_t Index = 0;
+  auto Torn = [&](const std::string &What) {
+    if (AllowTornTail) {
+      S.TailError = What;
+      return true; // stop scanning, keep the intact prefix
+    }
     Error = formatString(
-        "%s: %s stream CRC mismatch: header says 0x%08x, payload hashes "
-        "to 0x%08x — corrupted at or after offset %zu",
-        Path.c_str(), Name, WantCrc, GotCrc, Demo::StreamHeaderSize);
+        "%s: %s stream chunk %zu at offset %zu: %s — run `tsr-demo-dump "
+        "repair` to cut the stream back to its last intact chunk",
+        Path.c_str(), Name, Index, Off, What.c_str());
     return false;
+  };
+  while (Off != Bytes.size()) {
+    const size_t Remain = Bytes.size() - Off;
+    if (S.Closed)
+      return Torn(formatString("%zu trailing bytes after the closing chunk",
+                               Remain));
+    if (Remain < Demo::ChunkHeaderSize)
+      return Torn(formatString(
+          "torn frame: %zu bytes on disk, the %zu-byte chunk header does "
+          "not fit",
+          Remain, Demo::ChunkHeaderSize));
+    const uint8_t *C = Bytes.data() + Off;
+    if (std::memcmp(C, Demo::ChunkMagic, 4) != 0)
+      return Torn("bad chunk magic");
+    if (crc32(C, 20) != unpackU32(C + 20))
+      return Torn("chunk header CRC mismatch");
+    const uint32_t Len = unpackU32(C + 4);
+    const uint32_t WantCrc = unpackU32(C + 8);
+    const uint64_t Frontier = unpackU64(C + 12);
+    if (Remain - Demo::ChunkHeaderSize < Len)
+      return Torn(formatString(
+          "torn payload: chunk promises %u bytes, file holds %zu", Len,
+          Remain - Demo::ChunkHeaderSize));
+    const uint8_t *P = C + Demo::ChunkHeaderSize;
+    if (crc32(P, Len) != WantCrc)
+      return Torn("chunk payload CRC mismatch");
+    if (Frontier == Demo::ClosedFrontier) {
+      if (Len != 0)
+        return Torn("closing chunk has a nonempty payload");
+      S.Closed = true;
+    } else {
+      ChunkRef R;
+      R.Frontier = Frontier;
+      R.Begin = S.Payload.size();
+      S.Payload.insert(S.Payload.end(), P, P + Len);
+      R.End = S.Payload.size();
+      S.Chunks.push_back(R);
+    }
+    Off += Demo::ChunkHeaderSize + Len;
+    S.IntactBytes = Off;
+    ++Index;
   }
   return true;
 }
 
+bool writeStreamFileV2(const std::string &Path, StreamKind Kind,
+                       const std::vector<uint8_t> &Payload,
+                       std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = formatString("%s: cannot create %s stream file: %s", Path.c_str(),
+                         streamName(Kind), std::strerror(errno));
+    return false;
+  }
+  uint8_t Header[Demo::StreamHeaderSize];
+  packStreamHeader(Header, Demo::LegacyFormatVersion, Kind, Payload);
+  bool Ok = std::fwrite(Header, 1, sizeof(Header), F) == sizeof(Header);
+  if (Ok && !Payload.empty())
+    Ok = std::fwrite(Payload.data(), 1, Payload.size(), F) == Payload.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Error = formatString("%s: %s stream short write", Path.c_str(),
+                         streamName(Kind));
+  return Ok;
+}
+
+bool writeChunk(std::FILE *F, const uint8_t *Data, size_t Size,
+                uint64_t Frontier) {
+  uint8_t Header[Demo::ChunkHeaderSize];
+  packChunkHeader(Header, Data, Size, Frontier);
+  if (std::fwrite(Header, 1, sizeof(Header), F) != sizeof(Header))
+    return false;
+  return Size == 0 || std::fwrite(Data, 1, Size, F) == Size;
+}
+
+/// Writes one v3 stream file: header, the given data chunks, and — unless
+/// the stream is an (intentionally unclosed) truncated prefix — the
+/// closing sentinel chunk.
+bool writeStreamFileV3(const std::string &Path, StreamKind Kind,
+                       const std::vector<std::pair<const uint8_t *, size_t>>
+                           &DataChunks,
+                       const std::vector<uint64_t> &Frontiers, bool Close,
+                       std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = formatString("%s: cannot create %s stream file: %s", Path.c_str(),
+                         streamName(Kind), std::strerror(errno));
+    return false;
+  }
+  uint8_t Header[Demo::StreamHeaderSize];
+  static const std::vector<uint8_t> NoPayload;
+  packStreamHeader(Header, Demo::FormatVersion, Kind, NoPayload);
+  bool Ok = std::fwrite(Header, 1, sizeof(Header), F) == sizeof(Header);
+  for (size_t I = 0; Ok && I != DataChunks.size(); ++I)
+    Ok = writeChunk(F, DataChunks[I].first, DataChunks[I].second,
+                    Frontiers[I]);
+  if (Ok && Close)
+    Ok = writeChunk(F, nullptr, 0, Demo::ClosedFrontier);
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Error = formatString("%s: %s stream short write", Path.c_str(),
+                         streamName(Kind));
+  return Ok;
+}
+
+bool isDataStream(StreamKind Kind) { return Kind != StreamKind::Meta; }
+
 } // namespace
 
-bool Demo::saveToDirectory(const std::string &Path, std::string &Error) const {
+bool Demo::saveToDirectory(const std::string &Path, std::string &Error,
+                           uint32_t Version) const {
+  if (Version != FormatVersion && Version != LegacyFormatVersion) {
+    Error = formatString(
+        "%s: cannot save demo format version %u (this build writes %u or %u)",
+        Path.c_str(), Version, LegacyFormatVersion, FormatVersion);
+    return false;
+  }
   std::error_code EC;
   std::filesystem::create_directories(Path, EC);
   if (EC) {
@@ -196,7 +394,22 @@ bool Demo::saveToDirectory(const std::string &Path, std::string &Error) const {
   for (unsigned I = 0; I != NumStreamKinds; ++I) {
     const StreamKind Kind = static_cast<StreamKind>(I);
     const std::string File = Path + "/" + streamName(Kind);
-    if (!writeStreamFile(File, Kind, Streams[I], Error))
+    if (Version == LegacyFormatVersion) {
+      if (!writeStreamFileV2(File, Kind, Streams[I], Error))
+        return false;
+      continue;
+    }
+    // v3: one data chunk carrying the whole in-memory stream. A truncated
+    // demo writes its data chunks at frontier() and omits the closing
+    // chunk on data streams, so the truncation marker round-trips.
+    std::vector<std::pair<const uint8_t *, size_t>> Chunks;
+    std::vector<uint64_t> Frontiers;
+    const bool KeepOpen = Truncated && isDataStream(Kind);
+    if (!Streams[I].empty() || KeepOpen) {
+      Chunks.emplace_back(Streams[I].data(), Streams[I].size());
+      Frontiers.push_back(Truncated ? Frontier : 0);
+    }
+    if (!writeStreamFileV3(File, Kind, Chunks, Frontiers, !KeepOpen, Error))
       return false;
   }
   return true;
@@ -209,14 +422,13 @@ bool Demo::loadFromDirectory(const std::string &Path, std::string &Error,
     Error = Path + ": not a directory";
     return false;
   }
-  std::array<std::vector<uint8_t>, NumStreamKinds> Loaded;
+  std::array<StreamScan, NumStreamKinds> Scans;
   for (unsigned I = 0; I != NumStreamKinds; ++I) {
     const StreamKind Kind = static_cast<StreamKind>(I);
     const std::string File = Path + "/" + streamName(Kind);
-    bool Missing = false;
-    if (!readStreamFile(File, Kind, Loaded[I], Missing, Error))
+    if (!scanStreamFile(File, Kind, /*AllowTornTail=*/false, Scans[I], Error))
       return false;
-    if (Missing) {
+    if (Scans[I].Missing) {
       // A demo with no META was never recorded: refuse it up front
       // instead of letting an all-empty "demo" desynchronise mid-replay.
       if (Kind == StreamKind::Meta) {
@@ -234,10 +446,50 @@ bool Demo::loadFromDirectory(const std::string &Path, std::string &Error,
             Path.c_str(), streamName(Kind));
         return false;
       }
-      Loaded[I].clear();
     }
   }
-  Streams = std::move(Loaded);
+  if (!Scans[0].Missing && !Scans[0].Closed && Scans[0].Chunks.empty()) {
+    Error = formatString(
+        "%s: META stream holds no intact chunk — the recording died before "
+        "its metadata became durable; nothing is replayable",
+        Path.c_str());
+    return false;
+  }
+
+  // Unclosed v3 data streams mean the recording was interrupted between
+  // flushes: cross-trim every data stream to the smallest last frontier F
+  // so the in-memory prefix is mutually consistent, and mark the demo
+  // truncated at F.
+  bool AnyOpen = false;
+  uint64_t F = ClosedFrontier;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    if (!isDataStream(Kind) || Scans[I].Missing ||
+        Scans[I].Version != FormatVersion || Scans[I].Closed)
+      continue;
+    AnyOpen = true;
+    F = std::min(F, Scans[I].lastFrontier());
+  }
+
+  std::array<std::vector<uint8_t>, NumStreamKinds> LoadedStreams;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    StreamScan &S = Scans[I];
+    if (S.Missing)
+      continue;
+    if (!AnyOpen || !isDataStream(Kind) || S.Version != FormatVersion) {
+      LoadedStreams[I] = std::move(S.Payload);
+      continue;
+    }
+    for (const ChunkRef &C : S.Chunks)
+      if (C.Frontier <= F)
+        LoadedStreams[I].insert(LoadedStreams[I].end(),
+                                S.Payload.begin() + C.Begin,
+                                S.Payload.begin() + C.End);
+  }
+  Streams = std::move(LoadedStreams);
+  Truncated = AnyOpen;
+  Frontier = AnyOpen ? F : 0;
   return true;
 }
 
@@ -260,30 +512,144 @@ bool Demo::verifyDirectory(const std::string &Path,
   for (unsigned I = 0; I != NumStreamKinds; ++I) {
     const StreamKind Kind = static_cast<StreamKind>(I);
     StreamCheck &C = Out[I];
-    C = StreamCheck();
-    C.Kind = Kind;
     const std::string File = Path + "/" + streamName(Kind);
-    std::vector<uint8_t> Payload;
-    bool Missing = false;
-    if (!readStreamFile(File, Kind, Payload, Missing, C.Error)) {
+    StreamScan S;
+    if (!scanStreamFile(File, Kind, /*AllowTornTail=*/false, S, C.Error)) {
       AllOk = false;
       C.Present = true;
       if (Error.empty())
         Error = C.Error;
       continue;
     }
-    if (Missing) {
+    if (S.Missing) {
       if (Kind == StreamKind::Meta) {
-        C.Error = "META stream file is missing — not a tsr demo directory";
+        C.Error = formatString(
+            "%s: META stream file is missing — not a tsr demo directory",
+            File.c_str());
         AllOk = false;
         if (Error.empty())
-          Error = Path + ": " + C.Error;
+          Error = C.Error;
       }
       continue;
     }
     C.Present = true;
-    C.PayloadBytes = Payload.size();
-    C.Crc = crc32(Payload);
+    C.Version = S.Version;
+    C.PayloadBytes = S.Payload.size();
+    C.Chunks = S.Chunks.size();
+    C.Closed = S.Closed;
+    C.Crc = crc32(S.Payload);
   }
   return AllOk;
+}
+
+bool Demo::salvageDirectory(const std::string &Path, SalvageReport &Out,
+                            std::string &Error) {
+  Out = SalvageReport();
+  for (unsigned I = 0; I != NumStreamKinds; ++I)
+    Out.Streams[I].Kind = static_cast<StreamKind>(I);
+  std::error_code EC;
+  if (!std::filesystem::is_directory(Path, EC)) {
+    Error = Path + ": not a directory";
+    return false;
+  }
+  std::array<StreamScan, NumStreamKinds> Scans;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    const std::string File = Path + "/" + streamName(Kind);
+    // Header-level damage and v2 corruption are unsalvageable: fail with
+    // the scanner's diagnostic rather than quietly rewriting the file.
+    if (!scanStreamFile(File, Kind, /*AllowTornTail=*/true, Scans[I], Error))
+      return false;
+    Out.Streams[I].Present = !Scans[I].Missing;
+  }
+  if (Scans[0].Missing) {
+    Error = formatString(
+        "%s: no META stream — this directory does not contain a tsr demo",
+        Path.c_str());
+    return false;
+  }
+  if (Scans[0].Chunks.empty()) {
+    Error = formatString(
+        "%s: META stream holds no intact chunk — the recording died before "
+        "its metadata became durable; nothing is salvageable",
+        Path.c_str());
+    return false;
+  }
+
+  bool AllClosed = true;
+  for (unsigned I = 0; I != NumStreamKinds; ++I)
+    if (!Scans[I].Missing &&
+        (!Scans[I].Closed || !Scans[I].TailError.empty()))
+      AllClosed = false;
+    else if (Scans[I].Missing && isDataStream(static_cast<StreamKind>(I)))
+      AllClosed = false;
+  if (AllClosed) {
+    Out.Clean = true;
+    for (unsigned I = 0; I != NumStreamKinds; ++I)
+      Out.Streams[I].ChunksKept = Scans[I].Chunks.size();
+    return true;
+  }
+
+  // Consistent frontier: the smallest last-intact-chunk frontier among
+  // unclosed data streams. Closed streams are complete, so they never
+  // constrain F — but their chunks beyond F are still cut, because the
+  // schedule needed to consume them died with the unclosed streams.
+  uint64_t F = ClosedFrontier;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    if (!isDataStream(Kind))
+      continue;
+    const StreamScan &S = Scans[I];
+    if (S.Missing || S.Version != FormatVersion || S.Closed)
+      continue;
+    F = std::min(F, S.lastFrontier());
+  }
+  if (F == ClosedFrontier)
+    F = 0; // only closed/missing data streams: nothing constrains F
+  Out.Frontier = F;
+
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    const StreamScan &S = Scans[I];
+    StreamFix &Fix = Out.Streams[I];
+    const std::string File = Path + "/" + streamName(Kind);
+    if (!S.Missing && S.Version == LegacyFormatVersion) {
+      // Intact v2 stream in a (bizarre) mixed directory: leave it alone.
+      Fix.ChunksKept = S.Payload.empty() ? 0 : 1;
+      continue;
+    }
+    std::vector<std::pair<const uint8_t *, size_t>> Keep;
+    std::vector<uint64_t> Frontiers;
+    for (const ChunkRef &C : S.Chunks) {
+      if (Kind != StreamKind::Meta && C.Frontier > F) {
+        ++Fix.ChunksDropped;
+        continue;
+      }
+      Keep.emplace_back(S.Payload.data() + C.Begin, C.End - C.Begin);
+      Frontiers.push_back(C.Frontier);
+      ++Fix.ChunksKept;
+    }
+    Fix.BytesDropped = S.FileSize - S.IntactBytes;
+    // META stays closed (its payload is complete once its chunk landed);
+    // data streams are left unclosed so a later load marks the demo
+    // truncated at F.
+    const bool Close = Kind == StreamKind::Meta;
+    const bool AlreadyRight = !S.Missing && Fix.BytesDropped == 0 &&
+                              Fix.ChunksDropped == 0 && S.Closed == Close;
+    if (AlreadyRight)
+      continue;
+    const std::string Tmp = File + ".tmp";
+    if (!writeStreamFileV3(Tmp, Kind, Keep, Frontiers, Close, Error))
+      return false;
+    std::filesystem::rename(Tmp, File, EC);
+    if (EC) {
+      Error = formatString("%s: cannot replace %s stream file: %s",
+                           File.c_str(), streamName(Kind),
+                           EC.message().c_str());
+      return false;
+    }
+    Fix.Rewritten = true;
+    Out.Changed = true;
+  }
+  return true;
 }

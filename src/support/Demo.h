@@ -18,10 +18,19 @@
 /// A Demo holds the five streams in memory and can round-trip through a
 /// directory of files with those exact names.
 ///
-/// On disk every stream is framed by a fixed 16-byte header (magic,
-/// format version, stream kind, payload length, CRC-32 of the payload) so
-/// corruption — truncation, bit rot, a file from a different tool — is
-/// diagnosed at load time with a message naming the stream and offset,
+/// On disk (format v3) every stream is a fixed 16-byte header followed by
+/// an append-only sequence of CRC-framed *chunks*, each stamped with the
+/// scheduler tick it was flushed at (its "frontier"). A closing sentinel
+/// chunk marks a stream that was serialised to completion; a stream
+/// without one is the durable prefix of a recording that was interrupted
+/// (crash, SIGKILL, power loss). Chunking is what makes incremental
+/// flushing crash-consistent: a torn tail write damages at most the last
+/// chunk, and salvageDirectory can cut every stream back to a mutually
+/// consistent frontier. Format v2 (one header + one whole-stream CRC) is
+/// still read for backward compatibility.
+///
+/// Corruption — truncation, bit rot, a file from a different tool — is
+/// diagnosed at load time with a message naming the file and stream,
 /// instead of surfacing later as a replay desynchronisation (see
 /// support/Desync.h for that taxonomy).
 ///
@@ -53,7 +62,7 @@ inline constexpr unsigned NumStreamKinds = 5;
 /// Returns the on-disk file name for \p Kind ("META", "QUEUE", ...).
 const char *streamName(StreamKind Kind);
 
-/// An in-memory demo: five named byte streams plus load/save.
+/// An in-memory demo: five named byte streams plus load/save/salvage.
 class Demo {
 public:
   /// Demo format version; bumped on incompatible stream layout changes.
@@ -61,13 +70,39 @@ public:
   ///   1 — raw stream payloads on disk, no integrity protection.
   ///   2 — per-stream on-disk header (magic/version/kind/length/CRC-32);
   ///       META gained the fault-plan hash field.
-  static constexpr uint32_t FormatVersion = 2;
+  ///   3 — chunked streams: the header is followed by CRC-framed chunks
+  ///       with tick frontiers and a closing sentinel, enabling
+  ///       incremental crash-consistent flushing and post-crash salvage.
+  static constexpr uint32_t FormatVersion = 3;
+
+  /// Newest previous format this build still loads and replays.
+  static constexpr uint32_t LegacyFormatVersion = 2;
 
   /// First bytes of every on-disk stream file: "TSRS".
   static constexpr uint8_t StreamMagic[4] = {'T', 'S', 'R', 'S'};
 
-  /// Size of the fixed on-disk per-stream header.
+  /// Size of the fixed on-disk per-stream header. In v3 the v2 header's
+  /// length/CRC fields (bytes [8..15]) are written as zero and validated
+  /// as such — integrity lives in the per-chunk frames instead.
   static constexpr size_t StreamHeaderSize = 16;
+
+  /// First bytes of every v3 chunk frame: "TSRC".
+  static constexpr uint8_t ChunkMagic[4] = {'T', 'S', 'R', 'C'};
+
+  /// Size of the fixed v3 chunk frame header (little-endian):
+  ///   [0..3]   magic "TSRC"
+  ///   [4..7]   payload length
+  ///   [8..11]  CRC-32 of the payload
+  ///   [12..19] tick frontier: every event in this chunk happened at or
+  ///            before this scheduler tick
+  ///   [20..23] CRC-32 of frame bytes [0..19]
+  static constexpr size_t ChunkHeaderSize = 24;
+
+  /// Frontier sentinel marking the closing chunk of a completely
+  /// serialised stream. A closing chunk always has an empty payload; a
+  /// stream whose last intact chunk is not a closing chunk was cut off
+  /// mid-recording.
+  static constexpr uint64_t ClosedFrontier = ~0ull;
 
   /// How loadFromDirectory treats a missing stream file.
   enum class LoadMode {
@@ -84,9 +119,30 @@ public:
   struct StreamCheck {
     StreamKind Kind = StreamKind::Meta;
     bool Present = false;      ///< The file exists.
-    size_t PayloadBytes = 0;   ///< Payload length per the header.
-    uint32_t Crc = 0;          ///< CRC-32 the header promises.
+    uint32_t Version = 0;      ///< On-disk format version (2 or 3).
+    size_t PayloadBytes = 0;   ///< Total payload bytes across chunks.
+    size_t Chunks = 0;         ///< v3: number of intact data chunks.
+    bool Closed = false;       ///< Serialised to completion (v2: always).
+    uint32_t Crc = 0;          ///< CRC-32 of the concatenated payload.
     std::string Error;         ///< Empty when the file verified clean.
+  };
+
+  /// What salvageDirectory did to one stream file.
+  struct StreamFix {
+    StreamKind Kind = StreamKind::Meta;
+    bool Present = false;     ///< The file existed before salvage.
+    bool Rewritten = false;   ///< The file was rewritten on disk.
+    size_t ChunksKept = 0;    ///< Intact data chunks surviving the trim.
+    size_t ChunksDropped = 0; ///< Intact data chunks cut by cross-trim.
+    size_t BytesDropped = 0;  ///< Torn/corrupt tail bytes discarded.
+  };
+
+  /// Outcome of salvageDirectory.
+  struct SalvageReport {
+    bool Clean = false;    ///< Demo was fully closed; nothing to do.
+    bool Changed = false;  ///< At least one file was rewritten.
+    uint64_t Frontier = 0; ///< Consistent tick frontier after salvage.
+    std::array<StreamFix, NumStreamKinds> Streams;
   };
 
   /// Mutable access to a stream's bytes (record side).
@@ -107,6 +163,21 @@ public:
     return ByteReader(stream(Kind));
   }
 
+  /// True when this demo is the salvaged prefix of an interrupted
+  /// recording: its streams were cut (consistently) at frontier() and
+  /// replay will run out of recorded events mid-run. Session reports the
+  /// exhaustion as a soft TruncatedDemo desync and free-runs to the end.
+  bool truncated() const { return Truncated; }
+
+  /// Tick frontier the streams were cut at (0 when !truncated()).
+  uint64_t frontier() const { return Frontier; }
+
+  /// Marks this demo as a truncated prefix ending at tick \p Tick.
+  void markTruncated(uint64_t Tick) {
+    Truncated = true;
+    Frontier = Tick;
+  }
+
   /// Sum of all stream sizes in bytes — the paper's "demo file size"
   /// metric (§5.2, §5.4).
   size_t totalSize() const;
@@ -115,32 +186,58 @@ public:
   size_t streamSize(StreamKind Kind) const { return stream(Kind).size(); }
 
   /// Writes all streams into directory \p Path (created if missing), each
-  /// framed by the integrity header. Returns false and sets \p Error on
-  /// I/O failure.
-  bool saveToDirectory(const std::string &Path, std::string &Error) const;
+  /// framed by the integrity header — format \p Version on disk, which
+  /// must be FormatVersion (default) or LegacyFormatVersion (to produce
+  /// demos an older tool can read). A truncated() demo keeps its marker:
+  /// v3 streams are written without closing chunks. Returns false and
+  /// sets \p Error on I/O failure.
+  bool saveToDirectory(const std::string &Path, std::string &Error,
+                       uint32_t Version = FormatVersion) const;
 
   /// Reads all streams from directory \p Path, verifying each file's
-  /// header and CRC. A directory containing no META file fails fast — it
-  /// is not a demo (never recorded, or the wrong path) and replaying it
-  /// would only manufacture a confusing desynchronisation later. Returns
-  /// false and sets \p Error (naming the offending stream and offset) on
-  /// any integrity violation.
+  /// header and (v3) every chunk frame. A directory containing no META
+  /// file fails fast — it is not a demo (never recorded, or the wrong
+  /// path) and replaying it would only manufacture a confusing
+  /// desynchronisation later. Torn or corrupt chunk tails are an error —
+  /// run salvageDirectory (tsr-demo-dump repair) first. Streams that are
+  /// intact but unclosed (clean kill between flushes) are cross-trimmed
+  /// in memory to the smallest last frontier and the demo is marked
+  /// truncated(). Returns false and sets \p Error (naming the offending
+  /// file and stream) on any integrity violation.
   bool loadFromDirectory(const std::string &Path, std::string &Error,
                          LoadMode Mode = LoadMode::Tolerant);
 
-  /// Checks every stream file of an on-disk demo without loading it into
-  /// memory wholesale: header magic, version, kind byte, payload length
-  /// and CRC. Fills one StreamCheck per stream. Returns true iff the
-  /// directory is readable, META is present and no present file is
-  /// corrupt.
+  /// Checks every stream file of an on-disk demo: header magic, version,
+  /// kind byte, and every chunk frame's CRCs (v2: the whole-payload CRC).
+  /// Fills one StreamCheck per stream. Returns true iff the directory is
+  /// readable, META is present and no present file is corrupt. An
+  /// unclosed-but-intact stream is not corrupt — it is a truncated
+  /// recording (Closed=false).
   static bool verifyDirectory(const std::string &Path,
                               std::array<StreamCheck, NumStreamKinds> &Out,
                               std::string &Error);
+
+  /// Repairs the directory of an interrupted recording in place: cuts
+  /// every stream back to its last intact chunk (discarding torn tail
+  /// writes), then cross-trims all data streams to a mutually consistent
+  /// tick frontier F (the smallest "last frontier" among unclosed
+  /// streams) so the surviving prefix replays deterministically. Files
+  /// are rewritten atomically (temp file + rename) without closing
+  /// chunks, so a later load marks the demo truncated() at F. A fully
+  /// closed demo is left untouched (Out.Clean). v2 demos are monolithic
+  /// (one CRC over the whole stream) and cannot be partially salvaged: a
+  /// clean v2 demo reports Clean, a corrupt one is an error. Returns
+  /// false and sets \p Error when the directory is unreadable, META never
+  /// became durable, or a rewrite fails.
+  static bool salvageDirectory(const std::string &Path, SalvageReport &Out,
+                               std::string &Error);
 
   bool operator==(const Demo &Other) const { return Streams == Other.Streams; }
 
 private:
   std::array<std::vector<uint8_t>, NumStreamKinds> Streams;
+  bool Truncated = false;
+  uint64_t Frontier = 0;
 };
 
 } // namespace tsr

@@ -1,0 +1,116 @@
+//===-- support/DemoWriter.cpp - Incremental chunked demo writer ---------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DemoWriter.h"
+
+#include "support/Crc32.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <unistd.h>
+
+using namespace tsr;
+
+namespace {
+
+void packU32(uint8_t *Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+void packU64(uint8_t *Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+} // namespace
+
+bool ChunkedDemoWriter::open(const std::string &Dir, std::string &Error) {
+  closeAll();
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Error = Dir + ": " + EC.message();
+    return false;
+  }
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const StreamKind Kind = static_cast<StreamKind>(I);
+    const std::string Path = Dir + "/" + streamName(Kind);
+    const int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (Fd < 0) {
+      Error = Path + ": " + std::strerror(errno);
+      closeAll();
+      return false;
+    }
+    Fds[I] = Fd;
+    uint8_t Header[Demo::StreamHeaderSize];
+    std::memcpy(Header, Demo::StreamMagic, 4);
+    Header[4] = static_cast<uint8_t>(Demo::FormatVersion);
+    Header[5] = static_cast<uint8_t>(Kind);
+    std::memset(Header + 6, 0, Demo::StreamHeaderSize - 6);
+    writeAll(Fd, Header, sizeof(Header));
+    if (ioError()) {
+      Error = Path + ": cannot write stream header";
+      closeAll();
+      return false;
+    }
+  }
+  Open = true;
+  IoError.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void ChunkedDemoWriter::appendChunk(StreamKind Kind, const uint8_t *Data,
+                                    size_t Size, uint64_t Frontier) {
+  const int Fd = Fds[static_cast<unsigned>(Kind)];
+  if (Fd < 0)
+    return;
+  uint8_t Header[Demo::ChunkHeaderSize];
+  std::memcpy(Header, Demo::ChunkMagic, 4);
+  packU32(Header + 4, static_cast<uint32_t>(Size));
+  packU32(Header + 8, crc32(Data, Size));
+  packU64(Header + 12, Frontier);
+  packU32(Header + 20, crc32(Header, 20));
+  writeAll(Fd, Header, sizeof(Header));
+  if (Size)
+    writeAll(Fd, Data, Size);
+}
+
+void ChunkedDemoWriter::closeStream(StreamKind Kind) {
+  int &Fd = Fds[static_cast<unsigned>(Kind)];
+  if (Fd < 0)
+    return;
+  appendChunk(Kind, nullptr, 0, Demo::ClosedFrontier);
+  ::close(Fd);
+  Fd = -1;
+}
+
+void ChunkedDemoWriter::closeAll() {
+  for (int &Fd : Fds) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+  Open = false;
+}
+
+void ChunkedDemoWriter::writeAll(int Fd, const uint8_t *P, size_t N) {
+  while (N) {
+    const ssize_t W = ::write(Fd, P, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      IoError.store(true, std::memory_order_relaxed);
+      return;
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+}

@@ -30,6 +30,10 @@ const char *tsr::desyncReasonName(DesyncReason Reason) {
     return "syscall-truncated";
   case DesyncReason::WatchdogStall:
     return "watchdog-stall";
+  case DesyncReason::TruncatedDemo:
+    return "truncated-demo";
+  case DesyncReason::Deadlock:
+    return "deadlock";
   case DesyncReason::Other:
     return "other";
   }
@@ -46,8 +50,19 @@ std::string tsr::renderDesyncReport(const DesyncReport &R) {
           R.SoftResyncs == 1 ? "" : "s");
     return "synchronised";
   }
+  if (R.Reason == DesyncReason::Deadlock) {
+    std::string Out = formatString(
+        "deadlock at tick %llu: every live thread is disabled (the run was "
+        "shut down and its recording flushed; replaying the demo reproduces "
+        "the deadlock deterministically)",
+        static_cast<unsigned long long>(R.Tick));
+    if (!R.Actual.empty())
+      Out += "; " + R.Actual;
+    return Out;
+  }
   std::string Out = formatString(
-      "hard desync [%s] in %s stream at tick %llu",
+      "%s desync [%s] in %s stream at tick %llu",
+      R.Kind == DesyncKind::Soft ? "soft" : "hard",
       desyncReasonName(R.Reason), streamName(R.Stream),
       static_cast<unsigned long long>(R.Tick));
   if (R.Thread != InvalidTid)

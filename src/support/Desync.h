@@ -42,6 +42,10 @@ namespace tsr {
 /// enforce.
 enum class DesyncKind : unsigned {
   None = 0,
+  /// A stream ran out or a benign fallback fired: replay completed
+  /// free-running and the report explains why (e.g. a salvaged, truncated
+  /// demo ended mid-run). Informational, never fatal.
+  Soft,
   Hard,
 };
 
@@ -65,6 +69,15 @@ enum class DesyncReason : unsigned {
   /// The watchdog saw no progress: a recorded schedule constraint can
   /// never be satisfied by this program.
   WatchdogStall,
+  /// The demo is the salvaged prefix of an interrupted recording
+  /// (Demo::truncated()) and replay consumed it to its frontier; the run
+  /// finished free-running. Soft by construction: the truncation was
+  /// declared at load time, so running out is expected, not divergence.
+  TruncatedDemo,
+  /// Every live thread became disabled: a deadlock. In the default
+  /// salvaging mode the scheduler flushes the demo, fills this report and
+  /// returns instead of calling fatal().
+  Deadlock,
   /// Declared by a caller through the legacy free-form-string interface.
   Other,
 };

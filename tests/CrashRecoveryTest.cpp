@@ -1,0 +1,298 @@
+//===-- tests/CrashRecoveryTest.cpp - Crash-consistent recording tests ----===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// The crash-consistency contract, tested end to end: a recording session
+// killed at an arbitrary moment (SIGKILL from outside, SIGSEGV from
+// within) leaves a demo directory that `Demo::salvageDirectory` repairs
+// to a consistent prefix, and the salvaged demo replays deterministically
+// up to its tick frontier, finishing free-run with a structured
+// TruncatedDemo soft report. Also covers the clean chunked round-trip and
+// loading of legacy v2 demos.
+//
+// The kill matrix forks real child processes: each child records pbzip
+// with incremental flushing while the parent kills it (or it kills
+// itself) after a varied delay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/litmus/Litmus.h"
+#include "apps/pbzip/Pbzip.h"
+#include "runtime/Tsr.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace tsr;
+
+namespace {
+
+SessionConfig fixedSeeds(SessionConfig C) {
+  C.Seed0 = 41;
+  C.Seed1 = 42;
+  C.Env.Seed0 = 43;
+  C.Env.Seed1 = 44;
+  C.LivenessIntervalMs = 0;
+  return C;
+}
+
+pbzip::PbzipConfig workloadConfig() {
+  pbzip::PbzipConfig PC;
+  PC.Threads = 3;
+  PC.BlockSize = 512;
+  return PC;
+}
+
+std::vector<uint8_t> workloadInput(int Repeats) {
+  std::vector<uint8_t> Input;
+  for (int I = 0; I != Repeats; ++I) {
+    const std::string Chunk =
+        "the quick brown fox " + std::to_string(I % 17) + " ";
+    Input.insert(Input.end(), Chunk.begin(), Chunk.end());
+  }
+  return Input;
+}
+
+/// Which program the crashed recording captured. Litmus exercises pure
+/// scheduling (QUEUE-heavy demos); pbzip adds file syscalls (SYSCALL
+/// frontier must cross-trim against QUEUE).
+enum class Workload { Pbzip, Litmus };
+
+/// The litmus workload: the whole suite, over and over, inside one
+/// session. \p Repeats scales the run long enough to kill mid-flight.
+void runLitmusRounds(int Repeats) {
+  for (int Round = 0; Round != Repeats; ++Round)
+    for (const litmus::LitmusTest &T : litmus::suite())
+      T.Body();
+}
+
+std::string freshDir(const std::string &Tag) {
+  const std::string Dir = ::testing::TempDir() + "tsr-crash-" + Tag + "-" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+/// Records the pbzip workload with incremental flushing into \p Dir.
+/// Never returns: _exit(0) on completion (a crash may kill it earlier).
+/// With \p SegvAfterMs >= 0, an uncontrolled watchdog thread raises
+/// SIGSEGV mid-run, exercising the fatal-signal emergency flush.
+[[noreturn]] void childRecord(const std::string &Dir, Workload W,
+                              int Repeats, int SegvAfterMs) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(
+      StrategyKind::Queue, Mode::Record, RecordPolicy::full()));
+  C.Flush.Directory = Dir;
+  C.Flush.EveryTicks = 4;
+  Session S(C);
+  const pbzip::PbzipConfig PC = workloadConfig();
+  if (W == Workload::Pbzip)
+    S.env().putFile(PC.InputPath, workloadInput(Repeats));
+  if (SegvAfterMs >= 0)
+    std::thread([SegvAfterMs] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(SegvAfterMs));
+      ::raise(SIGSEGV);
+    }).detach();
+  S.run([&PC, W, Repeats] {
+    if (W == Workload::Pbzip)
+      pbzip::compressFile(PC);
+    else
+      runLitmusRounds(Repeats);
+  });
+  ::_exit(0);
+}
+
+/// Replays \p D against the same workload and configuration the child
+/// recorded under.
+RunReport replayOnce(const Demo &D, Workload W, int Repeats) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(
+      StrategyKind::Queue, Mode::Replay, RecordPolicy::full()));
+  C.ReplayDemo = &D;
+  Session S(C);
+  const pbzip::PbzipConfig PC = workloadConfig();
+  if (W == Workload::Pbzip)
+    S.env().putFile(PC.InputPath, workloadInput(Repeats));
+  RunReport R;
+  R = S.run([&PC, W, Repeats] {
+    if (W == Workload::Pbzip)
+      pbzip::compressFile(PC);
+    else
+      runLitmusRounds(Repeats);
+  });
+  return R;
+}
+
+/// One kill-matrix cell: record in a forked child, kill it, salvage,
+/// replay twice, check the replays agree. Returns false if the child died
+/// before anything salvageable hit the disk (tolerated: the contract is
+/// "never a corrupt demo", not "always a demo").
+void runKillCell(const std::string &Tag, Workload W, int DelayMs,
+                 bool SelfSegv, int Repeats) {
+  SCOPED_TRACE(Tag + " delay=" + std::to_string(DelayMs) +
+               (SelfSegv ? " segv" : " sigkill"));
+  const std::string Dir = freshDir(Tag + std::to_string(DelayMs));
+  const pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0)
+    childRecord(Dir, W, Repeats, SelfSegv ? DelayMs : -1); // never returns
+
+  if (!SelfSegv) {
+    // Wait until the live writer has created every stream file, then let
+    // the recording run for the cell's delay before killing it cold.
+    const std::string LastFile =
+        Dir + "/" + streamName(StreamKind::Async);
+    for (int I = 0; I != 5000 && !std::filesystem::exists(LastFile); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    ::kill(Child, SIGKILL);
+  }
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+
+  Demo::SalvageReport Rep;
+  std::string Error;
+  if (!Demo::salvageDirectory(Dir, Rep, Error)) {
+    // Only acceptable when the child died before its META chunk became
+    // durable — anything else is real corruption.
+    EXPECT_NE(Error.find("META"), std::string::npos) << Error;
+    std::filesystem::remove_all(Dir);
+    return;
+  }
+
+  // Post-repair the directory must verify clean.
+  std::array<Demo::StreamCheck, NumStreamKinds> Checks;
+  EXPECT_TRUE(Demo::verifyDirectory(Dir, Checks, Error)) << Error;
+
+  Demo D;
+  ASSERT_TRUE(D.loadFromDirectory(Dir, Error)) << Error;
+  const RunReport R1 = replayOnce(D, W, Repeats);
+  const RunReport R2 = replayOnce(D, W, Repeats);
+
+  // A salvaged prefix must never replay into a hard desync.
+  EXPECT_NE(R1.Desync, DesyncKind::Hard) << R1.DesyncInfo.Message;
+  if (D.truncated()) {
+    // Structured truncation report, and the run completed free-running.
+    EXPECT_EQ(R1.Desync, DesyncKind::Soft);
+    EXPECT_EQ(R1.DesyncInfo.Reason, DesyncReason::TruncatedDemo);
+    EXPECT_FALSE(R1.DesyncInfo.Message.empty());
+  } else {
+    EXPECT_EQ(R1.Desync, DesyncKind::None);
+  }
+
+  // The controlled prefix is deterministic: both replays consume the
+  // demo identically and classify its end identically. (Totals like
+  // Ticks or VirtualNs include the free-run tail, which is OS-scheduled
+  // and legitimately varies.)
+  EXPECT_EQ(R1.Desync, R2.Desync);
+  EXPECT_EQ(R1.DesyncInfo.Reason, R2.DesyncInfo.Reason);
+  EXPECT_EQ(R1.DesyncInfo.Tick, R2.DesyncInfo.Tick);
+  EXPECT_EQ(R1.SyscallsReplayed, R2.SyscallsReplayed);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Kill matrix
+//===----------------------------------------------------------------------===//
+
+TEST(CrashRecovery, SigkillMidRecordMatrix) {
+  for (int DelayMs : {1, 5, 15, 40})
+    runKillCell("sigkill", Workload::Pbzip, DelayMs, /*SelfSegv=*/false,
+                /*Repeats=*/4000);
+}
+
+TEST(CrashRecovery, SigsegvMidRecordMatrix) {
+  for (int DelayMs : {2, 10, 30})
+    runKillCell("sigsegv", Workload::Pbzip, DelayMs, /*SelfSegv=*/true,
+                /*Repeats=*/4000);
+}
+
+TEST(CrashRecovery, SigkillMidLitmusRecordMatrix) {
+  for (int DelayMs : {3, 12, 25})
+    runKillCell("litmus", Workload::Litmus, DelayMs, /*SelfSegv=*/false,
+                /*Repeats=*/40);
+}
+
+//===----------------------------------------------------------------------===//
+// Clean chunked round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(CrashRecovery, ChunkedCleanRunMatchesInMemoryDemo) {
+  const std::string Dir = freshDir("clean");
+  SessionConfig C = fixedSeeds(presets::tsan11rec(
+      StrategyKind::Queue, Mode::Record, RecordPolicy::full()));
+  C.Flush.Directory = Dir;
+  C.Flush.EveryTicks = 4;
+  Session S(C);
+  const pbzip::PbzipConfig PC = workloadConfig();
+  S.env().putFile(PC.InputPath, workloadInput(100));
+  RunReport R = S.run([&PC] { pbzip::compressFile(PC); });
+  EXPECT_GT(R.Sched.DemoFlushes, 1u); // the chunked path actually ran
+
+  Demo FromDisk;
+  std::string Error;
+  ASSERT_TRUE(FromDisk.loadFromDirectory(Dir, Error)) << Error;
+  EXPECT_FALSE(FromDisk.truncated());
+  // The incrementally flushed demo is byte-identical to the in-memory
+  // end-of-run serialisation.
+  EXPECT_TRUE(FromDisk == R.RecordedDemo);
+
+  const RunReport RR = replayOnce(FromDisk, Workload::Pbzip, 100);
+  EXPECT_EQ(RR.Desync, DesyncKind::None) << RR.DesyncInfo.Message;
+  EXPECT_EQ(RR.DesyncInfo.SoftResyncs, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy v2 demos still load and replay
+//===----------------------------------------------------------------------===//
+
+TEST(CrashRecovery, LegacyV2DemoLoadsAndReplays) {
+  SessionConfig C = fixedSeeds(presets::tsan11rec(
+      StrategyKind::Queue, Mode::Record, RecordPolicy::full()));
+  Session S(C);
+  const pbzip::PbzipConfig PC = workloadConfig();
+  S.env().putFile(PC.InputPath, workloadInput(100));
+  RunReport R = S.run([&PC] { pbzip::compressFile(PC); });
+
+  // Rewrite the demo exactly as the v2-era tool would have: v2 stream
+  // containers, and the META payload's format-version varint (right after
+  // the 8-byte "tsrdemo" string) saying 2.
+  Demo D = R.RecordedDemo;
+  std::vector<uint8_t> Meta = D.stream(StreamKind::Meta);
+  ASSERT_GT(Meta.size(), 8u);
+  ASSERT_EQ(Meta[8], Demo::FormatVersion);
+  Meta[8] = Demo::LegacyFormatVersion;
+  D.setStream(StreamKind::Meta, std::move(Meta));
+
+  const std::string Dir = freshDir("v2");
+  std::string Error;
+  ASSERT_TRUE(D.saveToDirectory(Dir, Error, Demo::LegacyFormatVersion))
+      << Error;
+
+  std::array<Demo::StreamCheck, NumStreamKinds> Checks;
+  ASSERT_TRUE(Demo::verifyDirectory(Dir, Checks, Error)) << Error;
+  for (const auto &Check : Checks)
+    if (Check.Present) {
+      EXPECT_EQ(Check.Version, Demo::LegacyFormatVersion);
+    }
+
+  Demo Loaded;
+  ASSERT_TRUE(Loaded.loadFromDirectory(Dir, Error)) << Error;
+  EXPECT_FALSE(Loaded.truncated());
+  EXPECT_TRUE(Loaded == D);
+
+  const RunReport RR = replayOnce(Loaded, Workload::Pbzip, 100);
+  EXPECT_EQ(RR.Desync, DesyncKind::None) << RR.DesyncInfo.Message;
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "env/CostModel.h"
+#include "env/FaultPlan.h"
 #include "env/SimEnv.h"
 #include "env/Syscall.h"
 
@@ -566,6 +567,99 @@ TEST(Syscall, KindNamesAreStable) {
                "clock_gettime");
   EXPECT_STREQ(syscallKindName(SyscallKind::Recv), "recv");
   EXPECT_STREQ(syscallKindName(SyscallKind::AllocHint), "alloc_hint");
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan::parse — the env-string front end to the builder API
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlanParse, FullSpecRoundTrip) {
+  FaultPlan P;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse(
+      "shortreads=0.1; shortwrites=0.25; drop=0.01; dup=1;"
+      "fail:recv@socket:p=0.05,errno=ECONNRESET;"
+      "nth:read@pipe:n=3,count=2,errno=EINTR;"
+      "nth:accept:n=1,errno=EAGAIN",
+      P, Error))
+      << Error;
+  EXPECT_TRUE(P.active());
+  EXPECT_DOUBLE_EQ(P.shortReadProbability(), 0.1);
+  EXPECT_DOUBLE_EQ(P.shortWriteProbability(), 0.25);
+  EXPECT_DOUBLE_EQ(P.dropProbability(), 0.01);
+  EXPECT_DOUBLE_EQ(P.duplicateProbability(), 1.0);
+  ASSERT_EQ(P.errnoRules().size(), 1u);
+  EXPECT_EQ(P.errnoRules()[0].Kind, SyscallKind::Recv);
+  EXPECT_EQ(P.errnoRules()[0].Class, FdClass::Socket);
+  EXPECT_FALSE(P.errnoRules()[0].AnyClass);
+  EXPECT_EQ(P.errnoRules()[0].Err, VECONNRESET);
+  EXPECT_DOUBLE_EQ(P.errnoRules()[0].Probability, 0.05);
+  ASSERT_EQ(P.scriptedRules().size(), 2u);
+  EXPECT_EQ(P.scriptedRules()[0].Kind, SyscallKind::Read);
+  EXPECT_EQ(P.scriptedRules()[0].Class, FdClass::Pipe);
+  EXPECT_EQ(P.scriptedRules()[0].Nth, 3u);
+  EXPECT_EQ(P.scriptedRules()[0].Count, 2u);
+  EXPECT_EQ(P.scriptedRules()[0].Err, VEINTR);
+  EXPECT_EQ(P.scriptedRules()[1].Kind, SyscallKind::Accept);
+  EXPECT_TRUE(P.scriptedRules()[1].AnyClass);
+  EXPECT_EQ(P.scriptedRules()[1].Count, 1u);
+  EXPECT_EQ(P.scriptedRules()[1].Err, VEAGAIN);
+}
+
+TEST(FaultPlanParse, EmptySpecIsInactive) {
+  FaultPlan P;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("", P, Error));
+  EXPECT_FALSE(P.active());
+  ASSERT_TRUE(FaultPlan::parse(" ; ;", P, Error));
+  EXPECT_FALSE(P.active());
+}
+
+TEST(FaultPlanParse, ParsedPlanMatchesBuilderHash) {
+  FaultPlan Built = FaultPlan::none()
+                        .shortReads(0.1)
+                        .failWithOn(SyscallKind::Recv, FdClass::Socket,
+                                    VECONNRESET, 0.05);
+  FaultPlan Parsed;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse(
+      "shortreads=0.1;fail:recv@socket:p=0.05,errno=ECONNRESET", Parsed,
+      Error))
+      << Error;
+  EXPECT_EQ(Parsed.hash(), Built.hash());
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  const char *Bad[] = {
+      "shortreads",                          // knob without value
+      "shortreads=",                         // empty probability
+      "shortreads=1.5",                      // probability above 1
+      "shortreads=-0.1",                     // probability below 0
+      "shortreads=abc",                      // not a number
+      "shortreads=0.1;shortreads=0.2",       // duplicate knob
+      "turbo=0.5",                           // unknown knob
+      "fail:frobnicate:p=0.5,errno=EAGAIN",  // unknown syscall kind
+      "fail:recv@floppy:p=0.5,errno=EAGAIN", // unknown fd class
+      "fail:recv:p=0.5,errno=EWOULDBLOCK",   // unknown errno name
+      "fail:recv:p=0.5",                     // missing errno
+      "fail:recv:errno=EAGAIN",              // missing p
+      "fail:recv:p=0.5,errno=EAGAIN,x=1",    // unknown key
+      "fail:recv:p=0.5,p=0.5,errno=EAGAIN",  // duplicate key
+      "fail:recv",                           // missing key list
+      "nth:recv:count=2,errno=EAGAIN",       // missing n
+      "nth:recv:n=0,errno=EAGAIN",           // n is 1-based
+      "nth:recv:n=2,count=0,errno=EAGAIN",   // empty storm
+      "nth:recv:n=banana,errno=EAGAIN",      // malformed number
+      "gibberish",                           // no structure at all
+  };
+  for (const char *Spec : Bad) {
+    FaultPlan P;
+    std::string Error;
+    EXPECT_FALSE(FaultPlan::parse(Spec, P, Error))
+        << "accepted bad spec: " << Spec;
+    EXPECT_NE(Error.find("fault plan"), std::string::npos) << Spec;
+    EXPECT_FALSE(P.active()) << "Out mutated by failed parse: " << Spec;
+  }
 }
 
 } // namespace

@@ -518,6 +518,7 @@ TEST(SchedDeadlock, SelfJoinDeadlockAborts) {
       {
         SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
         C.LivenessIntervalMs = 0;
+        C.AbortOnDeadlock = true; // legacy behaviour: fatal() and die
         Session S(C);
         S.run([] {
           Mutex A, B;
@@ -542,6 +543,73 @@ TEST(SchedDeadlock, SelfJoinDeadlockAborts) {
         });
       },
       "deadlock: every live thread is disabled");
+}
+
+TEST(SchedDeadlock, DefaultModeSalvagesDeadlockIntoReport) {
+  // Without AbortOnDeadlock the session survives the ABBA deadlock: the
+  // deadlocked threads are parked and detached, the recording is kept,
+  // and run() returns a structured Deadlock report instead of dying.
+  SessionConfig C =
+      fixedSeeds(presets::tsan11rec(StrategyKind::Queue, Mode::Record));
+  C.LivenessIntervalMs = 0;
+  Session S(C);
+  RunReport R = S.run([] {
+    Mutex A, B;
+    Atomic<int> Step(0);
+    Thread T = Thread::spawn([&] {
+      B.lock();
+      Step.store(1);
+      while (Step.load() != 2) {
+      }
+      A.lock(); // deadlock: main holds A, we hold B
+      A.unlock();
+      B.unlock();
+    });
+    A.lock();
+    while (Step.load() != 1) {
+    }
+    Step.store(2);
+    B.lock(); // deadlock: child holds B waiting for A
+    B.unlock();
+    A.unlock();
+    T.join();
+  });
+  EXPECT_TRUE(R.Deadlocked);
+  EXPECT_TRUE(R.Sched.Deadlocked);
+  EXPECT_EQ(R.Desync, DesyncKind::Hard);
+  EXPECT_EQ(R.DesyncInfo.Reason, DesyncReason::Deadlock);
+  EXPECT_NE(R.DesyncMessage.find("deadlock"), std::string::npos);
+  // The recording survived the shutdown: replaying it must reproduce the
+  // deadlock deterministically (and survive it the same way).
+  SessionConfig RC =
+      fixedSeeds(presets::tsan11rec(StrategyKind::Queue, Mode::Replay));
+  RC.LivenessIntervalMs = 0;
+  RC.ReplayDemo = &R.RecordedDemo;
+  Session RS(RC);
+  RunReport RR = RS.run([] {
+    Mutex A, B;
+    Atomic<int> Step(0);
+    Thread T = Thread::spawn([&] {
+      B.lock();
+      Step.store(1);
+      while (Step.load() != 2) {
+      }
+      A.lock();
+      A.unlock();
+      B.unlock();
+    });
+    A.lock();
+    while (Step.load() != 1) {
+    }
+    Step.store(2);
+    B.lock();
+    B.unlock();
+    A.unlock();
+    T.join();
+  });
+  EXPECT_TRUE(RR.Deadlocked);
+  EXPECT_EQ(RR.DesyncInfo.Reason, DesyncReason::Deadlock);
+  EXPECT_EQ(RR.DesyncInfo.Tick, R.DesyncInfo.Tick);
 }
 
 //===----------------------------------------------------------------------===//

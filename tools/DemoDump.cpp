@@ -9,11 +9,14 @@
 //
 // Usage: tsr-demo-dump <demo-dir> [max-entries-per-stream]
 //        tsr-demo-dump verify <demo-dir>
+//        tsr-demo-dump repair <demo-dir>
 //
-// The verify subcommand checks every stream file's integrity header
-// (magic, format version, kind byte, payload length, CRC-32) and the
-// record structure of each stream, printing per-stream sizes and record
-// counts. Exit status is nonzero when anything is corrupt.
+// The verify subcommand checks every stream file's integrity framing
+// (magic, format version, kind byte, chunk CRCs for v3, payload CRC for
+// v2) and the record structure of each stream, printing per-stream sizes,
+// chunk counts and closure state. The repair subcommand salvages a demo
+// directory left behind by a crashed recording: it drops torn chunk tails
+// and cross-trims every stream to the last consistent tick frontier.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,17 +25,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 using namespace tsr;
 
 namespace {
 
 int usage(const char *Prog) {
-  std::fprintf(stderr,
-               "usage: %s <demo-dir> [max-entries-per-stream]\n"
-               "       %s verify <demo-dir>\n",
-               Prog, Prog);
+  std::fprintf(
+      stderr,
+      "usage: %s <demo-dir> [max-entries-per-stream]\n"
+      "       %s verify <demo-dir>\n"
+      "       %s repair <demo-dir>\n"
+      "\n"
+      "verify exit status:\n"
+      "  0  every stream is intact\n"
+      "  1  the directory is a demo but at least one stream is corrupt\n"
+      "     (try `repair` if it was recorded incrementally)\n"
+      "  2  the directory is unreadable or not a tsr demo at all\n"
+      "     (also returned for usage errors)\n"
+      "\n"
+      "repair exit status:\n"
+      "  0  demo is intact, or was salvaged to a consistent prefix\n"
+      "  1  salvage failed (damage beyond torn chunk tails)\n"
+      "  2  the directory is unreadable or not a tsr demo at all\n",
+      Prog, Prog, Prog);
   return 2;
+}
+
+/// True when \p Dir cannot possibly hold a demo: not a directory, or the
+/// META stream file is absent. Distinguishes "you pointed me at the wrong
+/// path" (exit 2) from "this demo is damaged" (exit 1).
+bool unreadableDirectory(const char *Dir) {
+  std::error_code Ec;
+  if (!std::filesystem::is_directory(Dir, Ec) || Ec)
+    return true;
+  const std::string MetaFile =
+      std::string(Dir) + "/" + streamName(StreamKind::Meta);
+  return !std::filesystem::exists(MetaFile, Ec) || Ec;
 }
 
 /// Number of decoded records in a stream, for the verify listing. META is
@@ -54,6 +84,11 @@ size_t recordCount(const DemoInfo &Info, StreamKind Kind) {
 }
 
 int verifyCommand(const char *Dir) {
+  if (unreadableDirectory(Dir)) {
+    std::fprintf(stderr, "error: %s: unreadable or not a tsr demo directory\n",
+                 Dir);
+    return 2;
+  }
   std::array<Demo::StreamCheck, NumStreamKinds> Checks;
   std::string Error;
   const bool HeadersOk = Demo::verifyDirectory(Dir, Checks, Error);
@@ -82,14 +117,25 @@ int verifyCommand(const char *Dir) {
       std::printf("  %-7s absent (loads as an empty stream)\n", Name);
       continue;
     }
+    char Framing[64];
+    if (C.Version >= Demo::FormatVersion)
+      std::snprintf(Framing, sizeof(Framing), "v%u %zu chunk%s %s",
+                    C.Version, C.Chunks, C.Chunks == 1 ? "" : "s",
+                    C.Closed ? "closed" : "OPEN");
+    else
+      std::snprintf(Framing, sizeof(Framing), "v%u", C.Version);
     if (Decoded)
-      std::printf("  %-7s ok    %6zu bytes  crc32=%08x  %zu record%s\n",
-                  Name, C.PayloadBytes, C.Crc, recordCount(Info, C.Kind),
+      std::printf("  %-7s ok    %6zu bytes  crc32=%08x  [%s]  %zu record%s\n",
+                  Name, C.PayloadBytes, C.Crc, Framing,
+                  recordCount(Info, C.Kind),
                   recordCount(Info, C.Kind) == 1 ? "" : "s");
     else
-      std::printf("  %-7s ok    %6zu bytes  crc32=%08x\n", Name,
-                  C.PayloadBytes, C.Crc);
+      std::printf("  %-7s ok    %6zu bytes  crc32=%08x  [%s]\n", Name,
+                  C.PayloadBytes, C.Crc, Framing);
   }
+  if (Decoded && D.truncated())
+    std::printf("  demo is a salvaged prefix truncated at tick %llu\n",
+                static_cast<unsigned long long>(D.frontier()));
   for (const std::string &P : Info.Problems) {
     std::printf("  record damage: %s\n", P.c_str());
     AllOk = false;
@@ -100,16 +146,61 @@ int verifyCommand(const char *Dir) {
   return AllOk ? 0 : 1;
 }
 
+int repairCommand(const char *Dir) {
+  if (unreadableDirectory(Dir)) {
+    std::fprintf(stderr, "error: %s: unreadable or not a tsr demo directory\n",
+                 Dir);
+    return 2;
+  }
+  Demo::SalvageReport Rep;
+  std::string Error;
+  if (!Demo::salvageDirectory(Dir, Rep, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("repair %s\n", Dir);
+  for (const Demo::StreamFix &F : Rep.Streams) {
+    const char *Name = streamName(F.Kind);
+    if (!F.Present) {
+      std::printf("  %-7s absent\n", Name);
+      continue;
+    }
+    if (!F.Rewritten) {
+      std::printf("  %-7s intact (%zu chunk%s kept)\n", Name, F.ChunksKept,
+                  F.ChunksKept == 1 ? "" : "s");
+      continue;
+    }
+    std::printf("  %-7s rewritten: kept %zu chunk%s, dropped %zu chunk%s "
+                "(%zu byte%s)\n",
+                Name, F.ChunksKept, F.ChunksKept == 1 ? "" : "s",
+                F.ChunksDropped, F.ChunksDropped == 1 ? "" : "s",
+                F.BytesDropped, F.BytesDropped == 1 ? "" : "s");
+  }
+  if (Rep.Clean)
+    std::printf("demo was already consistent; nothing to do\n");
+  else
+    std::printf("salvaged prefix is consistent up to tick %llu\n",
+                static_cast<unsigned long long>(Rep.Frontier));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2)
+  if (Argc < 2 || std::strcmp(Argv[1], "--help") == 0 ||
+      std::strcmp(Argv[1], "-h") == 0)
     return usage(Argv[0]);
 
   if (std::strcmp(Argv[1], "verify") == 0) {
     if (Argc != 3)
       return usage(Argv[0]);
     return verifyCommand(Argv[2]);
+  }
+
+  if (std::strcmp(Argv[1], "repair") == 0) {
+    if (Argc != 3)
+      return usage(Argv[0]);
+    return repairCommand(Argv[2]);
   }
 
   const size_t MaxEntries =
@@ -128,6 +219,9 @@ int main(int Argc, char **Argv) {
               D.streamSize(StreamKind::Signal),
               D.streamSize(StreamKind::Syscall),
               D.streamSize(StreamKind::Async));
+  if (D.truncated())
+    std::printf("demo is a salvaged prefix truncated at tick %llu\n\n",
+                static_cast<unsigned long long>(D.frontier()));
   const DemoInfo Info = inspectDemo(D);
   std::fputs(formatDemoInfo(Info, MaxEntries).c_str(), stdout);
   return Info.Problems.empty() ? 0 : 1;
