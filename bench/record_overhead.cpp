@@ -131,15 +131,14 @@ int main() {
     const PolicyResult &R = Results[I];
     std::fprintf(
         F,
-        "    {\"name\": \"%s\", \"ticks_per_sec_mean\": %.1f, "
-        "\"ticks_per_sec_stddev\": %.1f, \"wall_ms_mean\": %.3f, "
-        "\"overhead_vs_end_of_run\": %.3f, \"ticks\": %llu, "
-        "\"demo_bytes\": %zu, \"on_disk_bytes\": %zu}%s\n",
-        R.Name.c_str(), R.TicksPerSec.mean(), R.TicksPerSec.stddev(),
-        R.WallMs.mean(),
+        "    {\"name\": \"%s\", \"overhead_vs_end_of_run\": %.3f, "
+        "\"ticks\": %llu, \"demo_bytes\": %zu, \"on_disk_bytes\": %zu,\n"
+        "     \"ticks_per_sec\": %s,\n     \"wall_ms\": %s}%s\n",
+        R.Name.c_str(),
         R.TicksPerSec.mean() > 0 ? Base / R.TicksPerSec.mean() : 0.0,
         static_cast<unsigned long long>(R.Ticks), R.DemoBytes,
-        R.OnDiskBytes, I + 1 == Results.size() ? "" : ",");
+        R.OnDiskBytes, R.TicksPerSec.toJson(8).c_str(),
+        R.WallMs.toJson(8).c_str(), I + 1 == Results.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

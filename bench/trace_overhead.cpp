@@ -1,0 +1,144 @@
+//===-- bench/trace_overhead.cpp - Execution tracing overhead ------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Measures what virtual-time execution tracing costs: record-mode tick
+// throughput over the pbzip workload with tracing {off, on, on + Chrome
+// JSON export}. The observability contract (DESIGN.md section 8): the
+// disabled path — one branch on a null pointer per instrumentation site —
+// must stay within 1% of the untraced baseline, and full tracing within
+// 10%. Emits BENCH_trace_overhead.json with SampleStats::toJson
+// distributions per mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "apps/pbzip/Pbzip.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+using namespace tsr;
+using namespace tsr::bench;
+
+namespace {
+
+struct ModeResult {
+  std::string Name;
+  SampleStats TicksPerSec;
+  SampleStats WallMs;
+  uint64_t Ticks = 0;       ///< Controlled ticks of the last repetition.
+  uint64_t TraceEvents = 0; ///< Events emitted in the last repetition.
+  uint64_t TraceDropped = 0;
+};
+
+ModeResult measure(const std::string &Name, bool Traced, bool WallClock,
+                   bool Export, int Reps, int InputRepeats) {
+  ModeResult Out;
+  Out.Name = Name;
+  const std::string ExportPath =
+      std::filesystem::temp_directory_path().string() +
+      "/tsr-bench-trace.json";
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    SessionConfig C = presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                                         RecordPolicy::full());
+    seedFor(C, static_cast<uint64_t>(Rep), 29);
+    C.Trace.Enabled = Traced;
+    C.Trace.WallClock = WallClock;
+    if (Export)
+      C.Trace.ExportChromePath = ExportPath;
+    Session S(C);
+    pbzip::PbzipConfig PC;
+    PC.Threads = 4;
+    PC.BlockSize = 512;
+    std::vector<uint8_t> Input;
+    for (int I = 0; I != InputRepeats; ++I) {
+      const std::string Chunk =
+          "execution tracing benchmark " + std::to_string(I % 13) + " ";
+      Input.insert(Input.end(), Chunk.begin(), Chunk.end());
+    }
+    S.env().putFile(PC.InputPath, Input);
+    const auto Start = std::chrono::steady_clock::now();
+    RunReport R = S.run([&PC] { (void)pbzip::compressFile(PC); });
+    const double Ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count();
+    Out.WallMs.add(Ms);
+    Out.TicksPerSec.add(static_cast<double>(R.Sched.Ticks) / (Ms / 1000.0));
+    Out.Ticks = R.Sched.Ticks;
+    Out.TraceEvents = R.Trace.Emitted;
+    Out.TraceDropped = R.Trace.Dropped;
+  }
+  std::error_code Ec;
+  std::filesystem::remove(ExportPath, Ec);
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  const int Reps = envInt("TSR_BENCH_REPS", 5);
+  const int InputRepeats = envInt("TSR_BENCH_INPUT_REPEATS", 2000);
+
+  std::printf("Virtual-time tracing overhead\n(pbzip record mode, %d reps, "
+              "~%d KB input)\n\n",
+              Reps, InputRepeats * 30 / 1024);
+
+  std::vector<ModeResult> Results;
+  Results.push_back(
+      measure("trace-off", false, false, false, Reps, InputRepeats));
+  Results.push_back(
+      measure("trace-virtual", true, false, false, Reps, InputRepeats));
+  Results.push_back(
+      measure("trace-on", true, true, false, Reps, InputRepeats));
+  Results.push_back(
+      measure("trace-on+export", true, true, true, Reps, InputRepeats));
+
+  const std::vector<int> W = {16, 18, 14, 10, 12, 10};
+  printRule(W);
+  printRow({"mode", "ticks/sec", "wall ms", "overhead", "events", "dropped"},
+           W);
+  printRule(W);
+  const double Base = Results[0].TicksPerSec.mean();
+  for (const ModeResult &R : Results)
+    printRow({R.Name, meanSd(R.TicksPerSec, 0), meanSd(R.WallMs, 1),
+              overhead(Base, R.TicksPerSec.mean()),
+              std::to_string(R.TraceEvents),
+              std::to_string(R.TraceDropped)},
+             W);
+  printRule(W);
+  std::printf("\noverhead = trace-off throughput / mode throughput "
+              "(1.0x = free).\nContract: off-path <= 1.01x (one null-pointer "
+              "branch per site),\nfull tracing <= 1.10x.\n");
+
+  FILE *F = std::fopen("BENCH_trace_overhead.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_trace_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"trace_overhead\",\n"
+                  "  \"workload\": \"pbzip\",\n  \"reps\": %d,\n"
+                  "  \"modes\": [\n",
+               Reps);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const ModeResult &R = Results[I];
+    std::fprintf(
+        F,
+        "    {\"name\": \"%s\", \"ticks\": %llu, \"trace_events\": %llu, "
+        "\"trace_dropped\": %llu, \"overhead_vs_off\": %.3f,\n"
+        "     \"ticks_per_sec\": %s,\n     \"wall_ms\": %s}%s\n",
+        R.Name.c_str(), static_cast<unsigned long long>(R.Ticks),
+        static_cast<unsigned long long>(R.TraceEvents),
+        static_cast<unsigned long long>(R.TraceDropped),
+        R.TicksPerSec.mean() > 0 ? Base / R.TicksPerSec.mean() : 0.0,
+        R.TicksPerSec.toJson(8).c_str(), R.WallMs.toJson(8).c_str(),
+        I + 1 == Results.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote BENCH_trace_overhead.json\n");
+  return 0;
+}

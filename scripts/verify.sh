@@ -4,21 +4,27 @@
 # TSR_SANITIZE CMake option). Each configuration builds into its own
 # directory so incremental plain builds stay untouched.
 #
-# Usage: scripts/verify.sh [--fast] [--crash-matrix]
+# Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace]
 #   --fast          plain configuration only (skips the sanitizer builds).
 #   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
 #                   ASan) — the crash-consistency gate, repeated to shake
 #                   out timing-dependent salvage bugs.
+#   --trace         run only the observability smoke: Trace* tests, the
+#                   trace_timeline example end to end (record, export,
+#                   replay, virtual-time diff), and `tsr-demo-dump
+#                   timeline` over the recorded demo.
 set -eu
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 CRASH=0
+TRACE=0
 for Arg in "$@"; do
   case "$Arg" in
   --fast) FAST=1 ;;
   --crash-matrix) CRASH=1 ;;
+  --trace) TRACE=1 ;;
   *) echo "unknown option: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -48,6 +54,40 @@ run_crash_matrix() {
   ctest --test-dir "$dir" --output-on-failure -R CrashRecovery \
     --repeat until-fail:3
 }
+
+# Trace smoke: tests, the example walkthrough, and the demo timeline
+# exporter, checking the Chrome JSON actually materialises.
+run_trace_smoke() {
+  dir="build"
+  demo="$(mktemp -d)/demo"
+  echo "== trace: configure + build ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target trace_test trace_timeline \
+    tsr-demo-dump >/dev/null
+  echo "== trace: ctest -R Trace"
+  ctest --test-dir "$dir" --output-on-failure -R Trace
+  echo "== trace: trace_timeline example ($demo)"
+  "$dir/examples/trace_timeline" "$demo"
+  echo "== trace: tsr-demo-dump timeline"
+  "$dir/tools/tsr-demo-dump" timeline "$demo" "$demo.timeline.json"
+  grep -q '"traceEvents"' "$demo.timeline.json" || {
+    echo "timeline JSON missing traceEvents" >&2
+    exit 1
+  }
+  for f in "$demo.record.json" "$demo.replay.json"; do
+    grep -q '"traceEvents"' "$f" || {
+      echo "exported trace $f missing traceEvents" >&2
+      exit 1
+    }
+  done
+  rm -rf "$(dirname "$demo")"
+}
+
+if [ "$TRACE" -eq 1 ]; then
+  run_trace_smoke
+  echo "verify: trace smoke passed"
+  exit 0
+fi
 
 if [ "$CRASH" -eq 1 ]; then
   run_crash_matrix plain ""

@@ -9,6 +9,7 @@
 
 #include "support/Compiler.h"
 #include "support/Diag.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -266,6 +267,13 @@ void RaceDetector::report(Tid T, uintptr_t Granule, uint8_t Off,
     }
   }
   Reports.push_back(std::move(R));
+  // Into the accessing thread's own trace buffer (single-writer holds:
+  // report() runs on thread T). Plain accesses happen outside critical
+  // sections, so the stamp is the recorder's last observed tick.
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emit(T, TraceEventKind::RaceReport, Trace->lastTick(),
+                static_cast<uint64_t>(Granule),
+                static_cast<uint64_t>(Current));
 }
 
 void RaceDetector::registerName(uintptr_t Addr, size_t Size,

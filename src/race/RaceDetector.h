@@ -37,6 +37,8 @@
 
 namespace tsr {
 
+class TraceRecorder;
+
 /// The happens-before race detector.
 class RaceDetector {
 public:
@@ -100,6 +102,13 @@ public:
   void setEnabled(bool Enabled) { EnabledFlag = Enabled; }
   bool enabled() const { return EnabledFlag; }
 
+  /// Execution-trace recorder to stamp race reports into (null disables;
+  /// the session wires this up when tracing is enabled). Reports are
+  /// emitted into the accessing thread's own trace buffer, stamped with
+  /// the recorder's last observed tick — plain accesses run outside
+  /// critical sections, so the current tick is only approximate here.
+  void setTrace(TraceRecorder *T) { Trace = T; }
+
 private:
   /// One remembered access: who, when, and which bytes of the granule.
   struct AccessSlot {
@@ -148,6 +157,9 @@ private:
               AccessKind Prior, Tid PriorTid, AccessKind Current);
 
   bool EnabledFlag = true;
+
+  /// Optional execution-trace recorder (see setTrace).
+  TraceRecorder *Trace = nullptr;
 
   /// Per-thread clocks, indexed by tid. Guarded by ClocksMu only for
   /// resizing; see file comment for the ownership discipline.

@@ -68,6 +68,8 @@ Tid Session::currentTid() {
 Session::Session(SessionConfig Config) : Config(std::move(Config)) {
   Cost = std::make_unique<CostModel>(this->Config.Cost);
   Env = std::make_unique<SimEnv>(*Cost, this->Config.Env);
+  if (this->Config.Trace.Enabled)
+    Tracer = std::make_unique<TraceRecorder>(this->Config.Trace);
 }
 
 Session::~Session() {
@@ -198,6 +200,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.AbortOnDeadlock = Config.AbortOnDeadlock;
   SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
                        Config.ReplayDemo && Config.ReplayDemo->truncated();
+  SO.Trace = Tracer.get();
   if (LiveWriter.isOpen()) {
     SO.LiveWriter = &LiveWriter;
     SO.FlushEveryTicks = Config.Flush.EveryTicks;
@@ -218,6 +221,7 @@ RunReport Session::run(std::function<void()> MainFn) {
 
   Race = std::make_unique<RaceDetector>();
   Race->setEnabled(Config.RaceDetection);
+  Race->setTrace(Tracer.get());
   AtomicModelOptions AO;
   AO.WeakMemory = Config.WeakMemory;
   Atomics = std::make_unique<AtomicModel>(
@@ -333,6 +337,26 @@ RunReport Session::run(std::function<void()> MainFn) {
   R.Deadlocked = DeadlockSalvaged;
   R.Seed0 = UsedSeed0;
   R.Seed1 = UsedSeed1;
+  if (Tracer) {
+    R.Trace = Tracer->snapshot();
+    // A desync report carries the virtual-time context around its tick:
+    // what every thread was doing when replay diverged.
+    if (R.DesyncInfo.Kind != DesyncKind::None)
+      R.DesyncInfo.Timeline = excerptAround(R.Trace, R.DesyncInfo.Tick,
+                                            Config.Trace.DesyncContext);
+    if (!Config.Trace.ExportChromePath.empty()) {
+      const std::string Json = chromeTraceJson(R.Trace);
+      FILE *F = std::fopen(Config.Trace.ExportChromePath.c_str(), "w");
+      if (!F) {
+        warn("cannot write trace export '%s'",
+             Config.Trace.ExportChromePath.c_str());
+      } else {
+        std::fwrite(Json.data(), 1, Json.size(), F);
+        std::fclose(F);
+      }
+    }
+  }
+  fillMetrics(R);
   if (DeadlockSalvaged) {
     // The detached deadlocked threads are parked forever in this
     // scheduler's condition variable; destroying it would pull the state
@@ -345,6 +369,83 @@ RunReport Session::run(std::function<void()> MainFn) {
     Parked->push_back(std::move(Sched));
   }
   return R;
+}
+
+void Session::fillMetrics(RunReport &R) {
+  MetricsSnapshot &M = R.Metrics;
+  M.counter("sched.ticks", R.Sched.Ticks);
+  M.counter("sched.reschedules", R.Sched.Reschedules);
+  M.counter("sched.signals_delivered", R.Sched.SignalsDelivered);
+  M.counter("sched.signal_wakeups", R.Sched.SignalWakeups);
+  M.counter("sched.soft_resyncs", R.Sched.SoftResyncs);
+  M.counter("sched.demo_exhausted_at_tick", R.Sched.DemoExhaustedAtTick);
+  M.gauge("sched.demo_exhausted", R.Sched.DemoExhausted ? 1.0 : 0.0);
+  M.gauge("sched.deadlocked", R.Deadlocked ? 1.0 : 0.0);
+  M.counter("atomics.loads", R.Atomics.Loads);
+  M.counter("atomics.stores", R.Atomics.Stores);
+  M.counter("atomics.rmws", R.Atomics.Rmws);
+  M.counter("atomics.fences", R.Atomics.Fences);
+  M.counter("atomics.stale_reads", R.Atomics.StaleReads);
+  M.counter("faults.errnos_injected", R.FaultsInjected.ErrnosInjected);
+  M.counter("faults.short_transfers", R.FaultsInjected.ShortTransfers);
+  M.counter("faults.messages_dropped", R.FaultsInjected.MessagesDropped);
+  M.counter("faults.messages_duplicated",
+            R.FaultsInjected.MessagesDuplicated);
+  M.counter("syscalls.issued", R.SyscallsIssued);
+  M.counter("syscalls.recorded", R.SyscallsRecorded);
+  M.counter("syscalls.replayed", R.SyscallsReplayed);
+  M.counter("races.reported", R.Races.size());
+  M.counter("demo.flushes", R.Sched.DemoFlushes);
+  M.gauge("demo.io_error", LiveWriter.ioError() ? 1.0 : 0.0);
+  M.gauge("desync.kind", static_cast<double>(R.Desync));
+  M.counter("desync.soft_resyncs", R.DesyncInfo.SoftResyncs);
+  M.gauge("run.wall_seconds", R.WallSeconds);
+  M.gauge("run.virtual_ns", static_cast<double>(R.VirtualNs));
+  M.counter("trace.events", Tracer ? Tracer->emitted() : 0);
+  M.counter("trace.dropped", Tracer ? R.Trace.Dropped : 0);
+  if (R.Trace.Events.empty())
+    return;
+  // Tick-bucketed histograms derived from the trace: per-syscall wall
+  // latency (enter→exit, ns) and the length of each thread's consecutive
+  // run of ticks (a scheduling-granularity profile).
+  // Create both entries before taking references: histogram() appends to
+  // a vector, and a second append would invalidate the first reference.
+  M.histogram("trace.syscall_wall_ns");
+  M.histogram("trace.tick_run_length");
+  SampleStats &Latency = M.histogram("trace.syscall_wall_ns");
+  SampleStats &RunLen = M.histogram("trace.tick_run_length");
+  std::map<Tid, uint64_t> OpenEnter;
+  Tid RunThread = InvalidTid;
+  uint64_t RunCount = 0;
+  for (const TraceEvent &E : R.Trace.Events) {
+    switch (E.Kind) {
+    case TraceEventKind::SyscallEnter:
+      OpenEnter[E.Thread] = E.WallNs;
+      break;
+    case TraceEventKind::SyscallExit: {
+      auto It = OpenEnter.find(E.Thread);
+      if (It != OpenEnter.end()) {
+        Latency.add(static_cast<double>(E.WallNs - It->second));
+        OpenEnter.erase(It);
+      }
+      break;
+    }
+    case TraceEventKind::Tick:
+      if (E.Thread == RunThread) {
+        ++RunCount;
+      } else {
+        if (RunCount)
+          RunLen.add(static_cast<double>(RunCount));
+        RunThread = E.Thread;
+        RunCount = 1;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+  if (RunCount)
+    RunLen.add(static_cast<double>(RunCount));
 }
 
 void Session::stopLiveness() {
@@ -571,6 +672,25 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
   return visibleOp(
       [&](Tid Self) -> SyscallResult {
         SyscallsIssued.fetch_add(1);
+        // Enter/exit bracket the call in the trace. Both land at the
+        // critical section's tick (stable while we hold it), so they are
+        // part of the record/replay virtual identity.
+        if (TSR_UNLIKELY(Tracer != nullptr))
+          Tracer->emit(Self, TraceEventKind::SyscallEnter,
+                       Sched->currentTickRelaxed(),
+                       static_cast<uint64_t>(Kind),
+                       static_cast<uint64_t>(Class));
+        const auto Finish = [&](const SyscallResult &R,
+                                bool Injected) -> SyscallResult {
+          if (TSR_UNLIKELY(Tracer != nullptr))
+            Tracer->emit(Self, TraceEventKind::SyscallExit,
+                         Sched->currentTickRelaxed(),
+                         static_cast<uint64_t>(Kind),
+                         packSyscallExit(static_cast<uint64_t>(
+                                             static_cast<uint16_t>(R.Err)),
+                                         Injected, Extra));
+          return R;
+        };
         if (Config.ExecMode == Mode::Replay && Recordable &&
             !SyscallReplayStopped &&
             Sched->desyncKind() != DesyncKind::Hard) {
@@ -578,7 +698,7 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
           if (Sched->desyncKind() != DesyncKind::Hard &&
               !SyscallReplayStopped) {
             SyscallsReplayed.fetch_add(1);
-            return R;
+            return Finish(R, false);
           }
           // Exhausted (one soft resync: the recording simply ended
           // before the program did) or hard-desynced: fall through and
@@ -599,7 +719,7 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
           recordSyscall(Kind, R);
           SyscallsRecorded.fetch_add(1);
         }
-        return R;
+        return Finish(R, Faulted);
       },
       Extra);
 }

@@ -46,6 +46,8 @@
 #include "sched/Scheduler.h"
 #include "support/Demo.h"
 #include "support/DemoWriter.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -151,6 +153,11 @@ struct SessionConfig {
   /// Incremental crash-consistent flushing of the recording (record mode
   /// only; ignored otherwise).
   RecordFlushPolicy Flush;
+
+  /// Virtual-time execution tracing (support/Trace.h). Off by default;
+  /// when off the session creates no recorder and every emission site is
+  /// one branch on a cached null pointer.
+  TraceOptions Trace;
 };
 
 /// Everything a run produced.
@@ -194,6 +201,16 @@ struct RunReport {
   /// Seeds actually used (match META).
   uint64_t Seed0 = 0;
   uint64_t Seed1 = 0;
+
+  /// The uniform metrics registry: every counter above (scheduler,
+  /// atomics, faults, syscalls, demo writer, races, trace drops) under
+  /// one dot-namespaced snapshot, serialisable with Metrics.toJson().
+  /// The legacy struct accessors (Sched, Atomics, FaultsInjected, ...)
+  /// keep working; the snapshot is built from them at the end of run().
+  MetricsSnapshot Metrics;
+
+  /// Merged execution trace (empty unless SessionConfig::Trace.Enabled).
+  TraceSnapshot Trace;
 };
 
 /// One controlled execution. Not reusable: construct, set up the
@@ -294,6 +311,7 @@ private:
   bool checkMeta(std::string &Error);
   SyscallResult replaySyscall(SyscallKind Kind, Tid Self);
   void recordSyscall(SyscallKind Kind, const SyscallResult &R);
+  void fillMetrics(RunReport &R);
   void drainSyscallStream(uint64_t Tick, bool Final);
   DesyncReport syscallDesyncReport(DesyncReason Reason, Tid Self) const;
 
@@ -305,6 +323,10 @@ private:
   std::unique_ptr<Scheduler> Sched;
   std::unique_ptr<RaceDetector> Race;
   std::unique_ptr<AtomicModel> Atomics;
+
+  /// Null unless Config.Trace.Enabled — the null pointer IS the cached
+  /// disabled flag every emission site branches on.
+  std::unique_ptr<TraceRecorder> Tracer;
 
   std::mutex ThreadsMu;
   std::vector<std::thread> OsThreads;

@@ -10,16 +10,23 @@
 #include "support/Compiler.h"
 #include "support/DemoWriter.h"
 #include "support/Diag.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
 
 using namespace tsr;
 
+namespace {
+/// Trace attribution for a designation result: AnyTid/InvalidTid carry no
+/// concrete thread.
+Tid traceTid(Tid T) { return T == AnyTid || T == InvalidTid ? InvalidTid : T; }
+} // namespace
+
 Scheduler::Scheduler(const SchedulerOptions &Opts, Demo *RecordDemo,
                      const Demo *ReplayDemo)
     : Opts(Opts), Strat(makeStrategy(Opts.Strategy, Opts.Params)),
-      Rng(Opts.Seed0, Opts.Seed1) {
+      Rng(Opts.Seed0, Opts.Seed1), Trace(Opts.Trace) {
   if (!Opts.Controlled)
     FreeRunFcfs = true;
   if (Opts.ExecMode == Mode::Record) {
@@ -77,6 +84,8 @@ Tid Scheduler::addMainThread() {
   assert(Threads.empty() && "main thread must be registered first");
   Threads.emplace_back();
   Strat->onThreadNew(0, Rng);
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emit(0, TraceEventKind::ThreadStart, 0, /*Child=*/0);
   chooseNextLocked();
   applyInjectionsLocked();
   return 0;
@@ -89,10 +98,19 @@ void Scheduler::wait(Tid Self) {
   Threads[Self].Parked = true;
   Strat->onArrive(Self);
   grantIfAnyLocked(Self);
+  bool Blocked = false;
   while (!(Threads[Self].Enabled && Active == Self)) {
+    if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
+      Blocked = true;
+      Trace->emit(Self, TraceEventKind::Park,
+                  CurTick.load(std::memory_order_relaxed));
+    }
     Cv.wait(L);
     grantIfAnyLocked(Self);
   }
+  if (TSR_UNLIKELY(Trace != nullptr) && Blocked)
+    Trace->emit(Self, TraceEventKind::Wake,
+                CurTick.load(std::memory_order_relaxed));
   Threads[Self].Parked = false;
   Threads[Self].InCritical = true;
 }
@@ -118,8 +136,11 @@ void Scheduler::tick(Tid Self) {
     assert(Threads[Self].InCritical && "tick() without a matching wait()");
     Threads[Self].InCritical = false;
 
-    const uint64_t EventTick = CurTick++;
+    const uint64_t EventTick = CurTick.load(std::memory_order_relaxed);
+    CurTick.store(EventTick + 1, std::memory_order_relaxed);
     ++Stats.Ticks;
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emit(Self, TraceEventKind::Tick, EventTick);
     Strat->onTick(EventTick, Self, Rng);
     if (Opts.ExecMode == Mode::Record && Opts.Controlled &&
         Opts.Strategy == StrategyKind::Queue)
@@ -173,6 +194,9 @@ void Scheduler::chooseNextLocked() {
       }
       Active = static_cast<Tid>(T);
       Strat->onDesignated(Active);
+      if (TSR_UNLIKELY(Trace != nullptr))
+        Trace->emitEngine(TraceEventKind::StrategyDecision,
+                          CurTick.load(std::memory_order_relaxed), Active);
       if (Opts.DesignationHook)
         Opts.DesignationHook(Active, Threads[Active].Parked);
       return;
@@ -207,6 +231,9 @@ void Scheduler::chooseNextLocked() {
   Active = T;
   if (T != AnyTid && T != InvalidTid) {
     Strat->onDesignated(T);
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emitEngine(TraceEventKind::StrategyDecision,
+                        CurTick.load(std::memory_order_relaxed), T);
     if (Opts.DesignationHook)
       Opts.DesignationHook(T, Threads[T].Parked);
   }
@@ -263,6 +290,10 @@ void Scheduler::applyInjectionsLocked() {
         Active = T;
         if (T != AnyTid)
           Strat->onDesignated(T);
+        if (TSR_UNLIKELY(Trace != nullptr))
+          Trace->emitEngine(TraceEventKind::StrategyDecision,
+                            CurTick.load(std::memory_order_relaxed),
+                            traceTid(T), /*Reschedule=*/1);
       }
       break;
     }
@@ -313,6 +344,12 @@ void Scheduler::deadlockCheckLocked() {
     R.SoftResyncs = Stats.SoftResyncs;
     R.Message = renderDesyncReport(R);
     Report = std::move(R);
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emitEngine(TraceEventKind::Desync,
+                        CurTick.load(std::memory_order_relaxed),
+                        InvalidTid,
+                        static_cast<uint64_t>(DesyncReason::Deadlock),
+                        static_cast<uint64_t>(DesyncKind::Hard));
   }
   warn("deadlock: every live thread is disabled at tick %llu — salvaging "
        "shutdown (SchedulerOptions::AbortOnDeadlock restores the abort)\n%s",
@@ -340,6 +377,12 @@ void Scheduler::flushRecordStreamsLocked(bool Final) {
   ChunkedDemoWriter &W = *Opts.LiveWriter;
   if (QueueLog)
     QueueLog->flush(); // safe mid-run: splitting an RLE run decodes the same
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emitEngine(TraceEventKind::DemoFlush,
+                      CurTick.load(std::memory_order_relaxed), InvalidTid,
+                      (QueueBytes.size() - QueueFlushed) +
+                          (SignalBytes.size() - SignalFlushed) +
+                          (AsyncBytes.size() - AsyncFlushed));
   // Every stream gets a chunk at every flush — even an empty one — so the
   // four data streams always share the same frontier sequence and salvage
   // can cross-trim them consistently.
@@ -391,7 +434,8 @@ std::optional<uint64_t> Scheduler::emergencyFlush() {
 
 void Scheduler::fillCursorsLocked(DesyncReport &R) const {
   const uint64_t Total = ReplayQueue.size();
-  R.QueueCursor = {CurTick < Total ? CurTick : Total, Total};
+  const uint64_t Tick = CurTick.load(std::memory_order_relaxed);
+  R.QueueCursor = {Tick < Total ? Tick : Total, Total};
   R.SignalCursor = {ReplaySignalPos, ReplaySignals.size()};
   R.AsyncCursor = {ReplayAsyncPos, ReplayAsync.size()};
   // SyscallCursor belongs to the session; it stays as the caller set it.
@@ -406,6 +450,12 @@ void Scheduler::hardDesyncLocked(DesyncReport R) {
   R.SoftResyncs = Stats.SoftResyncs;
   R.Message = renderDesyncReport(R);
   Report = std::move(R);
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emitEngine(TraceEventKind::Desync,
+                      CurTick.load(std::memory_order_relaxed),
+                      Report.Thread,
+                      static_cast<uint64_t>(Report.Reason),
+                      static_cast<uint64_t>(DesyncKind::Hard));
   if (Opts.AbortOnHardDesync)
     fatal("replay hard desynchronisation: %s", Report.Message.c_str());
   warn("replay hard desynchronisation: %s (continuing uncontrolled)",
@@ -459,6 +509,10 @@ std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
   const Signo S = T.DeliverableSignals.front();
   T.DeliverableSignals.pop_front();
   ++Stats.SignalsDelivered;
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emit(Self, TraceEventKind::SignalDeliver,
+                CurTick.load(std::memory_order_relaxed),
+                static_cast<uint64_t>(S));
   return S;
 }
 
@@ -480,6 +534,11 @@ Tid Scheduler::threadNew(Tid Parent) {
   const Tid Child = static_cast<Tid>(Threads.size());
   Threads.emplace_back();
   Strat->onThreadNew(Child, Rng);
+  // Attributed to the parent: it owns the critical section, so the tick
+  // stamp is stable (the virtual identity depends on that).
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emit(Parent, TraceEventKind::ThreadStart,
+                CurTick.load(std::memory_order_relaxed), Child);
   return Child;
 }
 
@@ -500,6 +559,9 @@ void Scheduler::threadJoinBlock(Tid Self, Tid Target) {
 
 void Scheduler::threadDelete(Tid Self) {
   std::lock_guard<std::mutex> L(Mu);
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emit(Self, TraceEventKind::ThreadExit,
+                CurTick.load(std::memory_order_relaxed));
   auto &T = Threads[Self];
   T.Finished = true;
   T.Enabled = false;
@@ -682,6 +744,10 @@ void Scheduler::livenessPoll() {
     Active = T;
     if (T != AnyTid)
       Strat->onDesignated(T);
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emitEngine(TraceEventKind::StrategyDecision,
+                        CurTick.load(std::memory_order_relaxed),
+                        traceTid(T), /*Reschedule=*/1);
   }
   Cv.notify_all();
 }
@@ -727,6 +793,12 @@ void Scheduler::softDesyncLocked(DesyncReport R) {
   R.SoftResyncs = Stats.SoftResyncs;
   R.Message = renderDesyncReport(R);
   Report = std::move(R);
+  if (TSR_UNLIKELY(Trace != nullptr))
+    Trace->emitEngine(TraceEventKind::Desync,
+                      CurTick.load(std::memory_order_relaxed),
+                      Report.Thread,
+                      static_cast<uint64_t>(Report.Reason),
+                      static_cast<uint64_t>(DesyncKind::Soft));
   warn("replay soft desynchronisation: %s", Report.Message.c_str());
 }
 

@@ -34,6 +34,7 @@
 #include "support/Prng.h"
 #include "support/Rle.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +50,7 @@
 namespace tsr {
 
 class ChunkedDemoWriter;
+class TraceRecorder;
 
 // DesyncKind and the structured DesyncReport live in support/Desync.h
 // (pulled in through sched/Common.h): the session's syscall layer fills
@@ -116,6 +118,10 @@ struct SchedulerOptions {
   /// Wait(). Designating a non-parked thread stalls every other thread
   /// until it arrives — the cost model charges for it.
   std::function<void(Tid T, bool WasParked)> DesignationHook;
+
+  /// Virtual-time trace recorder (null when tracing is off; every
+  /// emission site then reduces to one branch on this cached pointer).
+  TraceRecorder *Trace = nullptr;
 };
 
 /// Counters exposed for tests and benchmark harnesses.
@@ -274,6 +280,13 @@ public:
   /// Current value of the global tick counter.
   uint64_t currentTick();
 
+  /// Relaxed read of the tick counter without the scheduler lock. Stable
+  /// inside a critical section (only the ticking thread advances it); used
+  /// by the session to stamp trace events from within visible operations.
+  uint64_t currentTickRelaxed() const {
+    return CurTick.load(std::memory_order_relaxed);
+  }
+
   /// Replay health.
   DesyncKind desyncKind();
   std::string desyncMessage();
@@ -358,7 +371,10 @@ private:
   /// Designated thread: a tid, AnyTid (first arrival proceeds) or
   /// InvalidTid (nobody runnable yet).
   Tid Active = InvalidTid;
-  uint64_t CurTick = 0;
+
+  /// Written only under Mu (by the ticking thread); read locked by most
+  /// code and relaxed by currentTickRelaxed().
+  std::atomic<uint64_t> CurTick{0};
 
   /// When true, designation is first-come-first-served (uncontrolled
   /// modes, post-desync and post-exhaustion fallback).
@@ -398,6 +414,9 @@ private:
 
   uint64_t LastLivenessTick = ~0ull;
   SchedulerStats Stats;
+
+  /// Cached from Opts.Trace: null compiles every emission to one branch.
+  TraceRecorder *const Trace;
 };
 
 } // namespace tsr

@@ -186,3 +186,63 @@ std::string tsr::formatDemoInfo(const DemoInfo &Info,
     Out += "warning: " + P + "\n";
   return Out;
 }
+
+std::string tsr::demoTimelineJson(const DemoInfo &Info) {
+  // Same layout conventions as chromeTraceJson (support/Trace.h): one
+  // process, one row per thread, the engine on a high sentinel row.
+  constexpr uint64_t EngineRow = 1000000;
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  const auto Emit = [&](const std::string &Event) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Event;
+  };
+
+  Emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":"
+       "\"tsr demo\"}}");
+  Emit(formatString("{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":"
+                    "\"thread_name\",\"args\":{\"name\":\"engine\"}}",
+                    static_cast<unsigned long long>(EngineRow)));
+  uint64_t MaxTid = 0;
+  for (uint64_t T : Info.Schedule)
+    MaxTid = T > MaxTid ? T : MaxTid;
+  for (uint64_t T = 0; T <= MaxTid && !Info.Schedule.empty(); ++T)
+    Emit(formatString("{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"name\":"
+                      "\"thread_name\",\"args\":{\"name\":\"thread %llu\"}}",
+                      static_cast<unsigned long long>(T),
+                      static_cast<unsigned long long>(T)));
+
+  // QUEUE: coalesce consecutive ticks by the same thread into one slice.
+  for (size_t I = 0; I < Info.Schedule.size();) {
+    size_t J = I + 1;
+    while (J < Info.Schedule.size() && Info.Schedule[J] == Info.Schedule[I])
+      ++J;
+    Emit(formatString("{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%zu,"
+                      "\"dur\":%zu,\"name\":\"run\",\"args\":{\"ticks\":%zu}}",
+                      static_cast<unsigned long long>(Info.Schedule[I]), I,
+                      J - I, J - I));
+    I = J;
+  }
+
+  for (const DemoInfo::SignalEntry &S : Info.Signals)
+    Emit(formatString("{\"ph\":\"i\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,"
+                      "\"s\":\"t\",\"name\":\"signal\",\"args\":{\"signo\":"
+                      "%llu}}",
+                      static_cast<unsigned long long>(S.Tid),
+                      static_cast<unsigned long long>(S.Tick),
+                      static_cast<unsigned long long>(S.Signo)));
+
+  for (const DemoInfo::AsyncEntry &A : Info.Asyncs)
+    Emit(formatString("{\"ph\":\"i\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,"
+                      "\"s\":\"t\",\"name\":\"%s\",\"args\":{\"thread\":"
+                      "%llu}}",
+                      static_cast<unsigned long long>(EngineRow),
+                      static_cast<unsigned long long>(A.Tick),
+                      A.Kind == 0 ? "reschedule" : "signal-wakeup",
+                      static_cast<unsigned long long>(A.Tid)));
+
+  Out += "]}";
+  return Out;
+}

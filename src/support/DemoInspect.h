@@ -79,6 +79,15 @@ DemoInfo inspectDemo(const Demo &D);
 std::string formatDemoInfo(const DemoInfo &Info,
                            size_t MaxEntriesPerStream = 20);
 
+/// Renders \p Info as Chrome trace-event JSON ("traceEvents" array)
+/// loadable in Perfetto / chrome://tracing. The QUEUE schedule becomes
+/// one "X" slice per consecutive run of ticks by the same thread (ts =
+/// tick index); SIGNAL deliveries and ASYNC injections become "i"
+/// instant events. Purely virtual time: a demo records no wall clock.
+/// Unlike chromeTraceJson (support/Trace.h) this needs no traced run —
+/// any demo directory on disk can be visualised after the fact.
+std::string demoTimelineJson(const DemoInfo &Info);
+
 } // namespace tsr
 
 #endif // TSR_SUPPORT_DEMOINSPECT_H

@@ -1,0 +1,137 @@
+//===-- support/Metrics.cpp - Unified metrics registry ----------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Diag.h"
+
+#include <algorithm>
+
+using namespace tsr;
+
+std::string tsr::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x",
+                            static_cast<unsigned>(
+                                static_cast<unsigned char>(C)));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void MetricsSnapshot::counter(std::string Name, uint64_t Value) {
+  for (MetricCounter &C : Counters)
+    if (C.Name == Name) {
+      C.Value = Value;
+      return;
+    }
+  Counters.push_back({std::move(Name), Value});
+}
+
+void MetricsSnapshot::gauge(std::string Name, double Value) {
+  for (MetricGauge &G : Gauges)
+    if (G.Name == Name) {
+      G.Value = Value;
+      return;
+    }
+  Gauges.push_back({std::move(Name), Value});
+}
+
+SampleStats &MetricsSnapshot::histogram(std::string Name, size_t Buckets) {
+  for (MetricHistogram &H : Histograms)
+    if (H.Name == Name)
+      return H.Stats;
+  Histograms.push_back({std::move(Name), Buckets, SampleStats()});
+  return Histograms.back().Stats;
+}
+
+uint64_t MetricsSnapshot::counterOr(std::string_view Name,
+                                    uint64_t Default) const {
+  for (const MetricCounter &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return Default;
+}
+
+bool MetricsSnapshot::hasCounter(std::string_view Name) const {
+  for (const MetricCounter &C : Counters)
+    if (C.Name == Name)
+      return true;
+  return false;
+}
+
+double MetricsSnapshot::gaugeOr(std::string_view Name,
+                                double Default) const {
+  for (const MetricGauge &G : Gauges)
+    if (G.Name == Name)
+      return G.Value;
+  return Default;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::vector<const MetricCounter *> Cs;
+  for (const MetricCounter &C : Counters)
+    Cs.push_back(&C);
+  std::sort(Cs.begin(), Cs.end(),
+            [](const MetricCounter *L, const MetricCounter *R) {
+              return L->Name < R->Name;
+            });
+  std::vector<const MetricGauge *> Gs;
+  for (const MetricGauge &G : Gauges)
+    Gs.push_back(&G);
+  std::sort(Gs.begin(), Gs.end(),
+            [](const MetricGauge *L, const MetricGauge *R) {
+              return L->Name < R->Name;
+            });
+  std::vector<const MetricHistogram *> Hs;
+  for (const MetricHistogram &H : Histograms)
+    Hs.push_back(&H);
+  std::sort(Hs.begin(), Hs.end(),
+            [](const MetricHistogram *L, const MetricHistogram *R) {
+              return L->Name < R->Name;
+            });
+
+  std::string Out = "{\"counters\":{";
+  for (size_t I = 0; I != Cs.size(); ++I)
+    Out += formatString("%s\"%s\":%llu", I ? "," : "",
+                        jsonEscape(Cs[I]->Name).c_str(),
+                        static_cast<unsigned long long>(Cs[I]->Value));
+  Out += "},\"gauges\":{";
+  for (size_t I = 0; I != Gs.size(); ++I)
+    Out += formatString("%s\"%s\":%g", I ? "," : "",
+                        jsonEscape(Gs[I]->Name).c_str(), Gs[I]->Value);
+  Out += "},\"histograms\":{";
+  for (size_t I = 0; I != Hs.size(); ++I) {
+    Out += formatString("%s\"%s\":", I ? "," : "",
+                        jsonEscape(Hs[I]->Name).c_str());
+    Out += Hs[I]->Stats.toJson(Hs[I]->Buckets);
+  }
+  Out += "}}";
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===-- support/Metrics.h - Unified metrics registry ------------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A uniform registry of run metrics — counters, gauges and histograms —
+/// that subsumes the ad-hoc stats structs (SchedulerStats,
+/// AtomicModelStats, FaultInjector::Counters) behind one MetricsSnapshot
+/// serialised into RunReport as JSON. Names are dot-namespaced by
+/// subsystem: "sched.ticks", "atomics.loads", "faults.errnos_injected",
+/// "demo.flushes", "trace.dropped", ...
+///
+/// The snapshot is assembled once at the end of a run from the existing
+/// structs (which keep working unchanged), so the registry adds nothing
+/// to any hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_METRICS_H
+#define TSR_SUPPORT_METRICS_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsr {
+
+/// Escapes \p S for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every JSON emitter in the
+/// support library.
+std::string jsonEscape(std::string_view S);
+
+/// A monotonically accumulated count.
+struct MetricCounter {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// A point-in-time measurement.
+struct MetricGauge {
+  std::string Name;
+  double Value = 0.0;
+};
+
+/// A sample distribution with fixed-bucket export (SampleStats::toJson).
+struct MetricHistogram {
+  std::string Name;
+  size_t Buckets = 16;
+  SampleStats Stats;
+};
+
+/// The uniform registry. Setters overwrite (last write wins); toJson()
+/// renders names sorted so output is stable across runs.
+class MetricsSnapshot {
+public:
+  void counter(std::string Name, uint64_t Value);
+  void gauge(std::string Name, double Value);
+
+  /// Returns the histogram named \p Name, creating it (with \p Buckets
+  /// export buckets) on first use.
+  SampleStats &histogram(std::string Name, size_t Buckets = 16);
+
+  /// Lookup for tests and tools: the counter's value, or \p Default when
+  /// no such counter exists.
+  uint64_t counterOr(std::string_view Name, uint64_t Default = 0) const;
+  bool hasCounter(std::string_view Name) const;
+  double gaugeOr(std::string_view Name, double Default = 0.0) const;
+
+  const std::vector<MetricCounter> &counters() const { return Counters; }
+  const std::vector<MetricGauge> &gauges() const { return Gauges; }
+  const std::vector<MetricHistogram> &histograms() const {
+    return Histograms;
+  }
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys
+  /// sorted by name.
+  std::string toJson() const;
+
+private:
+  std::vector<MetricCounter> Counters;
+  std::vector<MetricGauge> Gauges;
+  std::vector<MetricHistogram> Histograms;
+};
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_METRICS_H

@@ -19,6 +19,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 namespace tsr {
@@ -78,6 +80,67 @@ public:
   }
 
   const std::vector<double> &samples() const { return Samples; }
+
+  /// One fixed-width histogram bucket over [Lo, Hi).
+  struct Bucket {
+    double Lo = 0.0;
+    double Hi = 0.0;
+    size_t Count = 0;
+  };
+
+  /// Splits [min, max] into \p NumBuckets equal-width buckets and counts
+  /// the samples in each (the last bucket is closed so max lands in it).
+  /// Degenerate inputs collapse: no samples yields no buckets, a constant
+  /// distribution yields one bucket holding everything.
+  std::vector<Bucket> histogram(size_t NumBuckets = 16) const {
+    std::vector<Bucket> Out;
+    if (Samples.empty() || NumBuckets == 0)
+      return Out;
+    const double Lo = min(), Hi = max();
+    if (Lo == Hi) {
+      Out.push_back({Lo, Hi, Samples.size()});
+      return Out;
+    }
+    const double Width = (Hi - Lo) / static_cast<double>(NumBuckets);
+    Out.resize(NumBuckets);
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      Out[I].Lo = Lo + Width * static_cast<double>(I);
+      Out[I].Hi = I + 1 == NumBuckets ? Hi : Lo + Width *
+                                                 static_cast<double>(I + 1);
+    }
+    for (double X : Samples) {
+      size_t I = static_cast<size_t>((X - Lo) / Width);
+      if (I >= NumBuckets)
+        I = NumBuckets - 1;
+      ++Out[I].Count;
+    }
+    return Out;
+  }
+
+  /// Serialises the summary plus a fixed-bucket histogram as one JSON
+  /// object: {"count":N,"mean":...,"stddev":...,"cv":...,"min":...,
+  /// "p25":...,"median":...,"p75":...,"max":...,"buckets":[{"lo":...,
+  /// "hi":...,"count":N},...]}. Shared by the metrics registry and the
+  /// bench harnesses.
+  std::string toJson(size_t NumBuckets = 16) const {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"count\":%zu,\"mean\":%g,\"stddev\":%g,\"cv\":%g,"
+                  "\"min\":%g,\"p25\":%g,\"median\":%g,\"p75\":%g,"
+                  "\"max\":%g,\"buckets\":[",
+                  count(), mean(), stddev(), cv(), min(), quantile(0.25),
+                  median(), quantile(0.75), max());
+    std::string Out = Buf;
+    const std::vector<Bucket> Hist = histogram(NumBuckets);
+    for (size_t I = 0; I != Hist.size(); ++I) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s{\"lo\":%g,\"hi\":%g,\"count\":%zu}", I ? "," : "",
+                    Hist[I].Lo, Hist[I].Hi, Hist[I].Count);
+      Out += Buf;
+    }
+    Out += "]}";
+    return Out;
+  }
 
 private:
   void sortSamples() const {

@@ -286,6 +286,74 @@ TEST(FaultInjection, ScriptedStormFiresOnExactOccurrences) {
   EXPECT_EQ(R.FaultsInjected.ErrnosInjected, 2u);
 }
 
+TEST(FaultInjection, TransferAndMessageFaultsAreAccounted) {
+  // Each injector counter, driven deterministically with probability 1,
+  // and its mirror in the unified metrics snapshot.
+
+  // Short writes truncate every multi-byte transfer.
+  {
+    SessionConfig C = baseConfig();
+    C.Faults = FaultPlan::none().shortWrites(1.0);
+    Session S(C);
+    S.env().addPeer("echo", std::make_unique<Echo>(), 7001);
+    RunReport R = S.run([] {
+      const int Fd = sys::socket();
+      ASSERT_EQ(sys::connect(Fd, 7001), 0);
+      const uint8_t Msg[4] = {'a', 'b', 'c', 'd'};
+      const int64_t Sent = sys::send(Fd, Msg, sizeof Msg);
+      EXPECT_GE(Sent, 1);
+      EXPECT_LT(Sent, 4); // truncated
+      sys::close(Fd);
+    });
+    EXPECT_GT(R.FaultsInjected.ShortTransfers, 0u);
+    EXPECT_EQ(R.Metrics.counterOr("faults.short_transfers", 0),
+              R.FaultsInjected.ShortTransfers);
+  }
+
+  // Dropped peer messages: the echo never hears the client.
+  {
+    SessionConfig C = baseConfig();
+    C.Faults = FaultPlan::none().dropPeerMessages(1.0);
+    Session S(C);
+    S.env().addPeer("echo", std::make_unique<Echo>(), 7001);
+    RunReport R = S.run([] {
+      const int Fd = sys::socket();
+      ASSERT_EQ(sys::connect(Fd, 7001), 0);
+      const uint8_t Msg[2] = {'h', 'i'};
+      ASSERT_EQ(sys::send(Fd, Msg, sizeof Msg), 2);
+      sys::sleepMs(5);
+      uint8_t Buf[8];
+      EXPECT_LT(sys::recv(Fd, Buf, sizeof Buf), 1); // no echo came back
+      sys::close(Fd);
+    });
+    EXPECT_GT(R.FaultsInjected.MessagesDropped, 0u);
+    EXPECT_EQ(R.Metrics.counterOr("faults.messages_dropped", 0),
+              R.FaultsInjected.MessagesDropped);
+  }
+
+  // Duplicated peer messages: the echo hears (and answers) twice.
+  {
+    SessionConfig C = baseConfig();
+    C.Faults = FaultPlan::none().duplicatePeerMessages(1.0);
+    Session S(C);
+    S.env().addPeer("echo", std::make_unique<Echo>(), 7001);
+    RunReport R = S.run([] {
+      const int Fd = sys::socket();
+      ASSERT_EQ(sys::connect(Fd, 7001), 0);
+      const uint8_t Msg[2] = {'h', 'i'};
+      ASSERT_EQ(sys::send(Fd, Msg, sizeof Msg), 2);
+      sys::sleepMs(5);
+      uint8_t Buf[8];
+      EXPECT_EQ(sys::recv(Fd, Buf, sizeof Buf), 2);
+      EXPECT_EQ(sys::recv(Fd, Buf, sizeof Buf), 2); // the duplicate
+      sys::close(Fd);
+    });
+    EXPECT_GT(R.FaultsInjected.MessagesDuplicated, 0u);
+    EXPECT_EQ(R.Metrics.counterOr("faults.messages_duplicated", 0),
+              R.FaultsInjected.MessagesDuplicated);
+  }
+}
+
 TEST(FaultInjection, NthRecvOnSocketFailsWithReset) {
   SessionConfig C = baseConfig();
   C.Faults =

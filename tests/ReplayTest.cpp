@@ -262,6 +262,12 @@ TEST(ReplayDesync, TruncatedQueueStreamFreeRunsToCompletion) {
   RunReport R = S.run([&] { Replayed = Prog.run(); });
   quietWarnings(QuietWas);
   EXPECT_TRUE(R.Sched.DemoExhausted || R.Desync == DesyncKind::Hard);
+  if (R.Sched.DemoExhausted) {
+    // The exhaustion tick is recorded: it points at where the truncated
+    // QUEUE prefix ran out, strictly inside the run.
+    EXPECT_GT(R.Sched.DemoExhaustedAtTick, 0u);
+    EXPECT_LT(R.Sched.DemoExhaustedAtTick, R.Sched.Ticks);
+  }
   EXPECT_NE(Replayed, 0u); // completed regardless
 }
 

@@ -430,7 +430,7 @@ TEST(SchedSignals, SignalToDisabledThreadWakesIt) {
   SessionConfig C = fixedSeeds(presets::tsan11rec(StrategyKind::Queue));
   Session S(C);
   bool HandlerRan = false;
-  S.run([&] {
+  RunReport R = S.run([&] {
     Mutex M;
     Atomic<int> Blocked(0);
     Atomic<int> Release(0);
@@ -452,6 +452,10 @@ TEST(SchedSignals, SignalToDisabledThreadWakesIt) {
     T.join();
   });
   EXPECT_TRUE(HandlerRan);
+  // The wakeup of the disabled thread is accounted separately from the
+  // delivery itself.
+  EXPECT_EQ(R.Sched.SignalWakeups, 1u);
+  EXPECT_EQ(R.Sched.SignalsDelivered, 1u);
 }
 
 TEST(SchedSignals, SignalsWhileInHandlerAreDeferred) {

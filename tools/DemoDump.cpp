@@ -37,6 +37,11 @@ int usage(const char *Prog) {
       "usage: %s <demo-dir> [max-entries-per-stream]\n"
       "       %s verify <demo-dir>\n"
       "       %s repair <demo-dir>\n"
+      "       %s timeline <demo-dir> [out.json]\n"
+      "\n"
+      "timeline renders the demo's QUEUE/SIGNAL/ASYNC streams as Chrome\n"
+      "trace-event JSON (ts = scheduler tick) to out.json, or stdout when\n"
+      "omitted. Open it at https://ui.perfetto.dev or chrome://tracing.\n"
       "\n"
       "verify exit status:\n"
       "  0  every stream is intact\n"
@@ -49,7 +54,7 @@ int usage(const char *Prog) {
       "  0  demo is intact, or was salvaged to a consistent prefix\n"
       "  1  salvage failed (damage beyond torn chunk tails)\n"
       "  2  the directory is unreadable or not a tsr demo at all\n",
-      Prog, Prog, Prog);
+      Prog, Prog, Prog, Prog);
   return 2;
 }
 
@@ -184,6 +189,40 @@ int repairCommand(const char *Dir) {
   return 0;
 }
 
+int timelineCommand(const char *Dir, const char *OutPath) {
+  if (unreadableDirectory(Dir)) {
+    std::fprintf(stderr, "error: %s: unreadable or not a tsr demo directory\n",
+                 Dir);
+    return 2;
+  }
+  Demo D;
+  std::string Error;
+  if (!D.loadFromDirectory(Dir, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  const DemoInfo Info = inspectDemo(D);
+  for (const std::string &P : Info.Problems)
+    std::fprintf(stderr, "warning: %s\n", P.c_str());
+  const std::string Json = demoTimelineJson(Info);
+  if (!OutPath) {
+    std::fwrite(Json.data(), 1, Json.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  std::printf("wrote %zu ticks, %zu signals, %zu async events to %s\n",
+              Info.Schedule.size(), Info.Signals.size(), Info.Asyncs.size(),
+              OutPath);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -201,6 +240,12 @@ int main(int Argc, char **Argv) {
     if (Argc != 3)
       return usage(Argv[0]);
     return repairCommand(Argv[2]);
+  }
+
+  if (std::strcmp(Argv[1], "timeline") == 0) {
+    if (Argc != 3 && Argc != 4)
+      return usage(Argv[0]);
+    return timelineCommand(Argv[2], Argc == 4 ? Argv[3] : nullptr);
   }
 
   const size_t MaxEntries =
