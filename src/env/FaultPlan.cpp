@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstdlib>
 #include <utility>
 
@@ -83,10 +84,20 @@ bool parseProbability(const std::string &S, double &Out) {
 }
 
 bool parseCount(const std::string &S, uint64_t &Out) {
-  if (S.empty() || S[0] == '-' || S[0] == '+')
+  // A count starts with a digit, full stop: strtoull itself would skip
+  // leading whitespace and accept a sign — "-5" parses as 2^64-5 without
+  // even setting errno.
+  if (S.empty() || S[0] < '0' || S[0] > '9')
     return false;
+  // strtoull reports overflow through errno alone (returning ULLONG_MAX,
+  // a value the caller cannot distinguish from a legitimate count), so
+  // errno must be cleared first and checked after — otherwise a stale
+  // ERANGE hides, or an out-of-range count silently saturates.
   char *End = nullptr;
+  errno = 0;
   Out = std::strtoull(S.c_str(), &End, 10);
+  if (errno == ERANGE)
+    return false;
   return End == S.c_str() + S.size();
 }
 

@@ -196,6 +196,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.Seed0 = UsedSeed0;
   SO.Seed1 = UsedSeed1;
   SO.Controlled = Config.Controlled;
+  SO.Wake = Config.Wake;
   SO.AbortOnHardDesync = Config.AbortOnHardDesync;
   SO.AbortOnDeadlock = Config.AbortOnDeadlock;
   SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
@@ -377,6 +378,9 @@ void Session::fillMetrics(RunReport &R) {
   M.counter("sched.reschedules", R.Sched.Reschedules);
   M.counter("sched.signals_delivered", R.Sched.SignalsDelivered);
   M.counter("sched.signal_wakeups", R.Sched.SignalWakeups);
+  M.counter("sched.targeted_wakeups", R.Sched.TargetedWakeups);
+  M.counter("sched.spurious_wakeups", R.Sched.SpuriousWakeups);
+  M.counter("sched.broadcast_wakeups", R.Sched.BroadcastWakeups);
   M.counter("sched.soft_resyncs", R.Sched.SoftResyncs);
   M.counter("sched.demo_exhausted_at_tick", R.Sched.DemoExhaustedAtTick);
   M.gauge("sched.demo_exhausted", R.Sched.DemoExhausted ? 1.0 : 0.0);

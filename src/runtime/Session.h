@@ -101,6 +101,12 @@ struct SessionConfig {
   /// plain tsan11 (§2).
   bool Controlled = true;
 
+  /// How the scheduler wakes parked threads (sched/Scheduler.h). Targeted
+  /// per-thread parking is the default; Broadcast restores the legacy
+  /// global notify_all and exists as a measurable baseline
+  /// (bench/sched_throughput). Schedule semantics are identical.
+  WakePolicy Wake = WakePolicy::Targeted;
+
   /// Enable happens-before race detection.
   bool RaceDetection = true;
 

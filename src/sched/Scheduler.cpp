@@ -99,14 +99,35 @@ void Scheduler::wait(Tid Self) {
   Strat->onArrive(Self);
   grantIfAnyLocked(Self);
   bool Blocked = false;
-  while (!(Threads[Self].Enabled && Active == Self)) {
-    if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
-      Blocked = true;
-      Trace->emit(Self, TraceEventKind::Park,
-                  CurTick.load(std::memory_order_relaxed));
+  if (Opts.Wake == WakePolicy::Targeted) {
+    // The slot outlives any Threads reallocation (threadNew runs while
+    // we block); the ThreadState reference would not, so the loop
+    // re-indexes Threads[Self] instead of caching it.
+    ParkSlot &Slot = *Threads[Self].Slot;
+    while (!(Threads[Self].Enabled && Active == Self)) {
+      if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
+        Blocked = true;
+        Trace->emit(Self, TraceEventKind::Park,
+                    CurTick.load(std::memory_order_relaxed));
+      }
+      Slot.Cv.wait(L, [&Slot] { return Slot.Notified; });
+      Slot.Notified = false;
+      grantIfAnyLocked(Self);
+      if (!(Threads[Self].Enabled && Active == Self))
+        ++Stats.SpuriousWakeups;
     }
-    Cv.wait(L);
-    grantIfAnyLocked(Self);
+  } else {
+    while (!(Threads[Self].Enabled && Active == Self)) {
+      if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
+        Blocked = true;
+        Trace->emit(Self, TraceEventKind::Park,
+                    CurTick.load(std::memory_order_relaxed));
+      }
+      Cv.wait(L);
+      grantIfAnyLocked(Self);
+      if (!(Threads[Self].Enabled && Active == Self))
+        ++Stats.SpuriousWakeups;
+    }
   }
   if (TSR_UNLIKELY(Trace != nullptr) && Blocked)
     Trace->emit(Self, TraceEventKind::Wake,
@@ -151,7 +172,11 @@ void Scheduler::tick(Tid Self) {
     applyInjectionsLocked();
     maybeFlushLocked();
     deadlockCheckLocked();
-    Cv.notify_all();
+    // The single wake point of the tick: it must come after the replay
+    // injections (a SignalWakeup may enable the thread the QUEUE stream
+    // designated, a Reschedule may re-pick Active) so the handoff sees
+    // the final designation and enabled set.
+    wakeForDesignationLocked();
     // Designation handoffs to parked threads hand the processor over
     // naturally (the ticker blocks in its next wait()). The pathological
     // case on a single-CPU host is the first-come-first-served grant with
@@ -167,6 +192,79 @@ void Scheduler::tick(Tid Self) {
   }
   if (YieldAfterUnlock)
     std::this_thread::yield();
+}
+
+void Scheduler::wakeForDesignationLocked() {
+  if (Opts.Wake == WakePolicy::Broadcast) {
+    ++Stats.BroadcastWakeups;
+    Cv.notify_all();
+    return;
+  }
+  if (Active == InvalidTid)
+    return; // Nobody can proceed; deadlockCheckLocked handles the rest.
+  if (Active == AnyTid) {
+    wakeAnyLocked();
+    return;
+  }
+  wakeTargetLocked(Active);
+}
+
+void Scheduler::wakeTargetLocked(Tid T) {
+  if (T >= Threads.size())
+    return;
+  ThreadState &TS = Threads[T];
+  // Notify only when the full wait() predicate holds: waking a thread
+  // that cannot proceed would have it re-check and re-block — a spurious
+  // wakeup by definition. A designated thread that has not parked yet
+  // needs no notify either; it checks the predicate before first
+  // sleeping.
+  if (TS.Finished || !TS.Parked || !TS.Enabled || Active != T)
+    return;
+  if (TS.Slot->Notified)
+    return;
+  TS.Slot->Notified = true;
+  TS.Slot->Cv.notify_one();
+  ++Stats.TargetedWakeups;
+}
+
+void Scheduler::wakeAnyLocked() {
+  // First-come-first-served grant: one parked enabled thread suffices —
+  // whoever claims it ticks, and that tick wakes the next. The rotating
+  // cursor keeps the wake order fair so no parked thread starves; every
+  // claim ends in a tick, so the chain cannot stall.
+  const size_t N = Threads.size();
+  if (N == 0)
+    return;
+  for (size_t I = 0; I != N; ++I) {
+    const size_t T = (AnyWakeCursor + I) % N;
+    ThreadState &TS = Threads[T];
+    if (TS.Finished || !TS.Parked || !TS.Enabled)
+      continue;
+    AnyWakeCursor = (T + 1) % N;
+    if (!TS.Slot->Notified) {
+      TS.Slot->Notified = true;
+      TS.Slot->Cv.notify_one();
+      ++Stats.TargetedWakeups;
+    }
+    return;
+  }
+}
+
+void Scheduler::wakeAllParkedLocked() {
+  // Genuine fan-out: after a deadlock latch or a hard desync every parked
+  // thread must reconsider its predicate (post-desync free-run lets any
+  // of them proceed as they arrive). These sites are off the hot path.
+  ++Stats.BroadcastWakeups;
+  if (Opts.Wake == WakePolicy::Broadcast) {
+    Cv.notify_all();
+    return;
+  }
+  for (ThreadState &TS : Threads) {
+    if (TS.Finished || !TS.Parked || TS.Slot->Notified)
+      continue;
+    TS.Slot->Notified = true;
+    TS.Slot->Cv.notify_one();
+  }
 }
 
 void Scheduler::chooseNextLocked() {
@@ -354,7 +452,8 @@ void Scheduler::deadlockCheckLocked() {
   warn("deadlock: every live thread is disabled at tick %llu — salvaging "
        "shutdown (SchedulerOptions::AbortOnDeadlock restores the abort)\n%s",
        static_cast<unsigned long long>(CurTick), dumpStateLocked().c_str());
-  Cv.notify_all();
+  wakeAllParkedLocked();
+  DoneCv.notify_all();
 }
 
 void Scheduler::maybeFlushLocked() {
@@ -468,7 +567,7 @@ void Scheduler::hardDesyncLocked(DesyncReport R) {
     AnyCritical = AnyCritical || T.InCritical;
   if (!AnyCritical)
     Active = AnyTid;
-  Cv.notify_all();
+  wakeAllParkedLocked();
 }
 
 void Scheduler::enableForWakeupLocked(Tid T) {
@@ -574,7 +673,15 @@ void Scheduler::threadDelete(Tid Self) {
       JS.Waiting = WaitKind::None;
     }
   }
-  Cv.notify_all();
+  // The re-enabled joiners are not yet designated: threadDelete runs
+  // inside Self's critical section, and the tick() that follows it
+  // designates a successor and issues the wake. Only the host's
+  // waitAllFinished needs the completion signal here.
+  if (Opts.Wake == WakePolicy::Broadcast) {
+    ++Stats.BroadcastWakeups;
+    Cv.notify_all();
+  }
+  DoneCv.notify_all();
 }
 
 void Scheduler::mutexLockFail(Tid Self, uint64_t MutexId) {
@@ -611,7 +718,12 @@ void Scheduler::mutexUnlock(Tid, uint64_t MutexId) {
          "mutex waiter list out of sync");
   TS.Enabled = true;
   TS.Waiting = WaitKind::None;
-  Cv.notify_all();
+  // The woken waiter is enabled, not designated: the unlocker still owns
+  // the critical section, and its tick() hands the processor over.
+  if (Opts.Wake == WakePolicy::Broadcast) {
+    ++Stats.BroadcastWakeups;
+    Cv.notify_all();
+  }
 }
 
 void Scheduler::condWait(Tid Self, uint64_t CondId, bool Timed) {
@@ -647,7 +759,11 @@ unsigned Scheduler::condSignal(Tid, uint64_t CondId) {
     // the trylock and re-registers if it loses (Figure 4's loop).
     removeFromWaitListsLocked(T);
   }
-  Cv.notify_all();
+  // Enabled, not designated: the signaller's tick() issues the wake.
+  if (Opts.Wake == WakePolicy::Broadcast) {
+    ++Stats.BroadcastWakeups;
+    Cv.notify_all();
+  }
   return 1;
 }
 
@@ -670,8 +786,11 @@ unsigned Scheduler::condBroadcast(Tid, uint64_t CondId) {
     }
     ++Woken;
   }
-  if (Woken)
+  // Enabled, not designated: the broadcaster's tick() issues the wake.
+  if (Woken && Opts.Wake == WakePolicy::Broadcast) {
+    ++Stats.BroadcastWakeups;
     Cv.notify_all();
+  }
   return Woken;
 }
 
@@ -708,7 +827,20 @@ void Scheduler::postSignal(Tid Target, Signo S) {
     // wakeup so replay reproduces the same enabled set (§4.5).
     recordAsyncLocked(AsyncEventKind::SignalWakeup, Target);
     enableForWakeupLocked(Target);
-    Cv.notify_all();
+    if (Opts.Wake == WakePolicy::Broadcast) {
+      ++Stats.BroadcastWakeups;
+      Cv.notify_all();
+    } else if (Active == AnyTid) {
+      // postSignal may arrive from a host thread with no tick to follow.
+      // Under a first-come-first-served grant the newly enabled target
+      // (or any other parked arrival) may proceed right now.
+      wakeAnyLocked();
+    } else {
+      // Under a concrete designation the target can proceed only if it
+      // already holds it (no-op otherwise; the designated thread's next
+      // tick reconsiders the enlarged enabled set).
+      wakeTargetLocked(Target);
+    }
   }
 }
 
@@ -749,7 +881,9 @@ void Scheduler::livenessPoll() {
                         CurTick.load(std::memory_order_relaxed),
                         traceTid(T), /*Reschedule=*/1);
   }
-  Cv.notify_all();
+  // The re-pick targets a parked enabled thread (the poll's own
+  // precondition); hand off to it directly.
+  wakeForDesignationLocked();
 }
 
 bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
@@ -757,7 +891,7 @@ bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
   uint64_t LastTicks = Stats.Ticks;
   while (!allFinishedLocked() && !Deadlocked) {
     const auto Status =
-        Cv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
+        DoneCv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
     if (Status == std::cv_status::timeout) {
       if (Stats.Ticks == LastTicks)
         return false; // No progress for a full timeout window.

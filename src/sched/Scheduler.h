@@ -56,6 +56,21 @@ class TraceRecorder;
 // (pulled in through sched/Common.h): the session's syscall layer fills
 // the same report type without depending on the scheduler.
 
+/// How the scheduler wakes parked threads when the designation changes.
+enum class WakePolicy : uint8_t {
+  /// Each thread parks on its own slot; a designation hands the processor
+  /// over with one notify_one to the thread that can actually proceed.
+  /// Broadcast survives only at genuine fan-out sites (deadlock salvage,
+  /// hard desync). Clean controlled runs wake zero threads spuriously.
+  Targeted,
+
+  /// Legacy behaviour: every wake site does notify_all on one global
+  /// condition variable, waking all parked threads so that all-but-one
+  /// immediately re-block. Kept as the measurable baseline for
+  /// bench/sched_throughput.
+  Broadcast,
+};
+
 /// Scheduler configuration.
 struct SchedulerOptions {
   /// Scheduling strategy for designations.
@@ -122,6 +137,11 @@ struct SchedulerOptions {
   /// Virtual-time trace recorder (null when tracing is off; every
   /// emission site then reduces to one branch on this cached pointer).
   TraceRecorder *Trace = nullptr;
+
+  /// Wakeup discipline for the wait()/tick() hot path. Schedule semantics
+  /// are identical under both policies (same designations, same traces);
+  /// only the handoff cost differs.
+  WakePolicy Wake = WakePolicy::Targeted;
 };
 
 /// Counters exposed for tests and benchmark harnesses.
@@ -144,6 +164,19 @@ struct SchedulerStats {
 
   /// Incremental flushes performed by the live demo writer.
   uint64_t DemoFlushes = 0;
+
+  /// Targeted notify_one handoffs issued (WakePolicy::Targeted).
+  uint64_t TargetedWakeups = 0;
+
+  /// Parked threads that woke without being able to proceed and had to
+  /// re-block. Zero in clean controlled runs under WakePolicy::Targeted
+  /// (the per-slot token also absorbs OS-level spurious condvar wakeups);
+  /// nonzero only in free-run FCFS races and desync/deadlock fan-outs.
+  uint64_t SpuriousWakeups = 0;
+
+  /// Broadcast fan-outs issued (every wake under WakePolicy::Broadcast;
+  /// only deadlock salvage and hard desync under Targeted).
+  uint64_t BroadcastWakeups = 0;
 };
 
 /// The controlled scheduler. All public methods are thread-safe.
@@ -309,6 +342,18 @@ public:
   Tid threadCount() const override;
 
 private:
+  /// A thread's private parking place (WakePolicy::Targeted). Heap-
+  /// allocated behind a unique_ptr because Threads reallocates on
+  /// threadNew while other threads are blocked on their slots — the
+  /// condition variable's address must survive the move. Notified is the
+  /// wake token (guarded by Mu): the waiter sleeps until it is set, which
+  /// absorbs OS-level spurious condvar wakeups, making SpuriousWakeups a
+  /// faithful count of protocol-level misdirected wakes.
+  struct ParkSlot {
+    std::condition_variable Cv;
+    bool Notified = false;
+  };
+
   struct ThreadState {
     bool Finished = false;
     bool Enabled = true;
@@ -320,6 +365,7 @@ private:
     unsigned HandlerDepth = 0;
     std::deque<Signo> RawSignals;
     std::deque<Signo> DeliverableSignals;
+    std::unique_ptr<ParkSlot> Slot = std::make_unique<ParkSlot>();
   };
 
   struct SignalEntry {
@@ -337,6 +383,10 @@ private:
   // All private helpers assume Mu is held.
   void chooseNextLocked();
   void grantIfAnyLocked(Tid Self);
+  void wakeForDesignationLocked();
+  void wakeTargetLocked(Tid T);
+  void wakeAnyLocked();
+  void wakeAllParkedLocked();
   void applyInjectionsLocked();
   void noticeSignalsLocked(Tid Self);
   void deadlockCheckLocked();
@@ -362,7 +412,15 @@ private:
   Demo *RecordSink = nullptr;
 
   std::mutex Mu;
+
+  /// Global condition variable: the parking place under
+  /// WakePolicy::Broadcast only. Targeted parking never touches it —
+  /// threads block on their own ParkSlot instead.
   std::condition_variable Cv;
+
+  /// Wakes waitAllFinished. Notified only on thread completion and the
+  /// deadlock latch, so the host waiter stays off the per-tick hot path.
+  std::condition_variable DoneCv;
 
   std::vector<ThreadState> Threads;
   std::unordered_map<uint64_t, std::vector<Tid>> MutexWaiters;
@@ -408,6 +466,11 @@ private:
   /// single-CPU host (see tick()).
   Tid LastGranter = InvalidTid;
   unsigned SelfGrantStreak = 0;
+
+  /// Rotation point for first-come-first-served wakes (wakeAnyLocked):
+  /// an AnyTid grant wakes one parked enabled thread, and the cursor
+  /// advances so repeated grants cannot starve a parked thread.
+  size_t AnyWakeCursor = 0;
 
   /// Structured desync state; Report.Kind doubles as the health flag.
   DesyncReport Report;

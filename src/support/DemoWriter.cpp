@@ -55,8 +55,7 @@ bool ChunkedDemoWriter::open(const std::string &Dir, std::string &Error) {
     Header[4] = static_cast<uint8_t>(Demo::FormatVersion);
     Header[5] = static_cast<uint8_t>(Kind);
     std::memset(Header + 6, 0, Demo::StreamHeaderSize - 6);
-    writeAll(Fd, Header, sizeof(Header));
-    if (ioError()) {
+    if (!writeAll(Fd, Header, sizeof(Header))) {
       Error = Path + ": cannot write stream header";
       closeAll();
       return false;
@@ -69,7 +68,7 @@ bool ChunkedDemoWriter::open(const std::string &Dir, std::string &Error) {
 
 void ChunkedDemoWriter::appendChunk(StreamKind Kind, const uint8_t *Data,
                                     size_t Size, uint64_t Frontier) {
-  const int Fd = Fds[static_cast<unsigned>(Kind)];
+  int &Fd = Fds[static_cast<unsigned>(Kind)];
   if (Fd < 0)
     return;
   uint8_t Header[Demo::ChunkHeaderSize];
@@ -78,9 +77,15 @@ void ChunkedDemoWriter::appendChunk(StreamKind Kind, const uint8_t *Data,
   packU32(Header + 8, crc32(Data, Size));
   packU64(Header + 12, Frontier);
   packU32(Header + 20, crc32(Header, 20));
-  writeAll(Fd, Header, sizeof(Header));
-  if (Size)
-    writeAll(Fd, Data, Size);
+  if (!writeAll(Fd, Header, sizeof(Header)) ||
+      (Size && !writeAll(Fd, Data, Size))) {
+    // The frame may be torn mid-chunk. Any bytes appended after it would
+    // sit behind garbage that could masquerade as a plausible chunk
+    // header, so kill the stream: the durable prefix up to the previous
+    // intact frame stays the salvage point. ::close is async-signal-safe.
+    ::close(Fd);
+    Fd = -1;
+  }
 }
 
 void ChunkedDemoWriter::closeStream(StreamKind Kind) {
@@ -92,6 +97,15 @@ void ChunkedDemoWriter::closeStream(StreamKind Kind) {
   Fd = -1;
 }
 
+void ChunkedDemoWriter::adoptStreamFdForTest(StreamKind Kind, int Fd) {
+  int &Slot = Fds[static_cast<unsigned>(Kind)];
+  if (Slot >= 0)
+    ::close(Slot);
+  Slot = Fd;
+  Open = true;
+  IoError.store(false, std::memory_order_relaxed);
+}
+
 void ChunkedDemoWriter::closeAll() {
   for (int &Fd : Fds) {
     if (Fd >= 0)
@@ -101,16 +115,28 @@ void ChunkedDemoWriter::closeAll() {
   Open = false;
 }
 
-void ChunkedDemoWriter::writeAll(int Fd, const uint8_t *P, size_t N) {
+bool ChunkedDemoWriter::writeAll(int Fd, const uint8_t *P, size_t N) {
+  // Runs on the fatal-signal flush path: errno belongs to the code the
+  // signal interrupted and must be preserved across the retries here. A
+  // zero-byte result is treated as an error rather than retried — on the
+  // fds this writer targets it means no forward progress, and looping on
+  // it from a signal handler would hang the dying process.
+  const int SavedErrno = errno;
+  bool Ok = true;
   while (N) {
     const ssize_t W = ::write(Fd, P, N);
-    if (W < 0) {
-      if (errno == EINTR)
-        continue;
+    if (W < 0 && errno == EINTR)
+      continue; // Interrupted before any byte moved: retry, no data lost.
+    if (W <= 0) {
       IoError.store(true, std::memory_order_relaxed);
-      return;
+      Ok = false;
+      break;
     }
+    // Short write (signal after some bytes moved, or a full pipe):
+    // advance past what landed and push the rest.
     P += W;
     N -= static_cast<size_t>(W);
   }
+  errno = SavedErrno;
+  return Ok;
 }

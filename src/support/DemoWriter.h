@@ -51,10 +51,20 @@ public:
 
   /// Appends one data chunk ([\p Data, \p Data + \p Size), possibly
   /// empty) with tick frontier \p Frontier to stream \p Kind.
-  /// Async-signal-safe. I/O errors set ioError() but never throw or
-  /// abort: losing durability must not kill the run being recorded.
+  /// Async-signal-safe (EINTR is retried, short writes are resumed, and
+  /// errno is preserved for the interrupted code). I/O errors set
+  /// ioError() but never throw or abort: losing durability must not kill
+  /// the run being recorded. A write failure may have torn the frame
+  /// mid-chunk, so the stream is closed on the spot — later appends to it
+  /// become no-ops and the durable prefix stays the salvage point.
   void appendChunk(StreamKind Kind, const uint8_t *Data, size_t Size,
                    uint64_t Frontier);
+
+  /// Test seam: hands ownership of an externally created \p Fd to stream
+  /// \p Kind as if open() had created it (no stream header is written).
+  /// Lets tests drive appendChunk against pipes to exercise the short-
+  /// write and error-latch paths, which regular files cannot produce.
+  void adoptStreamFdForTest(StreamKind Kind, int Fd);
 
   /// Appends the closing sentinel chunk to \p Kind and closes its file.
   /// A stream closed this way reads back as complete; streams never
@@ -71,7 +81,11 @@ public:
   bool ioError() const { return IoError.load(std::memory_order_relaxed); }
 
 private:
-  void writeAll(int Fd, const uint8_t *P, size_t N);
+  /// Pushes all \p N bytes, retrying EINTR and resuming short writes;
+  /// preserves the caller's errno (fatal-signal path). Returns false —
+  /// with IoError latched — on any unrecoverable failure, including a
+  /// zero-byte write (no forward progress).
+  bool writeAll(int Fd, const uint8_t *P, size_t N);
 
   int Fds[NumStreamKinds] = {-1, -1, -1, -1, -1};
   bool Open = false;

@@ -94,8 +94,11 @@ TraceRecorder::Buffer *TraceRecorder::bufferForSlot(size_t Slot) {
 void TraceRecorder::emitToSlot(size_t Slot, Tid Thread, TraceEventKind Kind,
                                uint64_t Tick, uint64_t A, uint64_t B) {
   if (Slot >= MaxBuffers) {
+    // Dropped events must not consume identity-relevant sequence numbers:
+    // a burned Seq would leave a gap that skews the (Tick, Seq) merge
+    // order of the surviving events between a recording and its replay
+    // whenever the two runs drop at different points.
     OverflowDropped.fetch_add(1, std::memory_order_relaxed);
-    NextSeq.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Buffer &Buf = *bufferForSlot(Slot);
@@ -130,7 +133,11 @@ void TraceRecorder::emitEngine(TraceEventKind Kind, uint64_t Tick,
 }
 
 uint64_t TraceRecorder::emitted() const {
-  return NextSeq.load(std::memory_order_relaxed);
+  // Live events own the dense range [0, NextSeq); slot-overflow drops
+  // never took a Seq but still count as emitted, keeping the snapshot
+  // invariant Emitted - Dropped == surviving events.
+  return NextSeq.load(std::memory_order_relaxed) +
+         OverflowDropped.load(std::memory_order_relaxed);
 }
 
 uint64_t TraceRecorder::dropped() const {

@@ -20,16 +20,20 @@
 #include "apps/litmus/Litmus.h"
 #include "apps/pbzip/Pbzip.h"
 #include "runtime/Tsr.h"
+#include "support/DemoWriter.h"
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -293,6 +297,75 @@ TEST(CrashRecovery, LegacyV2DemoLoadsAndReplays) {
   const RunReport RR = replayOnce(Loaded, Workload::Pbzip, 100);
   EXPECT_EQ(RR.Desync, DesyncKind::None) << RR.DesyncInfo.Message;
   std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Writer short-write handling
+//===----------------------------------------------------------------------===//
+
+/// Reads everything currently buffered in \p Fd (which must be
+/// non-blocking). Returns the bytes drained.
+size_t drainPipe(int Fd) {
+  size_t Total = 0;
+  uint8_t Buf[4096];
+  for (;;) {
+    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N <= 0)
+      break;
+    Total += static_cast<size_t>(N);
+  }
+  return Total;
+}
+
+TEST(CrashRecovery, WriterShortWriteLatchesStreamDead) {
+  // Drive appendChunk against a pipe, the one fd type that can produce
+  // genuine short writes: once the pipe's free space is smaller than the
+  // chunk, write(2) lands a prefix and then fails, tearing the frame
+  // mid-chunk. The writer must notice, latch ioError, preserve the
+  // caller's errno (the fatal-signal flush contract), and kill the
+  // stream so nothing is ever appended after the torn frame.
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  ASSERT_EQ(::fcntl(P[0], F_SETFL, O_NONBLOCK), 0);
+  ASSERT_EQ(::fcntl(P[1], F_SETFL, O_NONBLOCK), 0);
+
+  ChunkedDemoWriter Writer;
+  Writer.adoptStreamFdForTest(StreamKind::Queue, P[1]);
+
+  // A small chunk fits the empty pipe: one intact frame comes out.
+  const std::vector<uint8_t> Small(32, 0xAB);
+  Writer.appendChunk(StreamKind::Queue, Small.data(), Small.size(), 1);
+  EXPECT_FALSE(Writer.ioError());
+  uint8_t Frame[Demo::ChunkHeaderSize + 32];
+  ASSERT_EQ(::read(P[0], Frame, sizeof(Frame)),
+            static_cast<ssize_t>(sizeof(Frame)));
+  EXPECT_EQ(std::memcmp(Frame, Demo::ChunkMagic, 4), 0);
+
+  // Fill the pipe to capacity, then free a sliver smaller than the next
+  // chunk so its write is forced short.
+  std::vector<uint8_t> Filler(1 << 16, 0xCD);
+  while (::write(P[1], Filler.data(), Filler.size()) > 0) {
+  }
+  ASSERT_EQ(errno, EAGAIN);
+  uint8_t Sliver[512];
+  ASSERT_EQ(::read(P[0], Sliver, sizeof(Sliver)),
+            static_cast<ssize_t>(sizeof(Sliver)));
+
+  const std::vector<uint8_t> Big(1 << 16, 0xEF);
+  errno = EBUSY; // stand-in for the interrupted code's errno
+  Writer.appendChunk(StreamKind::Queue, Big.data(), Big.size(), 2);
+  EXPECT_EQ(errno, EBUSY) << "appendChunk clobbered the caller's errno";
+  EXPECT_TRUE(Writer.ioError());
+
+  // The stream is dead: later appends are no-ops, and the writer closed
+  // its end of the pipe — after draining the torn prefix the reader sees
+  // EOF, which only happens when no write fd remains open.
+  Writer.appendChunk(StreamKind::Queue, Small.data(), Small.size(), 3);
+  while (drainPipe(P[0]) != 0) {
+  }
+  uint8_t Byte;
+  EXPECT_EQ(::read(P[0], &Byte, 1), 0) << "write end still open";
+  ::close(P[0]);
 }
 
 } // namespace

@@ -650,6 +650,15 @@ TEST(FaultPlanParse, RejectsMalformedSpecs) {
       "nth:recv:n=0,errno=EAGAIN",           // n is 1-based
       "nth:recv:n=2,count=0,errno=EAGAIN",   // empty storm
       "nth:recv:n=banana,errno=EAGAIN",      // malformed number
+      // 2^64: strtoull saturates with ERANGE rather than failing, so an
+      // unchecked errno would silently accept this as ULLONG_MAX.
+      "nth:recv:n=18446744073709551616,errno=EAGAIN",
+      "nth:recv:n=2,count=99999999999999999999,errno=EAGAIN", // count overflow
+      // strtoull itself skips whitespace and accepts a sign; neither is a
+      // valid count here.
+      "nth:recv:n= 2,errno=EAGAIN",  // embedded whitespace
+      "nth:recv:n=+2,errno=EAGAIN",  // explicit sign
+      "nth:recv:n=-2,errno=EAGAIN",  // negative wraps without ERANGE
       "gibberish",                           // no structure at all
   };
   for (const char *Spec : Bad) {

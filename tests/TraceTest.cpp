@@ -298,6 +298,31 @@ TEST(TraceBuffer, OverflowDropsOldestAndAccounts) {
   EXPECT_EQ(MaxSeq, R.Metrics.counterOr("trace.events", 0) - 1);
 }
 
+TEST(TraceBuffer, SlotOverflowDropsDontBurnSequenceNumbers) {
+  // An event from a thread beyond the buffer table is dropped, but it
+  // must not consume a Seq: a burned number would leave a hole in the
+  // (Tick, Seq) order of the survivors, and record/replay pairs that drop
+  // at different points would then merge their common events differently.
+  TraceOptions Opts;
+  Opts.Enabled = true;
+  Opts.WallClock = false;
+  TraceRecorder Rec(Opts);
+  Rec.emit(0, TraceEventKind::Tick, 1);
+  Rec.emit(512, TraceEventKind::Tick, 2); // slot 513 >= MaxBuffers: dropped
+  Rec.emit(1, TraceEventKind::Tick, 3);
+  EXPECT_EQ(Rec.emitted(), 3u);
+  EXPECT_EQ(Rec.dropped(), 1u);
+  const TraceSnapshot Snap = Rec.snapshot();
+  ASSERT_EQ(Snap.Events.size(), 2u);
+  // Survivors keep a dense Seq sequence with no gap where the drop was.
+  EXPECT_EQ(Snap.Events[0].Seq, 0u);
+  EXPECT_EQ(Snap.Events[0].Thread, 0u);
+  EXPECT_EQ(Snap.Events[1].Seq, 1u);
+  EXPECT_EQ(Snap.Events[1].Thread, 1u);
+  EXPECT_EQ(Snap.Emitted, 3u);
+  EXPECT_EQ(Snap.Dropped, 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Disabled tracing
 //===----------------------------------------------------------------------===//
