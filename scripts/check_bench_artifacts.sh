@@ -46,6 +46,11 @@ check BENCH_sched_throughput.json \
   spurious_wakeups targeted_wakeups broadcast_wakeups \
   speedup_vs_broadcast ticks_per_sec wall_ms
 
+check BENCH_race_overhead.json \
+  bench workload reps iters configs name backend threads plain_accesses \
+  same_epoch_hits fast_path_hits speedup_vs_striped accesses_per_sec \
+  wall_ms apps same_epoch_fraction litmus identical_reports
+
 if [ "$Failures" -ne 0 ]; then
   echo "bench artifacts: $Failures problem(s) — regenerate with the" \
     "bench binaries and re-commit" >&2

@@ -41,53 +41,73 @@ std::string RaceReport::str() const {
       accessKindName(Prior), PriorTid);
 }
 
-RaceDetector::RaceDetector() = default;
+RaceDetector::RaceDetector(RaceShadowMode Shadow) : Shadow(Shadow) {}
 
 RaceDetector::~RaceDetector() {
-  for (VectorClock *C : Clocks)
-    delete C;
+  for (ThreadCell &Cell : Threads)
+    delete Cell.VC.load(std::memory_order_relaxed);
 }
 
 void RaceDetector::registerMainThread() {
   std::lock_guard<std::mutex> L(ClocksMu);
-  assert(Clocks.empty() && "main thread registered twice");
-  Clocks.push_back(new VectorClock());
-  Clocks[0]->tick(0);
+  assert(!Threads[0].VC.load(std::memory_order_relaxed) &&
+         "main thread registered twice");
+  VectorClock *C = new VectorClock();
+  Threads[0].OwnEpoch = C->tick(0);
+  Threads[0].VC.store(C, std::memory_order_release);
 }
 
 void RaceDetector::forkChild(Tid Parent, Tid Child) {
   std::lock_guard<std::mutex> L(ClocksMu);
-  assert(Parent < Clocks.size() && "unknown parent thread");
-  if (Child >= Clocks.size())
-    Clocks.resize(Child + 1, nullptr);
-  assert(!Clocks[Child] && "child thread registered twice");
+  assert(Parent < MaxThreads && Child < MaxThreads &&
+         "thread id beyond detector capacity");
+  VectorClock *PC = Threads[Parent].VC.load(std::memory_order_relaxed);
+  assert(PC && "unknown parent thread");
+  assert(!Threads[Child].VC.load(std::memory_order_relaxed) &&
+         "child thread registered twice");
   // Creation synchronises: everything the parent did so far
   // happens-before everything the child does.
-  Clocks[Child] = new VectorClock(*Clocks[Parent]);
-  Clocks[Child]->tick(Child);
-  Clocks[Parent]->tick(Parent);
+  VectorClock *CC = new VectorClock(*PC);
+  Threads[Child].OwnEpoch = CC->tick(Child);
+  // forkChild runs on the parent thread, so its epoch cache is ours to
+  // update; the release store below publishes the initialised child clock
+  // to concurrent lock-free readers.
+  Threads[Parent].OwnEpoch = PC->tick(Parent);
+  Threads[Child].VC.store(CC, std::memory_order_release);
 }
 
 void RaceDetector::joinChild(Tid Parent, Tid Child) {
-  assert(Parent < Clocks.size() && Child < Clocks.size() &&
-         "join of unknown thread");
-  Clocks[Parent]->join(*Clocks[Child]);
+  assert(Parent < MaxThreads && Child < MaxThreads && "join of unknown thread");
+  VectorClock *PC = Threads[Parent].VC.load(std::memory_order_relaxed);
+  VectorClock *CC = Threads[Child].VC.load(std::memory_order_acquire);
+  assert(PC && CC && "join of unknown thread");
+  PC->join(*CC);
 }
 
 const VectorClock &RaceDetector::clock(Tid T) const {
-  assert(T < Clocks.size() && Clocks[T] && "unknown thread clock");
-  return *Clocks[T];
+  assert(T < MaxThreads && "unknown thread clock");
+  const VectorClock *C = Threads[T].VC.load(std::memory_order_acquire);
+  assert(C && "unknown thread clock");
+  return *C;
 }
 
 VectorClock &RaceDetector::clockMutable(Tid T) {
-  assert(T < Clocks.size() && Clocks[T] && "unknown thread clock");
-  return *Clocks[T];
+  assert(T < MaxThreads && "unknown thread clock");
+  VectorClock *C = Threads[T].VC.load(std::memory_order_acquire);
+  assert(C && "unknown thread clock");
+  return *C;
 }
 
-void RaceDetector::tickClock(Tid T) { clockMutable(T).tick(T); }
+void RaceDetector::tickClock(Tid T) {
+  Threads[T].OwnEpoch = clockMutable(T).tick(T);
+}
 
 void RaceDetector::acquire(Tid T, const VectorClock &From) {
-  clockMutable(T).join(From);
+  VectorClock &C = clockMutable(T);
+  C.join(From);
+  // A join never raises T's own component (only T ticks it), but refresh
+  // the cache anyway so the invariant survives future changes.
+  Threads[T].OwnEpoch = C.get(T);
 }
 
 void RaceDetector::releaseJoin(Tid T, VectorClock &Into) {
@@ -117,22 +137,118 @@ void RaceDetector::onAtomicWrite(Tid T, uintptr_t Addr, size_t Size) {
 
 void RaceDetector::access(Tid T, uintptr_t Addr, size_t Size,
                           AccessKind Kind) {
-  const VectorClock &TC = clock(T);
+  assert(T < MaxThreads && "thread id beyond detector capacity");
+  ThreadCell &TS = Threads[T];
+  VectorClock *VC = TS.VC.load(std::memory_order_acquire);
+  assert(VC && "access by unregistered thread");
+  const bool Plain =
+      Kind == AccessKind::PlainRead || Kind == AccessKind::PlainWrite;
+  if (Plain)
+    ++TS.PlainAccesses;
+  const Epoch E = TS.OwnEpoch;
+  assert(E == VC->get(T) && "stale own-epoch cache");
   const uintptr_t FirstGranule = Addr >> 3;
   const uintptr_t LastGranule = (Addr + Size - 1) >> 3;
   for (uintptr_t G = FirstGranule; G <= LastGranule; ++G) {
     const uintptr_t Lo = std::max<uintptr_t>(Addr, G << 3);
     const uintptr_t Hi = std::min<uintptr_t>(Addr + Size, (G + 1) << 3);
-    Stripe &S = stripeFor(G);
-    std::lock_guard<std::mutex> L(S.Mu);
-    checkCell(T, G, S.Cells[G], static_cast<uint8_t>(Lo - (G << 3)),
-              static_cast<uint8_t>(Hi - Lo), Kind, TC);
+    const uint8_t Off = static_cast<uint8_t>(Lo - (G << 3));
+    const uint8_t Sz = static_cast<uint8_t>(Hi - Lo);
+    if (Shadow == RaceShadowMode::StripedMap) {
+      Stripe &S = stripeFor(G);
+      std::lock_guard<std::mutex> L(S.Mu);
+      checkCell(T, G, S.Cells[G], Off, Sz, Kind, *VC, TS);
+      continue;
+    }
+    Table::Page &P = Pages.pageFor(G);
+    Table::FastCell &F = P.fast(G);
+    if (Plain && TSR_LIKELY(tryFastPath(F, T, E, Off, Sz, Kind, TS)))
+      continue;
+    std::lock_guard<std::mutex> L(P.Mu);
+    ShadowCell &Cell = P.cell(G);
+    checkCell(T, G, Cell, Off, Sz, Kind, *VC, TS);
+    publishMirror(F, Cell);
   }
+}
+
+// The lock-free same-epoch fast path (DESIGN.md §10). An access may be
+// skipped outright when the matching shadow word shows this thread
+// already performed the *identical* access (same tid, epoch, and byte
+// range) and no other state could make the full check report a new race
+// or change the cell — the slow path would be an exact no-op. The match
+// is exact rather than merely covering so the backends stay bit-identical:
+// the slow path narrows a same-epoch slot's remembered range on
+// re-access, and skipping that narrowing would alter later checks.
+// Relaxed loads are sound: plain accesses are unordered by construction,
+// so any stale view the loads produce corresponds to a legal
+// serialisation of those accesses — and the fast path never mutates, so a
+// spurious miss merely takes the locked slow path.
+bool RaceDetector::tryFastPath(Table::FastCell &F, Tid T, Epoch E,
+                               uint8_t Off, uint8_t Size, AccessKind Kind,
+                               ThreadCell &TS) {
+  const uint64_t Packed = packSlot(E, T, Off, Size);
+  if (TSR_UNLIKELY(Packed == 0))
+    return false; // Epoch beyond the packable range; always take the lock.
+  // SameEpochHits counts granule checks where the thread's current epoch
+  // already stamps the granule in either packed word — FastTrack's
+  // same-epoch notion — even when the access still needs the slow path
+  // (e.g. a write right after same-epoch reads must subsume the read
+  // slot). FastPathHits counts the subset decided without the lock.
+  if (Kind == AccessKind::PlainRead) {
+    const uint64_t R = F.R.load(std::memory_order_relaxed);
+    if ((R ^ Packed) >> 8) {
+      if (((F.W.load(std::memory_order_relaxed) ^ Packed) >> 8) == 0)
+        ++TS.SameEpochHits; // Read of a granule we wrote this epoch.
+      return false; // Different tid or epoch (or empty / inflated).
+    }
+    ++TS.SameEpochHits;
+    // Same-epoch read: skippable if the remembered range is identical
+    // (the cell update would be a no-op) and no atomic state exists to
+    // check against. A same-epoch R word also proves the plain-write
+    // slot is unchanged since our own slow-path read already checked it:
+    // every plain write clears the read word.
+    if (R != Packed || F.A.load(std::memory_order_relaxed) != 0)
+      return false;
+    ++TS.FastPathHits;
+    return true;
+  }
+  const uint64_t W = F.W.load(std::memory_order_relaxed);
+  if ((W ^ Packed) >> 8) {
+    if (((F.R.load(std::memory_order_relaxed) ^ Packed) >> 8) == 0)
+      ++TS.SameEpochHits; // Write to a granule we read this epoch.
+    return false;
+  }
+  ++TS.SameEpochHits;
+  // Same-epoch write: skippable only if it is a pure no-op — identical
+  // remembered range, no read state to subsume (a write clears reads) and
+  // no atomic state to check against.
+  if (W != Packed || F.R.load(std::memory_order_relaxed) != 0 ||
+      F.A.load(std::memory_order_relaxed) != 0)
+    return false;
+  ++TS.FastPathHits;
+  return true;
+}
+
+// Mirrors the authoritative cell into the packed fast words. Called with
+// the page mutex held, after every slow-path check.
+void RaceDetector::publishMirror(Table::FastCell &F, const ShadowCell &Cell) {
+  auto PackOrSentinel = [](const AccessSlot &S) -> uint64_t {
+    if (!S.valid())
+      return 0;
+    const uint64_t P = packSlot(S.E, S.T, S.Off, S.Size);
+    return P ? P : PackedSentinel;
+  };
+  F.W.store(PackOrSentinel(Cell.PlainWrite), std::memory_order_relaxed);
+  F.R.store(Cell.ReadShared ? PackedSentinel
+                            : PackOrSentinel(Cell.PlainRead),
+            std::memory_order_relaxed);
+  F.A.store((Cell.AtomicWrite.valid() || Cell.HasAtomicReads) ? 1 : 0,
+            std::memory_order_relaxed);
 }
 
 void RaceDetector::checkCell(Tid T, uintptr_t Granule, ShadowCell &Cell,
                              uint8_t Off, uint8_t Size, AccessKind Kind,
-                             const VectorClock &TC) {
+                             const VectorClock &TC, ThreadCell &TS) {
   const Epoch E = TC.get(T);
 
   auto CoveredSlot = [&](const AccessSlot &Slot) {
@@ -144,9 +260,10 @@ void RaceDetector::checkCell(Tid T, uintptr_t Granule, ShadowCell &Cell,
   };
   // A clock-set of readers races if any component exceeds ours.
   auto FirstUncoveredReader = [&](const VectorClock &RVC) -> Tid {
-    for (Tid R = 0, N = static_cast<Tid>(RVC.size()); R != N; ++R)
-      if (R != T && RVC.get(R) > TC.get(R))
-        return R;
+    const Epoch *R = RVC.components();
+    for (Tid I = 0, N = static_cast<Tid>(RVC.size()); I != N; ++I)
+      if (I != T && R[I] > TC.get(I))
+        return I;
     return InvalidTid;
   };
 
@@ -220,6 +337,7 @@ void RaceDetector::checkCell(Tid T, uintptr_t Granule, ShadowCell &Cell,
       Cell.PlainRead = {E, T, Off, Size};
     } else {
       // Concurrent readers: inflate to the vector-clock representation.
+      ++TS.ReadInflations;
       Cell.ReadShared = true;
       Cell.ReadVC.clear();
       Cell.ReadVC.set(Cell.PlainRead.T, Cell.PlainRead.E);
@@ -257,15 +375,9 @@ void RaceDetector::report(Tid T, uintptr_t Granule, uint8_t Off,
   R.PriorTid = PriorTid;
   R.Current = Current;
   R.CurrentTid = T;
-  {
-    std::lock_guard<std::mutex> NL(NamesMu);
-    auto It = Names.upper_bound(R.Addr);
-    if (It != Names.begin()) {
-      --It;
-      if (R.Addr < It->first + It->second.first)
-        R.Name = It->second.second;
-    }
-  }
+  // Name resolution is deferred to reports()/unregisterName so a racy
+  // access never blocks on NamesMu (the access path holds at most
+  // ReportsMu here).
   Reports.push_back(std::move(R));
   // Into the accessing thread's own trace buffer (single-writer holds:
   // report() runs on thread T). Plain accesses happen outside critical
@@ -276,6 +388,21 @@ void RaceDetector::report(Tid T, uintptr_t Granule, uint8_t Off,
                 static_cast<uint64_t>(Current));
 }
 
+void RaceDetector::resolvePendingNamesLocked() {
+  if (NamesResolvedUpTo == Reports.size())
+    return;
+  std::lock_guard<std::mutex> NL(NamesMu);
+  for (; NamesResolvedUpTo != Reports.size(); ++NamesResolvedUpTo) {
+    RaceReport &R = Reports[NamesResolvedUpTo];
+    auto It = Names.upper_bound(R.Addr);
+    if (It == Names.begin())
+      continue;
+    --It;
+    if (R.Addr < It->first + It->second.first)
+      R.Name = It->second.second;
+  }
+}
+
 void RaceDetector::registerName(uintptr_t Addr, size_t Size,
                                 std::string Name) {
   std::lock_guard<std::mutex> L(NamesMu);
@@ -283,7 +410,11 @@ void RaceDetector::registerName(uintptr_t Addr, size_t Size,
 }
 
 void RaceDetector::unregisterName(uintptr_t Addr) {
-  std::lock_guard<std::mutex> L(NamesMu);
+  // Resolve pending reports first: the name being removed may be theirs
+  // (Var destructors run before the final report snapshot).
+  std::lock_guard<std::mutex> L(ReportsMu);
+  resolvePendingNamesLocked();
+  std::lock_guard<std::mutex> NL(NamesMu);
   Names.erase(Addr);
 }
 
@@ -292,19 +423,60 @@ void RaceDetector::forgetRange(uintptr_t Addr, size_t Size) {
     return;
   const uintptr_t FirstGranule = Addr >> 3;
   const uintptr_t LastGranule = (Addr + Size - 1) >> 3;
-  for (uintptr_t G = FirstGranule; G <= LastGranule; ++G) {
-    Stripe &S = stripeFor(G);
-    std::lock_guard<std::mutex> L(S.Mu);
-    S.Cells.erase(G);
+  if (Shadow == RaceShadowMode::StripedMap) {
+    for (uintptr_t G = FirstGranule; G <= LastGranule; ++G) {
+      Stripe &S = stripeFor(G);
+      std::lock_guard<std::mutex> L(S.Mu);
+      S.Cells.erase(G);
+    }
+    return;
+  }
+  const uintptr_t FirstPage = FirstGranule >> Table::PageShift;
+  const uintptr_t LastPage = LastGranule >> Table::PageShift;
+  for (uintptr_t PI = FirstPage; PI <= LastPage; ++PI) {
+    const uintptr_t PageFirst = PI << Table::PageShift;
+    const uintptr_t PageLast = PageFirst + Table::PageGranules - 1;
+    if (FirstGranule <= PageFirst && PageLast <= LastGranule) {
+      // Page fully covered: drop it whole instead of erasing 512 cells.
+      Pages.retirePage(PI);
+      continue;
+    }
+    Table::Page *P = Pages.findPage(PageFirst);
+    if (!P)
+      continue;
+    std::lock_guard<std::mutex> L(P->Mu);
+    const uintptr_t Lo = std::max(FirstGranule, PageFirst);
+    const uintptr_t Hi = std::min(LastGranule, PageLast);
+    for (uintptr_t G = Lo; G <= Hi; ++G) {
+      P->Cells.erase(static_cast<uint32_t>(G & (Table::PageGranules - 1)));
+      Table::FastCell &F = P->fast(G);
+      F.W.store(0, std::memory_order_relaxed);
+      F.R.store(0, std::memory_order_relaxed);
+      F.A.store(0, std::memory_order_relaxed);
+    }
   }
 }
 
 std::vector<RaceReport> RaceDetector::reports() {
   std::lock_guard<std::mutex> L(ReportsMu);
+  resolvePendingNamesLocked();
   return Reports;
 }
 
 size_t RaceDetector::reportCount() {
   std::lock_guard<std::mutex> L(ReportsMu);
   return Reports.size();
+}
+
+RaceDetectorStats RaceDetector::statsSnapshot() const {
+  RaceDetectorStats S;
+  for (const ThreadCell &Cell : Threads) {
+    S.PlainAccesses += Cell.PlainAccesses;
+    S.SameEpochHits += Cell.SameEpochHits;
+    S.FastPathHits += Cell.FastPathHits;
+    S.ReadInflations += Cell.ReadInflations;
+  }
+  S.ShadowPages = Pages.pageCount();
+  S.ShadowPagesRetired = Pages.retiredCount();
+  return S;
 }

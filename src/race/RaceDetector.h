@@ -13,10 +13,20 @@
 /// with a prior access not ordered by happens-before is a race.
 ///
 /// Plain (non-atomic) accesses are invisible operations and may be checked
-/// concurrently, so the shadow map is striped-locked. Synchronisation
-/// updates (acquire/release/fork/join) happen inside scheduler critical
-/// sections and need no extra locking: a thread's clock is written only by
-/// that thread (or before it starts / after it finishes).
+/// concurrently. The default shadow backend is a two-level page table
+/// (support/ShadowTable.h) whose common case — the FastTrack same-epoch
+/// hit, where the accessing thread re-touches bytes it already touched at
+/// its current epoch — is decided by one relaxed load of a packed 64-bit
+/// shadow word with zero locks (DESIGN.md §10). Inflated state (read
+/// vector clocks, cross-thread transitions) falls back to a per-page
+/// mutex. The legacy striped unordered_map backend is kept behind
+/// RaceShadowMode::StripedMap as a measurable baseline
+/// (bench/race_overhead); detection semantics are identical.
+///
+/// Synchronisation updates (acquire/release/fork/join) happen inside
+/// scheduler critical sections and need no extra locking: a thread's clock
+/// is written only by that thread (or before it starts / after it
+/// finishes).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,9 +34,11 @@
 #define TSR_RACE_RACEDETECTOR_H
 
 #include "race/Report.h"
+#include "support/ShadowTable.h"
 #include "support/VectorClock.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -39,14 +51,43 @@ namespace tsr {
 
 class TraceRecorder;
 
+/// Which shadow-memory backend stores per-granule access history.
+enum class RaceShadowMode : uint8_t {
+  /// Two-level page table with the packed-word lock-free same-epoch fast
+  /// path (DESIGN.md §10). The default.
+  TwoLevel,
+  /// The legacy striped unordered_map: a stripe mutex plus a hash lookup
+  /// on every access. Kept as the baseline for bench/race_overhead.
+  StripedMap,
+};
+
+/// Detector-internal counters surfaced through the metrics registry
+/// (race.* in RunReport::Metrics).
+struct RaceDetectorStats {
+  uint64_t PlainAccesses = 0;  ///< Plain read/write calls checked.
+  uint64_t SameEpochHits = 0;  ///< Granule checks matching own tid+epoch.
+  uint64_t FastPathHits = 0;   ///< Granule checks resolved without a lock.
+  uint64_t ReadInflations = 0; ///< Single-epoch read → read-VC transitions.
+  uint64_t ShadowPages = 0;        ///< Live shadow pages (gauge).
+  uint64_t ShadowPagesRetired = 0; ///< Pages dropped whole by forgetRange.
+};
+
 /// The happens-before race detector.
 class RaceDetector {
 public:
-  RaceDetector();
+  /// Hard capacity bound on controlled threads. Fixed so per-thread state
+  /// (clock pointers, counters) lives in a stable array that concurrent
+  /// plain accesses can read without locking, and so tids always fit the
+  /// 16-bit field of the packed shadow word.
+  static constexpr size_t MaxThreads = 1024;
+
+  explicit RaceDetector(RaceShadowMode Shadow = RaceShadowMode::TwoLevel);
   ~RaceDetector();
 
   RaceDetector(const RaceDetector &) = delete;
   RaceDetector &operator=(const RaceDetector &) = delete;
+
+  RaceShadowMode shadowMode() const { return Shadow; }
 
   /// Registers the main thread (tid 0).
   void registerMainThread();
@@ -89,12 +130,19 @@ public:
   void unregisterName(uintptr_t Addr);
 
   /// Drops all shadow state for a range (storage reuse after free would
-  /// otherwise produce false races). Thread-safe.
+  /// otherwise produce false races). Thread-safe. Under the two-level
+  /// backend, pages fully inside the range are retired whole in O(1).
   void forgetRange(uintptr_t Addr, size_t Size);
 
   /// Collected race reports (deduplicated per granule + kind pair).
+  /// Names are resolved lazily here (see resolvePendingNamesLocked), so
+  /// the access path never touches NamesMu.
   std::vector<RaceReport> reports();
   size_t reportCount();
+
+  /// Counter snapshot for the metrics registry. Intended for after the
+  /// run (reads per-thread counters without synchronisation).
+  RaceDetectorStats statsSnapshot() const;
 
   /// When false, detection is skipped entirely (the paper's "no reports"
   /// columns still run detection; this switch instead models running
@@ -139,6 +187,24 @@ private:
     bool HasAtomicReads = false;
   };
 
+  // --- Packed shadow words (two-level backend fast path).
+  //
+  // An AccessSlot packs into 64 bits as epoch:40 | tid:16 | off:4 | size:4.
+  // Zero means "no state" (a valid slot has E >= 1 and Size >= 1).
+  // PackedSentinel marks state the fast path must not reason about (an
+  // unpackable epoch, or an inflated read set); it can never equal a
+  // packed slot because no real tid reaches 0xFFFF (MaxThreads is 1024).
+  static constexpr uint64_t PackedSentinel = ~0ull;
+  static constexpr Epoch MaxPackedEpoch = (Epoch(1) << 40) - 1;
+
+  static uint64_t packSlot(Epoch E, Tid T, uint8_t Off, uint8_t Size) {
+    if (E > MaxPackedEpoch)
+      return 0;
+    return (static_cast<uint64_t>(E) << 24) | (static_cast<uint64_t>(T) << 8) |
+           (static_cast<uint64_t>(Off & 0xF) << 4) |
+           static_cast<uint64_t>(Size & 0xF);
+  }
+
   struct Stripe {
     std::mutex Mu;
     std::unordered_map<uintptr_t, ShadowCell> Cells;
@@ -150,27 +216,65 @@ private:
     return Stripes[(Granule * 0x9E3779B97F4A7C15ull >> 32) % NumStripes];
   }
 
+  using Table = ShadowTable<ShadowCell>;
+
+  /// Per-thread detector state. Cache-line sized so concurrent threads'
+  /// counters never false-share. The clock pointer is published with
+  /// release/acquire (forkChild publishes, concurrent plain accesses
+  /// read); everything else is written only by the owning thread.
+  struct alignas(64) ThreadCell {
+    std::atomic<VectorClock *> VC{nullptr};
+    /// Owner-thread cache of VC->get(self): own components change only
+    /// through tickClock/forkChild (acquire joins never raise a thread's
+    /// own component), so the cache is refreshed at exactly those points.
+    Epoch OwnEpoch = 0;
+    uint64_t PlainAccesses = 0;
+    uint64_t SameEpochHits = 0;
+    uint64_t FastPathHits = 0;
+    uint64_t ReadInflations = 0;
+  };
+
   void access(Tid T, uintptr_t Addr, size_t Size, AccessKind Kind);
+  bool tryFastPath(Table::FastCell &F, Tid T, Epoch E, uint8_t Off,
+                   uint8_t Size, AccessKind Kind, ThreadCell &TS);
+  void publishMirror(Table::FastCell &F, const ShadowCell &Cell);
   void checkCell(Tid T, uintptr_t Granule, ShadowCell &Cell, uint8_t Off,
-                 uint8_t Size, AccessKind Kind, const VectorClock &TC);
+                 uint8_t Size, AccessKind Kind, const VectorClock &TC,
+                 ThreadCell &TS);
   void report(Tid T, uintptr_t Granule, uint8_t Off, uint8_t Size,
               AccessKind Prior, Tid PriorTid, AccessKind Current);
+
+  /// Fills in Names for reports added since the last resolution. Lock
+  /// order: ReportsMu (held by the caller) then NamesMu (taken here) —
+  /// never the reverse. Each report is resolved exactly once, against the
+  /// names registered at the earliest snapshot/unregister after it; a
+  /// report that resolves to no name stays unnamed.
+  void resolvePendingNamesLocked();
+
+  const RaceShadowMode Shadow;
 
   bool EnabledFlag = true;
 
   /// Optional execution-trace recorder (see setTrace).
   TraceRecorder *Trace = nullptr;
 
-  /// Per-thread clocks, indexed by tid. Guarded by ClocksMu only for
-  /// resizing; see file comment for the ownership discipline.
-  std::vector<VectorClock *> Clocks;
+  /// Per-thread clocks and counters, indexed by tid. Fixed capacity so
+  /// readers never observe a reallocation; ClocksMu serialises
+  /// registration only (clock publication is the release store in VC).
+  std::array<ThreadCell, MaxThreads> Threads;
   std::mutex ClocksMu;
 
+  /// Legacy striped backend (RaceShadowMode::StripedMap).
   std::array<Stripe, NumStripes> Stripes;
+
+  /// Two-level backend (RaceShadowMode::TwoLevel).
+  Table Pages;
 
   std::mutex ReportsMu;
   std::vector<RaceReport> Reports;
   std::unordered_set<uint64_t> ReportKeys;
+  /// Reports[0..NamesResolvedUpTo) have had name resolution applied.
+  size_t NamesResolvedUpTo = 0;
 
   std::mutex NamesMu;
   std::map<uintptr_t, std::pair<size_t, std::string>> Names;

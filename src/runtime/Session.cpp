@@ -20,8 +20,9 @@
 using namespace tsr;
 
 namespace {
-thread_local Session *TlsSession = nullptr;
-thread_local Tid TlsTid = 0;
+// One TLS object for both the session pointer and the tid: the plain
+// access hot path reads them together via currentAccessContext().
+thread_local AccessContext TlsCtx;
 
 // Fatal-signal emergency flush (RecordFlushPolicy::OnFatalSignal). One
 // process-wide owner session; the handler performs a single best-effort
@@ -58,12 +59,14 @@ void uninstallEmergencyHandlers() {
 }
 } // namespace
 
-Session *Session::current() { return TlsSession; }
+Session *Session::current() { return TlsCtx.S; }
 
 Tid Session::currentTid() {
-  assert(TlsSession && "tsr API used outside a controlled thread");
-  return TlsTid;
+  assert(TlsCtx.S && "tsr API used outside a controlled thread");
+  return TlsCtx.T;
 }
+
+AccessContext Session::currentAccessContext() { return TlsCtx; }
 
 Session::Session(SessionConfig Config) : Config(std::move(Config)) {
   Cost = std::make_unique<CostModel>(this->Config.Cost);
@@ -220,7 +223,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   }
   Sched = std::make_unique<Scheduler>(SO, &RecordDemo, Config.ReplayDemo);
 
-  Race = std::make_unique<RaceDetector>();
+  Race = std::make_unique<RaceDetector>(Config.RaceShadow);
   Race->setEnabled(Config.RaceDetection);
   Race->setTrace(Tracer.get());
   AtomicModelOptions AO;
@@ -399,6 +402,13 @@ void Session::fillMetrics(RunReport &R) {
   M.counter("syscalls.recorded", R.SyscallsRecorded);
   M.counter("syscalls.replayed", R.SyscallsReplayed);
   M.counter("races.reported", R.Races.size());
+  const RaceDetectorStats RS = Race->statsSnapshot();
+  M.counter("race.plain_accesses", RS.PlainAccesses);
+  M.counter("race.same_epoch_hits", RS.SameEpochHits);
+  M.counter("race.fast_path_hits", RS.FastPathHits);
+  M.counter("race.read_inflations", RS.ReadInflations);
+  M.counter("race.shadow_pages_retired", RS.ShadowPagesRetired);
+  M.gauge("race.shadow_pages", static_cast<double>(RS.ShadowPages));
   M.counter("demo.flushes", R.Sched.DemoFlushes);
   M.gauge("demo.io_error", LiveWriter.ioError() ? 1.0 : 0.0);
   M.gauge("desync.kind", static_cast<double>(R.Desync));
@@ -463,24 +473,22 @@ void Session::stopLiveness() {
 }
 
 void Session::mainThreadBody(std::function<void()> MainFn) {
-  TlsSession = this;
-  TlsTid = 0;
+  TlsCtx = {this, 0};
   MainFn();
   // Thread deletion is a visible operation (§3.2).
   enterCritical(0);
   Sched->threadDelete(0);
   leaveCritical(0);
-  TlsSession = nullptr;
+  TlsCtx = {};
 }
 
 void Session::childThreadBody(Tid Self, std::function<void()> Fn) {
-  TlsSession = this;
-  TlsTid = Self;
+  TlsCtx = {this, Self};
   Fn();
   enterCritical(Self);
   Sched->threadDelete(Self);
   leaveCritical(Self);
-  TlsSession = nullptr;
+  TlsCtx = {};
 }
 
 void Session::enterCritical(Tid Self) {

@@ -110,6 +110,13 @@ struct SessionConfig {
   /// Enable happens-before race detection.
   bool RaceDetection = true;
 
+  /// Shadow-memory backend for the race detector (race/RaceDetector.h).
+  /// The two-level packed table with the lock-free same-epoch fast path
+  /// is the default; StripedMap restores the legacy striped hash map and
+  /// exists as a measurable baseline (bench/race_overhead). Detection
+  /// semantics are identical.
+  RaceShadowMode RaceShadow = RaceShadowMode::TwoLevel;
+
   /// Enable tsan11 weak-memory semantics for atomics; false restricts the
   /// model to sequential consistency.
   bool WeakMemory = true;
@@ -219,6 +226,17 @@ struct RunReport {
   TraceSnapshot Trace;
 };
 
+class Session;
+
+/// The calling controlled thread's session and tid, fetched together.
+/// The race-detector hot path (Var<T>::get/set, plainRead/plainWrite)
+/// needs both on every access; bundling them in one thread_local object
+/// makes that a single TLS address computation instead of two.
+struct AccessContext {
+  Session *S = nullptr; ///< Null outside a controlled thread.
+  Tid T = 0;
+};
+
 /// One controlled execution. Not reusable: construct, set up the
 /// environment, run once, read the report.
 class Session {
@@ -246,6 +264,10 @@ public:
 
   /// Tid of the calling controlled thread.
   static Tid currentTid();
+
+  /// Session and tid of the calling controlled thread from one TLS read
+  /// (AccessContext.S is null outside a controlled thread).
+  static AccessContext currentAccessContext();
 
   // --- Internal API used by the tsr wrapper types (Atomic, Mutex, ...).
   // These are public because the wrappers are free templates/classes, but

@@ -47,15 +47,17 @@ public:
 
   /// Instrumented read.
   T get() const {
-    if (Session *S = Session::current())
-      S->race().onPlainRead(Session::currentTid(), addr(), sizeof(T));
+    const AccessContext C = Session::currentAccessContext();
+    if (C.S)
+      C.S->race().onPlainRead(C.T, addr(), sizeof(T));
     return Value;
   }
 
   /// Instrumented write.
   void set(const T &V) {
-    if (Session *S = Session::current())
-      S->race().onPlainWrite(Session::currentTid(), addr(), sizeof(T));
+    const AccessContext C = Session::currentAccessContext();
+    if (C.S)
+      C.S->race().onPlainWrite(C.T, addr(), sizeof(T));
     Value = V;
   }
 
@@ -73,16 +75,18 @@ private:
 
 /// Instrumented access to arbitrary storage (arrays, struct fields).
 template <typename T> T plainRead(const T &Ref) {
-  if (Session *S = Session::current())
-    S->race().onPlainRead(Session::currentTid(),
-                          reinterpret_cast<uintptr_t>(&Ref), sizeof(T));
+  const AccessContext C = Session::currentAccessContext();
+  if (C.S)
+    C.S->race().onPlainRead(C.T, reinterpret_cast<uintptr_t>(&Ref),
+                            sizeof(T));
   return Ref;
 }
 
 template <typename T> void plainWrite(T &Ref, const T &V) {
-  if (Session *S = Session::current())
-    S->race().onPlainWrite(Session::currentTid(),
-                           reinterpret_cast<uintptr_t>(&Ref), sizeof(T));
+  const AccessContext C = Session::currentAccessContext();
+  if (C.S)
+    C.S->race().onPlainWrite(C.T, reinterpret_cast<uintptr_t>(&Ref),
+                             sizeof(T));
   Ref = V;
 }
 

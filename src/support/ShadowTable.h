@@ -1,0 +1,194 @@
+//===-- support/ShadowTable.h - Two-level shadow memory --------*- C++ -*-===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-level shadow-memory page table in the style of tsan's flat shadow
+/// (DESIGN.md §10). The address space of 8-byte granules is carved into
+/// pages of 512 granules; pages are installed on demand into a fixed
+/// hash-indexed top-level array of lock-free chains. Lookups are entirely
+/// lock-free (acquire loads down a CAS-published chain); only page
+/// installation and retirement take the table mutex.
+///
+/// Each page carries, per granule:
+///  - a FastCell of three packed atomic words the detector's lock-free
+///    same-epoch fast path reads with relaxed loads, and
+///  - an entry in an inflated-cell map (the full FastTrack state) guarded
+///    by the per-page mutex.
+///
+/// Pages are pointer-stable: once installed, a page is never freed while
+/// the table is alive. forgetRange drops whole pages in O(1) by unlinking
+/// them onto a retired list ("retired", not deleted — a concurrent reader
+/// that already resolved the page pointer may still be touching it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TSR_SUPPORT_SHADOWTABLE_H
+#define TSR_SUPPORT_SHADOWTABLE_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace tsr {
+
+/// Two-level granule-indexed shadow table, generic over the inflated
+/// per-granule cell type so it stays independent of the detector.
+template <typename InflatedCell> class ShadowTable {
+public:
+  /// Granules per page (512 granules = 4 KiB of application memory).
+  static constexpr size_t PageShift = 9;
+  static constexpr size_t PageGranules = size_t(1) << PageShift;
+  /// Top-level hash-array size (8192 chain heads).
+  static constexpr size_t TopBits = 13;
+  static constexpr size_t TopSlots = size_t(1) << TopBits;
+
+  /// The packed mirror words for one granule, written under the owning
+  /// page's mutex and read lock-free by the fast path. Encoding is the
+  /// caller's business; zero must mean "no state".
+  struct FastCell {
+    std::atomic<uint64_t> W{0}; ///< Last plain write.
+    std::atomic<uint64_t> R{0}; ///< Last plain read (sentinel if inflated).
+    std::atomic<uint64_t> A{0}; ///< Nonzero if any atomic state exists.
+  };
+
+  struct Page {
+    explicit Page(uintptr_t Index) : Index(Index) {}
+
+    const uintptr_t Index;             ///< Granule >> PageShift.
+    std::atomic<Page *> Next{nullptr}; ///< Hash-chain link.
+    /// Guards Cells and all FastCell stores (fast-path loads take no lock).
+    std::mutex Mu;
+    std::array<FastCell, PageGranules> Fast;
+    std::unordered_map<uint32_t, InflatedCell> Cells;
+
+    FastCell &fast(uintptr_t Granule) {
+      return Fast[Granule & (PageGranules - 1)];
+    }
+    /// Inflated cell for \p Granule, created on demand. Requires Mu.
+    InflatedCell &cell(uintptr_t Granule) {
+      return Cells[static_cast<uint32_t>(Granule & (PageGranules - 1))];
+    }
+  };
+
+  ShadowTable() = default;
+
+  ShadowTable(const ShadowTable &) = delete;
+  ShadowTable &operator=(const ShadowTable &) = delete;
+
+  ~ShadowTable() {
+    for (auto &Head : Top) {
+      Page *P = Head.load(std::memory_order_relaxed);
+      while (P) {
+        Page *N = P->Next.load(std::memory_order_relaxed);
+        delete P;
+        P = N;
+      }
+    }
+    for (Page *P : Retired)
+      delete P;
+  }
+
+  /// Page holding \p Granule, installing it if absent. Lock-free when the
+  /// page already exists.
+  Page &pageFor(uintptr_t Granule) {
+    const uintptr_t Index = Granule >> PageShift;
+    std::atomic<Page *> &Head = Top[slotFor(Index)];
+    if (Page *P = findInChain(Head.load(std::memory_order_acquire), Index))
+      return *P;
+    return installPage(Head, Index);
+  }
+
+  /// Page holding \p Granule, or null. Never installs. Lock-free.
+  Page *findPage(uintptr_t Granule) {
+    const uintptr_t Index = Granule >> PageShift;
+    return findInChain(Top[slotFor(Index)].load(std::memory_order_acquire),
+                       Index);
+  }
+
+  /// Unlinks the page with index \p Index (if present) from its chain in
+  /// O(chain length), discarding all shadow state it holds. The page is
+  /// retired, not freed: concurrent lock-free readers may still hold a
+  /// pointer to it, and its Next link stays intact so an in-flight chain
+  /// traversal passes through unharmed. Returns true if a page was
+  /// retired.
+  bool retirePage(uintptr_t Index) {
+    std::lock_guard<std::mutex> L(Mu);
+    std::atomic<Page *> &Head = Top[slotFor(Index)];
+    Page *Prev = nullptr;
+    for (Page *P = Head.load(std::memory_order_relaxed); P;
+         Prev = P, P = P->Next.load(std::memory_order_relaxed)) {
+      if (P->Index != Index)
+        continue;
+      Page *After = P->Next.load(std::memory_order_relaxed);
+      if (Prev)
+        Prev->Next.store(After, std::memory_order_release);
+      else
+        Head.store(After, std::memory_order_release);
+      Retired.push_back(P);
+      LiveCount.fetch_sub(1, std::memory_order_relaxed);
+      RetiredCount.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Live (reachable) pages.
+  size_t pageCount() const { return LiveCount.load(std::memory_order_relaxed); }
+
+  /// Pages dropped whole by retirePage since construction.
+  size_t retiredCount() const {
+    return RetiredCount.load(std::memory_order_relaxed);
+  }
+
+private:
+  static size_t slotFor(uintptr_t Index) {
+    return static_cast<size_t>((Index * 0x9E3779B97F4A7C15ull) >>
+                               (64 - TopBits));
+  }
+
+  static Page *findInChain(Page *P, uintptr_t Index) {
+    for (; P; P = P->Next.load(std::memory_order_acquire))
+      if (P->Index == Index)
+        return P;
+    return nullptr;
+  }
+
+  Page &installPage(std::atomic<Page *> &Head, uintptr_t Index) {
+    std::lock_guard<std::mutex> L(Mu);
+    // Re-check under the lock: another thread may have won the install.
+    if (Page *P = findInChain(Head.load(std::memory_order_acquire), Index))
+      return *P;
+    Page *Fresh = new Page(Index);
+    Fresh->Next.store(Head.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    // The release store publishes the fully constructed page (zeroed fast
+    // words, empty cell map) to lock-free acquire loads of the chain.
+    Head.store(Fresh, std::memory_order_release);
+    LiveCount.fetch_add(1, std::memory_order_relaxed);
+    return *Fresh;
+  }
+
+  /// Chain heads. Value-initialised so every head starts null.
+  std::array<std::atomic<Page *>, TopSlots> Top{};
+
+  /// Serialises chain mutations (install + retire); lookups take no lock.
+  std::mutex Mu;
+
+  /// Retired pages, kept allocated for pointer stability. Guarded by Mu.
+  std::vector<Page *> Retired;
+
+  std::atomic<size_t> LiveCount{0};
+  std::atomic<size_t> RetiredCount{0};
+};
+
+} // namespace tsr
+
+#endif // TSR_SUPPORT_SHADOWTABLE_H

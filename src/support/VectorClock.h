@@ -92,6 +92,11 @@ public:
   /// Number of explicitly stored components.
   size_t size() const { return Clock.size(); }
 
+  /// Raw component storage (size() entries; components beyond it are
+  /// implicitly zero). Lets hot comparison loops avoid per-component
+  /// bounds checks.
+  const Epoch *components() const { return Clock.data(); }
+
   /// Renders the clock as "[c0, c1, ...]" for diagnostics.
   std::string str() const {
     std::string S = "[";
