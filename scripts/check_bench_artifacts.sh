@@ -46,6 +46,10 @@ check BENCH_sched_throughput.json \
   spurious_wakeups targeted_wakeups broadcast_wakeups \
   speedup_vs_broadcast ticks_per_sec wall_ms
 
+check BENCH_recovery.json \
+  bench workload reps modes name overhead_vs_strict ticks actions \
+  ticks_per_sec wall_ms recovered_runs runs successes success_rate
+
 check BENCH_race_overhead.json \
   bench workload reps iters configs name backend threads plain_accesses \
   same_epoch_hits fast_path_hits speedup_vs_striped accesses_per_sec \

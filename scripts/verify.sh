@@ -4,7 +4,7 @@
 # TSR_SANITIZE CMake option). Each configuration builds into its own
 # directory so incremental plain builds stay untouched.
 #
-# Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace]
+# Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace] [--chaos]
 #   --fast          plain configuration only (skips the sanitizer builds).
 #   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
 #                   ASan) — the crash-consistency gate, repeated to shake
@@ -13,6 +13,12 @@
 #                   trace_timeline example end to end (record, export,
 #                   replay, virtual-time diff), and `tsr-demo-dump
 #                   timeline` over the recorded demo.
+#   --chaos         run only the self-healing gate (plain + ASan): the
+#                   seeded demo-mutation sweep and recovery/watchdog/
+#                   retry suites at TSR_CHAOS_MUTANTS=120, then a CLI
+#                   exit-code sweep over dd-corrupted on-disk demos
+#                   (verify/repair must honour the 0/1/2 contract —
+#                   never crash, never hang).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,11 +26,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 CRASH=0
 TRACE=0
+CHAOS=0
 for Arg in "$@"; do
   case "$Arg" in
   --fast) FAST=1 ;;
   --crash-matrix) CRASH=1 ;;
   --trace) TRACE=1 ;;
+  --chaos) CHAOS=1 ;;
   *) echo "unknown option: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -82,6 +90,71 @@ run_trace_smoke() {
   done
   rm -rf "$(dirname "$demo")"
 }
+
+# Chaos suite: the seeded mutation sweep plus every recovery, watchdog
+# and retry test, with the mutant count cranked up.
+run_chaos() {
+  name="$1"
+  sanitize="$2"
+  dir="build-verify-$name"
+  [ "$name" = "plain" ] && dir="build"
+  echo "== $name: chaos suite ($dir, TSR_CHAOS_MUTANTS=120)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS" \
+    --target demo_integrity_test recovery_test >/dev/null
+  TSR_CHAOS_MUTANTS=120 ctest --test-dir "$dir" --output-on-failure \
+    -R 'DemoChaos|DemoIntegrity|Recovery|Watchdog|Retry'
+}
+
+# CLI exit-code sweep: byte-stomp copies of a real on-disk demo and hold
+# `tsr-demo-dump verify`/`repair` to their documented 0/1/2 exit codes.
+# Any other status (a crash is 128+signal) or a hang fails the gate.
+run_chaos_cli() {
+  dir="build"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="" >/dev/null
+  cmake --build "$dir" -j "$JOBS" \
+    --target trace_timeline tsr-demo-dump >/dev/null
+  scratch="$(mktemp -d)"
+  demo="$scratch/demo"
+  echo "== chaos: recording a reference demo ($demo)"
+  "$dir/examples/trace_timeline" "$demo" >/dev/null
+  echo "== chaos: dd-corruption exit-code sweep"
+  i=0
+  while [ "$i" -lt 24 ]; do
+    work="$scratch/mutant-$i"
+    cp -r "$demo" "$work"
+    for f in "$work"/*; do
+      size="$(wc -c < "$f")"
+      [ "$size" -gt 0 ] || continue
+      off=$(( (i * 7919 + 13) % size ))
+      printf '\377' | dd of="$f" bs=1 seek="$off" conv=notrunc 2>/dev/null
+      # Every third mutant also loses a tail (torn final write).
+      if [ $(( i % 3 )) -eq 0 ] && [ "$size" -gt 8 ]; then
+        truncate -s $(( size - i % 7 - 1 )) "$f"
+      fi
+    done
+    for cmd in verify repair; do
+      rc=0
+      timeout 60 "$dir/tools/tsr-demo-dump" "$cmd" "$work" \
+        >/dev/null 2>&1 || rc=$?
+      if [ "$rc" -gt 2 ]; then
+        echo "chaos: tsr-demo-dump $cmd on mutant $i exited $rc" >&2
+        exit 1
+      fi
+    done
+    rm -rf "$work"
+    i=$(( i + 1 ))
+  done
+  rm -rf "$scratch"
+}
+
+if [ "$CHAOS" -eq 1 ]; then
+  run_chaos plain ""
+  [ "$FAST" -eq 0 ] && run_chaos asan address
+  run_chaos_cli
+  echo "verify: chaos suite passed"
+  exit 0
+fi
 
 if [ "$TRACE" -eq 1 ]; then
   run_trace_smoke

@@ -71,6 +71,13 @@ inline constexpr int VENOENT = 2;
 inline constexpr int VEINTR = 4;
 inline constexpr int VECONNRESET = 104;
 
+/// Transient failures worth retrying (the session's deterministic
+/// retry/backoff policy, RetryPolicy): a retried EINTR/EAGAIN can
+/// legitimately succeed; everything else is a stable outcome.
+inline bool isTransientVirtualErrno(int Err) {
+  return Err == VEINTR || Err == VEAGAIN;
+}
+
 /// ioctl request codes understood by virtual devices.
 enum class IoctlReq : uint64_t {
   DisplayVsync = 1,   ///< Returns a jittered vsync timestamp (8 bytes).

@@ -77,6 +77,7 @@ Session::Session(SessionConfig Config) : Config(std::move(Config)) {
 
 Session::~Session() {
   stopLiveness();
+  stopWatchdog();
   std::lock_guard<std::mutex> L(ThreadsMu);
   for (std::thread &T : OsThreads)
     if (T.joinable())
@@ -205,6 +206,14 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
                        Config.ReplayDemo && Config.ReplayDemo->truncated();
   SO.Trace = Tracer.get();
+  // Recovery applies to replay only: there is nothing to resynchronise
+  // against in Free/Record mode. The log itself is shared in all modes
+  // (the watchdog and retry sites write to it too).
+  Recoveries.setLimit(Config.Recovery.MaxActions);
+  SO.Recovery = Config.ExecMode == Mode::Replay ? Config.Recovery.Mode
+                                                : RecoveryMode::Strict;
+  SO.QueueSearchWindow = Config.Recovery.QueueSearchWindow;
+  SO.RecoveryActions = &Recoveries;
   if (LiveWriter.isOpen()) {
     SO.LiveWriter = &LiveWriter;
     SO.FlushEveryTicks = Config.Flush.EveryTicks;
@@ -221,7 +230,8 @@ RunReport Session::run(std::function<void()> MainFn) {
         Cost->markEagerStall(T);
     };
   }
-  Sched = std::make_unique<Scheduler>(SO, &RecordDemo, Config.ReplayDemo);
+  SchedOwner = std::make_unique<Scheduler>(SO, &RecordDemo, Config.ReplayDemo);
+  Sched = SchedOwner.get();
 
   Race = std::make_unique<RaceDetector>(Config.RaceShadow);
   Race->setEnabled(Config.RaceDetection);
@@ -245,6 +255,82 @@ RunReport Session::run(std::function<void()> MainFn) {
                 L, std::chrono::milliseconds(Config.LivenessIntervalMs)) ==
             std::cv_status::timeout)
           Sched->livenessPoll();
+      }
+    });
+  }
+
+  if (Config.Watchdog.Enabled) {
+    // Tick-watchdog supervision: escalate through warn -> nudge ->
+    // salvage while the tick frontier stays frozen. Each rung fires at
+    // its wall-clock deadline, or earlier when the virtual makespan grows
+    // by StallVirtualNs x {1,2,4} with no tick (a run burning virtual
+    // time in invisible code). A mid-run trace snapshot is forbidden
+    // (TraceRecorder requires the emitting threads joined), so the warn
+    // rung emits the scheduler state dump; the final report still carries
+    // the trace excerpt around the salvage tick.
+    WatchdogThread = std::thread([this] {
+      std::unique_lock<std::mutex> L(WatchdogMu);
+      uint64_t LastTick = ~0ull;
+      VTime VirtualBase = 0;
+      auto LastChange = std::chrono::steady_clock::now();
+      unsigned Rung = 0;
+      while (!StopWatchdogFlag) {
+        if (WatchdogCv.wait_for(
+                L, std::chrono::milliseconds(Config.Watchdog.PollMs)) !=
+            std::cv_status::timeout)
+          continue;
+        const uint64_t Tick = Sched->currentTick();
+        const auto Now = std::chrono::steady_clock::now();
+        if (Tick != LastTick) {
+          LastTick = Tick;
+          LastChange = Now;
+          VirtualBase = Cost->makespan();
+          Rung = 0;
+          continue;
+        }
+        const uint64_t StalledMs =
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Now - LastChange)
+                    .count());
+        const VTime VirtualGrowth = Cost->makespan() - VirtualBase;
+        const auto Due = [&](uint64_t WallMs, unsigned Mult) {
+          if (StalledMs >= WallMs)
+            return true;
+          return Config.Watchdog.StallVirtualNs != 0 &&
+                 VirtualGrowth >= Config.Watchdog.StallVirtualNs * Mult;
+        };
+        if (Rung == 0 && Due(Config.Watchdog.WarnAfterMs, 1)) {
+          Rung = 1;
+          const SchedulerStats S = Sched->statsSnapshot();
+          warn("watchdog: tick frontier frozen at %llu for %llu ms "
+               "(%llu ticks total, %llu reschedules)\n%s",
+               static_cast<unsigned long long>(Tick),
+               static_cast<unsigned long long>(StalledMs),
+               static_cast<unsigned long long>(S.Ticks),
+               static_cast<unsigned long long>(S.Reschedules),
+               Sched->dumpState().c_str());
+          Recoveries.record({RecoveryActionKind::WatchdogWarn, Tick,
+                             InvalidTid, StreamKind::Meta, StalledMs,
+                             "tick frontier frozen"});
+        }
+        if (Rung == 1 && Due(Config.Watchdog.NudgeAfterMs, 2)) {
+          Rung = 2;
+          if (Sched->watchdogNudge())
+            Recoveries.record({RecoveryActionKind::WatchdogNudge, Tick,
+                               InvalidTid, StreamKind::Meta, StalledMs,
+                               "forced strategy decision / broadcast wake"});
+        }
+        if (Rung == 2 && Due(Config.Watchdog.SalvageAfterMs, 4)) {
+          Rung = 3;
+          const std::string Why = formatString(
+              "watchdog: no tick for %llu ms despite warn and nudge",
+              static_cast<unsigned long long>(StalledMs));
+          if (Sched->salvageStall(Why))
+            Recoveries.record({RecoveryActionKind::WatchdogSalvage, Tick,
+                               InvalidTid, StreamKind::Meta, StalledMs,
+                               "salvaging shutdown"});
+        }
       }
     });
   }
@@ -273,26 +359,31 @@ RunReport Session::run(std::function<void()> MainFn) {
       Sched->declareDesync(std::move(WD));
       Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
     }
-    if (!Done)
+    if (!Done && !Sched->stallSalvaged())
       fatal("session hung (no progress for %llu ms)\n%s",
             static_cast<unsigned long long>(Config.WatchdogTimeoutMs),
             Sched->dumpState().c_str());
   }
 
   const bool DeadlockSalvaged = Sched->deadlocked();
-  if (DeadlockSalvaged && !Sched->waitLiveParked(5000))
-    warn("deadlocked threads did not all park within 5s; "
-         "proceeding with teardown");
+  const bool StallSalvaged = Sched->stallSalvaged();
+  const bool Salvaged = DeadlockSalvaged || StallSalvaged;
+  if (Salvaged && !Sched->waitLiveParked(5000))
+    warn("%s threads did not all park within 5s; "
+         "proceeding with teardown",
+         DeadlockSalvaged ? "deadlocked" : "stalled");
 
   stopLiveness();
+  stopWatchdog();
   {
     std::lock_guard<std::mutex> L(ThreadsMu);
     for (std::thread &T : OsThreads)
       if (T.joinable()) {
-        if (DeadlockSalvaged)
-          // Deadlocked threads are parked forever inside Scheduler::wait
-          // and can never be joined. Detach them: from here on they touch
-          // only the scheduler, which is kept alive below.
+        if (Salvaged)
+          // Salvaged threads are parked forever inside Scheduler::wait
+          // (or still spinning towards it) and can never be joined.
+          // Detach them: from here on they touch only this session and
+          // the scheduler, both of which are kept alive below.
           T.detach();
         else
           T.join();
@@ -302,7 +393,17 @@ RunReport Session::run(std::function<void()> MainFn) {
 
   if (Config.ExecMode == Mode::Record) {
     Sched->finishRecording();
-    RecordDemo.setStream(StreamKind::Syscall, SyscallBytes.take());
+    {
+      // A detached straggler may sit mid-recordSyscall when a watchdog
+      // salvage unwound the run; the stream mutex orders its append
+      // against this take().
+      std::lock_guard<std::mutex> L(SyscallStreamMu);
+      RecordDemo.setStream(StreamKind::Syscall, SyscallBytes.take());
+    }
+    if (StallSalvaged)
+      // The in-memory demo mirrors what the live writer left on disk: a
+      // consistent prefix that ends at the stalled frontier.
+      RecordDemo.markTruncated(Sched->currentTick());
   }
   if (EmergencyInstalled) {
     uninstallEmergencyHandlers();
@@ -321,11 +422,44 @@ RunReport Session::run(std::function<void()> MainFn) {
       ++DR.SoftResyncs;
     if (DR.SyscallCursor.Total == 0 && DR.SyscallCursor.Consumed == 0)
       DR.SyscallCursor = {SyscallReader.position(), SyscallReader.size()};
+    DR.Recovery = Recoveries.snapshot();
     DR.Message = renderDesyncReport(DR);
     R.Desync = DR.Kind;
     R.DesyncMessage = DR.hard() ? DR.Message : "";
     R.Sched.SoftResyncs = DR.SoftResyncs;
     R.DesyncInfo = std::move(DR);
+  }
+  R.StallSalvaged = StallSalvaged;
+  R.Recovered.SkipsForward =
+      Recoveries.countOf(RecoveryActionKind::SkipForward);
+  R.Recovered.SyscallsSynthesized =
+      Recoveries.countOf(RecoveryActionKind::SynthesizeSyscall);
+  R.Recovered.ThreadFreeRuns =
+      Recoveries.countOf(RecoveryActionKind::ThreadFreeRun);
+  R.Recovered.ScheduleFreeRuns =
+      Recoveries.countOf(RecoveryActionKind::ScheduleFreeRun);
+  R.Recovered.Retries = Recoveries.countOf(RecoveryActionKind::RetryBackoff);
+  R.Recovered.WatchdogWarns =
+      Recoveries.countOf(RecoveryActionKind::WatchdogWarn);
+  R.Recovered.WatchdogNudges =
+      Recoveries.countOf(RecoveryActionKind::WatchdogNudge);
+  R.Recovered.WatchdogSalvages =
+      Recoveries.countOf(RecoveryActionKind::WatchdogSalvage);
+  R.Recovered.Any = Recoveries.total() != 0;
+  R.Recovered.Actions = R.DesyncInfo.Recovery;
+  {
+    // Persist the recovery timeline next to the demo: always when the
+    // caller named a sidecar directory, and automatically into the live
+    // flush directory when a salvage produced actions worth inspecting.
+    std::string SidecarDir = Config.Recovery.SidecarDir;
+    if (SidecarDir.empty() && Salvaged && R.Recovered.Any)
+      SidecarDir = Config.Flush.Directory; // May be empty: no sidecar then.
+    if (!SidecarDir.empty()) {
+      std::string SidecarError;
+      if (!saveRecoverySidecar(SidecarDir, R.Recovered.Actions,
+                               SidecarError))
+        warn("recovery sidecar not written: %s", SidecarError.c_str());
+    }
   }
   R.SyscallsIssued = SyscallsIssued.load();
   R.SyscallsRecorded = SyscallsRecorded.load();
@@ -361,16 +495,18 @@ RunReport Session::run(std::function<void()> MainFn) {
     }
   }
   fillMetrics(R);
-  if (DeadlockSalvaged) {
-    // The detached deadlocked threads are parked forever in this
+  if (Salvaged) {
+    // The detached salvaged threads are parked forever in this
     // scheduler's condition variable; destroying it would pull the state
     // out from under them. Park the scheduler in a never-destroyed
     // registry instead (still reachable, so leak checkers stay quiet).
+    // The raw Sched pointer keeps aiming at the parked instance, so a
+    // straggler calling back through this session stays safe.
     static std::mutex *const ParkedMu = new std::mutex();
     static std::vector<std::unique_ptr<Scheduler>> *const Parked =
         new std::vector<std::unique_ptr<Scheduler>>();
     std::lock_guard<std::mutex> L(*ParkedMu);
-    Parked->push_back(std::move(Sched));
+    Parked->push_back(std::move(SchedOwner));
   }
   return R;
 }
@@ -413,6 +549,19 @@ void Session::fillMetrics(RunReport &R) {
   M.gauge("demo.io_error", LiveWriter.ioError() ? 1.0 : 0.0);
   M.gauge("desync.kind", static_cast<double>(R.Desync));
   M.counter("desync.soft_resyncs", R.DesyncInfo.SoftResyncs);
+  M.gauge("recovery.mode", static_cast<double>(Config.Recovery.Mode));
+  M.counter("recovery.actions", Recoveries.total());
+  M.counter("recovery.actions_dropped", Recoveries.dropped());
+  M.counter("recovery.skips_forward", R.Recovered.SkipsForward);
+  M.counter("recovery.syscalls_synthesized", R.Recovered.SyscallsSynthesized);
+  M.counter("recovery.thread_free_runs", R.Recovered.ThreadFreeRuns);
+  M.counter("recovery.schedule_free_runs", R.Recovered.ScheduleFreeRuns);
+  M.counter("recovery.retries", R.Recovered.Retries);
+  M.counter("recovery.queue_entries_skipped", R.Sched.QueueEntriesSkipped);
+  M.counter("watchdog.warns", R.Recovered.WatchdogWarns);
+  M.counter("watchdog.nudges", R.Recovered.WatchdogNudges);
+  M.counter("watchdog.salvages", R.Recovered.WatchdogSalvages);
+  M.gauge("watchdog.stall_salvaged", R.StallSalvaged ? 1.0 : 0.0);
   M.gauge("run.wall_seconds", R.WallSeconds);
   M.gauge("run.virtual_ns", static_cast<double>(R.VirtualNs));
   M.counter("trace.events", Tracer ? Tracer->emitted() : 0);
@@ -470,6 +619,24 @@ void Session::stopLiveness() {
   LivenessCv.notify_all();
   if (LivenessThread.joinable())
     LivenessThread.join();
+}
+
+void Session::stopWatchdog() {
+  {
+    std::lock_guard<std::mutex> L(WatchdogMu);
+    StopWatchdogFlag = true;
+  }
+  WatchdogCv.notify_all();
+  if (WatchdogThread.joinable())
+    WatchdogThread.join();
+}
+
+void Session::noteRecoveryAction(RecoveryActionKind Kind, Tid Thread,
+                                 StreamKind Stream, uint64_t Count,
+                                 std::string Detail) {
+  Recoveries.record(
+      {Kind, Sched ? Sched->currentTickRelaxed() : 0, Thread, Stream, Count,
+       std::move(Detail)});
 }
 
 void Session::mainThreadBody(std::function<void()> MainFn) {
@@ -559,7 +726,16 @@ DesyncReport Session::syscallDesyncReport(DesyncReason Reason,
   return R;
 }
 
-SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
+SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self,
+                                     bool &IssueNative) {
+  IssueNative = false;
+  const RecoveryMode RMode = Config.Recovery.Mode;
+  // Per-thread divergence state (adaptive). Accessed only inside the
+  // owner's critical section, so plain resize is safe.
+  if (Self >= SyscallDivergenceStreak.size()) {
+    SyscallDivergenceStreak.resize(Self + 1, 0);
+    SyscallThreadFreeRun.resize(Self + 1, 0);
+  }
   if (SyscallReader.atEnd()) {
     // Demo exhausted: free-run from here on (soft desync territory).
     SyscallStreamExhausted = true;
@@ -576,24 +752,137 @@ SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
           syscallKindName(Kind));
       Sched->declareSoftDesync(std::move(D));
     }
-    SyscallResult R;
-    R.Err = -1;
-    return R;
+    IssueNative = true;
+    return SyscallResult();
   }
   const size_t RecordStart = SyscallReader.position();
   uint64_t K;
   if (!SyscallReader.readVarU64(K) ||
       K >= static_cast<uint64_t>(SyscallKind::NumKinds)) {
+    if (RMode == RecoveryMode::Adaptive) {
+      // The stream is undecodable from here: record boundaries are lost,
+      // so no forward scan can help. Stop consuming it and synthesize
+      // every later result from the live environment (soft, not hard).
+      SyscallReplayStopped = true;
+      Recoveries.record({RecoveryActionKind::SynthesizeSyscall,
+                         Sched->currentTickRelaxed(), Self,
+                         StreamKind::Syscall, 1,
+                         formatString("undecodable SYSCALL stream at offset "
+                                      "%zu; synthesizing '%s' and all later "
+                                      "results from the live environment",
+                                      RecordStart, syscallKindName(Kind))});
+      DesyncReport D =
+          syscallDesyncReport(DesyncReason::SyscallCorrupt, Self);
+      D.Expected = "a syscall kind varint";
+      D.Actual = formatString("undecodable value at stream offset %zu; "
+                              "synthesizing results from the live "
+                              "environment",
+                              RecordStart);
+      Sched->declareSoftDesync(std::move(D));
+      IssueNative = true;
+      return SyscallResult();
+    }
     DesyncReport D = syscallDesyncReport(DesyncReason::SyscallCorrupt, Self);
     D.Expected = "a syscall kind varint";
     D.Actual = formatString("undecodable value at stream offset %zu",
                             RecordStart);
     Sched->declareDesync(std::move(D));
-    SyscallResult R;
-    R.Err = -1;
-    return R;
+    IssueNative = true; // Hard desync: the run finishes uncontrolled.
+    return SyscallResult();
   }
   if (K != static_cast<uint64_t>(Kind)) {
+    // Bounded forward search (Resync/Adaptive): the thread may have
+    // skipped a few recorded calls (an under-recording policy, a dropped
+    // branch); if its expected kind appears within the window, skip the
+    // mismatched records with annotation and re-lock onto the script.
+    if (RMode != RecoveryMode::Strict) {
+      const uint64_t BadK = K;
+      uint64_t Skipped = 0;
+      bool Matched = false;
+      SyscallResult R;
+      uint64_t ScanK = K;
+      while (Skipped < Config.Recovery.SyscallSearchWindow) {
+        // Skip the current (mismatched) record's body.
+        int64_t SkipRet;
+        uint64_t SkipErr;
+        std::vector<uint8_t> SkipBuf;
+        if (!SyscallReader.readVarI64(SkipRet) ||
+            !SyscallReader.readVarU64(SkipErr) ||
+            !rle::decodeBytes(SyscallReader, SkipBuf))
+          break;
+        ++Skipped;
+        if (SyscallReader.atEnd())
+          break;
+        if (!SyscallReader.readVarU64(ScanK) ||
+            ScanK >= static_cast<uint64_t>(SyscallKind::NumKinds))
+          break;
+        if (ScanK != static_cast<uint64_t>(Kind))
+          continue;
+        int64_t Ret;
+        uint64_t Err;
+        if (!SyscallReader.readVarI64(Ret) ||
+            !SyscallReader.readVarU64(Err) ||
+            !rle::decodeBytes(SyscallReader, R.OutBuf))
+          break;
+        R.Ret = Ret;
+        R.Err = static_cast<int>(Err);
+        Matched = true;
+        break;
+      }
+      if (Matched) {
+        SyscallDivergenceStreak[Self] = 0;
+        Recoveries.record(
+            {RecoveryActionKind::SkipForward, Sched->currentTickRelaxed(),
+             Self, StreamKind::Syscall, Skipped,
+             formatString("skipped %llu recorded syscall%s (next was '%s') "
+                          "to re-lock on '%s'",
+                          static_cast<unsigned long long>(Skipped),
+                          Skipped == 1 ? "" : "s",
+                          syscallKindName(static_cast<SyscallKind>(BadK)),
+                          syscallKindName(Kind))});
+        return R;
+      }
+      // No match inside the window: rewind so on-script threads keep a
+      // clean cursor, then degrade per mode.
+      SyscallReader.seek(RecordStart);
+      if (RMode == RecoveryMode::Adaptive) {
+        const uint32_t Streak = ++SyscallDivergenceStreak[Self];
+        if (Streak >= Config.Recovery.ThreadFreeRunThreshold) {
+          // Persistently divergent: this thread leaves the script for
+          // good (its syscalls issue natively) while the rest keep
+          // replaying. One soft report marks the degradation.
+          SyscallThreadFreeRun[Self] = 1;
+          Recoveries.record({RecoveryActionKind::ThreadFreeRun,
+                             Sched->currentTickRelaxed(), Self,
+                             StreamKind::Syscall, Streak,
+                             formatString("thread %u free-runs after %u "
+                                          "consecutive divergences",
+                                          Self, Streak)});
+          DesyncReport D =
+              syscallDesyncReport(DesyncReason::SyscallKindMismatch, Self);
+          D.Expected = formatString(
+              "'%s' (next recorded call, at stream offset %zu)",
+              syscallKindName(static_cast<SyscallKind>(BadK)), RecordStart);
+          D.Actual = formatString(
+              "thread %u persistently diverged (issued '%s' %u times "
+              "against the script); degrading it to free-run",
+              Self, syscallKindName(Kind), Streak);
+          Sched->declareSoftDesync(std::move(D));
+        } else {
+          Recoveries.record(
+              {RecoveryActionKind::SynthesizeSyscall,
+               Sched->currentTickRelaxed(), Self, StreamKind::Syscall, 1,
+               formatString("no '%s' within %u records (next recorded is "
+                            "'%s'); synthesizing from the live environment",
+                            syscallKindName(Kind),
+                            Config.Recovery.SyscallSearchWindow,
+                            syscallKindName(static_cast<SyscallKind>(BadK)))});
+        }
+        IssueNative = true;
+        return SyscallResult();
+      }
+      // Resync: window exhausted, fall through to Strict's hard desync.
+    }
     DesyncReport D =
         syscallDesyncReport(DesyncReason::SyscallKindMismatch, Self);
     D.Expected = formatString(
@@ -601,18 +890,21 @@ SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
         syscallKindName(static_cast<SyscallKind>(K)), RecordStart);
     D.Actual = formatString("the program issued '%s'", syscallKindName(Kind));
     Sched->declareDesync(std::move(D));
-    SyscallResult R;
-    R.Err = -1;
-    return R;
+    IssueNative = true; // Hard desync: the run finishes uncontrolled.
+    return SyscallResult();
   }
   SyscallResult R;
   int64_t Ret;
   uint64_t Err;
   if (!SyscallReader.readVarI64(Ret) || !SyscallReader.readVarU64(Err) ||
       !rle::decodeBytes(SyscallReader, R.OutBuf)) {
-    if (Config.ReplayDemo->truncated()) {
+    if (Config.ReplayDemo->truncated() ||
+        RMode == RecoveryMode::Adaptive) {
       // A salvaged recording may end mid-record; that is truncation, not
       // divergence. Downgrade to a soft report and free-run the rest.
+      // Adaptive treats a mid-record end the same way even without the
+      // truncation mark: the remaining bytes cannot drive replay, so
+      // synthesize from the live environment instead of failing.
       SyscallStreamExhausted = true;
       SyscallReplayStopped = true;
       DesyncReport D =
@@ -621,22 +913,32 @@ SyscallResult Session::replaySyscall(SyscallKind Kind, Tid Self) {
                                 "stream offset %zu",
                                 syscallKindName(Kind), RecordStart);
       D.Actual =
-          "the salvaged recording ends mid-record; finishing free-run";
+          "the recording ends mid-record; finishing free-run";
+      if (!Config.ReplayDemo->truncated())
+        Recoveries.record({RecoveryActionKind::SynthesizeSyscall,
+                           Sched->currentTickRelaxed(), Self,
+                           StreamKind::Syscall, 1,
+                           formatString("SYSCALL stream ends mid-'%s' "
+                                        "record; synthesizing from the "
+                                        "live environment",
+                                        syscallKindName(Kind))});
       Sched->declareSoftDesync(std::move(D));
-    } else {
-      DesyncReport D =
-          syscallDesyncReport(DesyncReason::SyscallTruncated, Self);
-      D.Expected = formatString("a complete '%s' record starting at "
-                                "stream offset %zu",
-                                syscallKindName(Kind), RecordStart);
-      D.Actual = "the stream ends mid-record";
-      Sched->declareDesync(std::move(D));
+      IssueNative = true;
+      return SyscallResult();
     }
-    R.Err = -1;
-    return R;
+    DesyncReport D =
+        syscallDesyncReport(DesyncReason::SyscallTruncated, Self);
+    D.Expected = formatString("a complete '%s' record starting at "
+                              "stream offset %zu",
+                              syscallKindName(Kind), RecordStart);
+    D.Actual = "the stream ends mid-record";
+    Sched->declareDesync(std::move(D));
+    IssueNative = true; // Hard desync: the run finishes uncontrolled.
+    return SyscallResult();
   }
   R.Ret = Ret;
   R.Err = static_cast<int>(Err);
+  SyscallDivergenceStreak[Self] = 0;
   return R;
 }
 
@@ -705,27 +1007,65 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
         };
         if (Config.ExecMode == Mode::Replay && Recordable &&
             !SyscallReplayStopped &&
+            !(Self < SyscallThreadFreeRun.size() &&
+              SyscallThreadFreeRun[Self]) &&
             Sched->desyncKind() != DesyncKind::Hard) {
-          SyscallResult R = replaySyscall(Kind, Self);
-          if (Sched->desyncKind() != DesyncKind::Hard &&
-              !SyscallReplayStopped) {
+          bool IssueNative = false;
+          SyscallResult R = replaySyscall(Kind, Self, IssueNative);
+          if (!IssueNative) {
             SyscallsReplayed.fetch_add(1);
             return Finish(R, false);
           }
           // Exhausted (one soft resync: the recording simply ended
-          // before the program did) or hard-desynced: fall through and
-          // issue natively.
+          // before the program did), hard-desynced, or an adaptive
+          // synthesis/free-run decision: fall through and issue
+          // natively.
         }
         // The fault injector sits before the record/replay split: an
         // injected failure is recorded like a genuine one, so replay
         // reproduces it from the stream with the injector disarmed.
         SyscallResult R;
-        const bool Faulted = Config.ExecMode != Mode::Replay &&
-                             Injector.preIssue(Kind, Class, R);
-        if (!Faulted) {
-          R = Issue();
-          if (Config.ExecMode != Mode::Replay)
-            Injector.postIssue(Kind, Class, R);
+        bool Faulted = false;
+        uint32_t Attempt = 0;
+        for (;;) {
+          ++Attempt;
+          Faulted = Config.ExecMode != Mode::Replay &&
+                    Injector.preIssue(Kind, Class, R);
+          if (!Faulted) {
+            R = Issue();
+            if (Config.ExecMode != Mode::Replay)
+              Injector.postIssue(Kind, Class, R);
+          }
+          if (!Config.Retry.Enabled || Attempt >= Config.Retry.MaxAttempts ||
+              R.Ret >= 0 || !isTransientVirtualErrno(R.Err))
+            break;
+          // Deterministic retry: exponential backoff advances virtual
+          // time only (no wall sleeping), and the jitter draw is
+          // stateless — a Prng seeded from the run seeds, the tick, the
+          // kind and the attempt — so it perturbs no other draw and
+          // reproduces exactly under the same seeds. Only the final
+          // result is recorded, so replay of a recordable call never
+          // re-runs the loop.
+          const unsigned Shift = Attempt - 1 < 20 ? Attempt - 1 : 20;
+          VTime Delay = Config.Retry.BaseDelayNs << Shift;
+          if (Delay > Config.Retry.MaxDelayNs)
+            Delay = Config.Retry.MaxDelayNs;
+          if (Config.Retry.JitterNs) {
+            Prng Jitter(UsedSeed0 ^ ((static_cast<uint64_t>(Kind) + 1) *
+                                     0x9E3779B97F4A7C15ull),
+                        UsedSeed1 ^ ((Sched->currentTickRelaxed() << 8) |
+                                     Attempt));
+            Delay += Jitter.nextBelow(Config.Retry.JitterNs);
+          }
+          Cost->advance(Self, Delay);
+          Recoveries.record(
+              {RecoveryActionKind::RetryBackoff,
+               Sched->currentTickRelaxed(), Self, StreamKind::Syscall,
+               Attempt,
+               formatString("'%s' returned transient errno %d; retrying "
+                            "after %llu virtual ns",
+                            syscallKindName(Kind), R.Err,
+                            static_cast<unsigned long long>(Delay))});
         }
         if (Config.ExecMode == Mode::Record && Recordable) {
           recordSyscall(Kind, R);

@@ -47,6 +47,7 @@
 #include "support/Demo.h"
 #include "support/DemoWriter.h"
 #include "support/Metrics.h"
+#include "support/Recovery.h"
 #include "support/Trace.h"
 
 #include <atomic>
@@ -83,6 +84,77 @@ struct RecordFlushPolicy {
   /// that perform one best-effort async-signal-safe flush before the
   /// process dies, then re-raise with the default disposition.
   bool OnFatalSignal = true;
+};
+
+/// Tick-watchdog supervision: a dedicated supervisor thread polls the
+/// scheduler's tick frontier and escalates through three rungs when it
+/// stops advancing — warn (diagnostics), nudge (forced strategy decision
+/// or broadcast wake), salvage (consistent shutdown that leaves a
+/// replayable demo, extending the deadlock salvage to non-deadlock
+/// hangs). Every rung lands on the recovery timeline.
+struct WatchdogPolicy {
+  /// Off by default: the legacy single-deadline watchdog in run()
+  /// (SessionConfig::WatchdogTimeoutMs) remains the last resort.
+  bool Enabled = false;
+
+  /// Supervisor poll period.
+  uint32_t PollMs = 50;
+
+  /// Wall-clock ms of frozen tick frontier before each rung fires.
+  uint32_t WarnAfterMs = 2000;
+  uint32_t NudgeAfterMs = 4000;
+  uint32_t SalvageAfterMs = 8000;
+
+  /// Virtual-time stall criterion (0 disables): a rung also fires when
+  /// the virtual makespan grows by this many ns x {1,2,4} while the tick
+  /// frontier is frozen — catching runs that burn virtual time in
+  /// invisible code without ever reaching a visible op.
+  uint64_t StallVirtualNs = 0;
+};
+
+/// Deterministic retry/backoff for transient virtual errors (VEINTR,
+/// VEAGAIN — typically FaultPlan-injected). Retries happen on the native
+/// issue path and only the final result is recorded, so a demo recorded
+/// under retry replays bit-identically; backoff advances virtual time
+/// only (seeded jitter, no wall-clock sleeping).
+struct RetryPolicy {
+  /// Off by default: programs that assert on observing EINTR/EAGAIN
+  /// (fault-injection tests) keep seeing them.
+  bool Enabled = false;
+
+  /// Total attempts including the first issue.
+  uint32_t MaxAttempts = 4;
+
+  /// Exponential backoff: BaseDelayNs << (attempt-1), capped at
+  /// MaxDelayNs, plus a seeded jitter draw below JitterNs.
+  uint64_t BaseDelayNs = 100000;
+  uint64_t MaxDelayNs = 10000000;
+  uint64_t JitterNs = 50000;
+
+  /// Also resume short transfers: a send/write that moved fewer bytes
+  /// than asked continues from the offset reached (each continuation is
+  /// its own recorded visible op).
+  bool RetryShortTransfers = false;
+};
+
+/// What adaptive recovery did during a run, summarised from the
+/// session's RecoveryLog (RunReport::Recovered).
+struct RecoveryOutcome {
+  /// Any recovery action at all was taken.
+  bool Any = false;
+
+  uint64_t SkipsForward = 0;
+  uint64_t SyscallsSynthesized = 0;
+  uint64_t ThreadFreeRuns = 0;
+  uint64_t ScheduleFreeRuns = 0;
+  uint64_t Retries = 0;
+  uint64_t WatchdogWarns = 0;
+  uint64_t WatchdogNudges = 0;
+  uint64_t WatchdogSalvages = 0;
+
+  /// The full ordered action timeline (bounded by
+  /// RecoveryPolicy::MaxActions).
+  std::vector<RecoveryAction> Actions;
 };
 
 /// Complete configuration of a session; every paper "tool configuration"
@@ -167,6 +239,19 @@ struct SessionConfig {
   /// only; ignored otherwise).
   RecordFlushPolicy Flush;
 
+  /// Adaptive desync recovery (support/Recovery.h). Strict (the default)
+  /// preserves today's bit-exact replay behaviour; Resync adds the
+  /// bounded forward search; Adaptive additionally degrades persistently
+  /// divergent threads to free-run and synthesizes missing syscall
+  /// results from the live environment. Applies to replay only.
+  RecoveryPolicy Recovery;
+
+  /// Tick-watchdog supervision (all modes).
+  WatchdogPolicy Watchdog;
+
+  /// Deterministic retry/backoff for transient virtual errors.
+  RetryPolicy Retry;
+
   /// Virtual-time execution tracing (support/Trace.h). Off by default;
   /// when off the session creates no recorder and every emission site is
   /// one branch on a cached null pointer.
@@ -210,6 +295,16 @@ struct RunReport {
   /// disabled, the recording was flushed and the deadlocked threads were
   /// detached. DesyncInfo carries the structured Deadlock report.
   bool Deadlocked = false;
+
+  /// The watchdog's salvage rung ended the run: the tick frontier stalled
+  /// past every escalation deadline, the recording was flushed (record
+  /// mode leaves a truncated, replayable demo) and the stuck threads were
+  /// detached. DesyncInfo carries the structured WatchdogStall report.
+  bool StallSalvaged = false;
+
+  /// What adaptive recovery and the watchdog did (empty under
+  /// RecoveryMode::Strict with the watchdog and retry off).
+  RecoveryOutcome Recovered;
 
   /// Seeds actually used (match META).
   uint64_t Seed0 = 0;
@@ -324,6 +419,13 @@ public:
   /// Declared invisible compute (virtual ns) by the calling thread.
   void work(VTime Ns);
 
+  /// Records one recovery action on the session's timeline (used by the
+  /// sys wrapper layer for short-transfer continuations; internal sites
+  /// call the log directly).
+  void noteRecoveryAction(RecoveryActionKind Kind, Tid Thread,
+                          StreamKind Stream, uint64_t Count,
+                          std::string Detail);
+
   /// Best-effort flush of the live recording from a fatal-signal handler:
   /// pushes the unflushed suffix of every record stream as final chunks.
   /// Skips any stream whose state cannot be snapshotted consistently
@@ -337,7 +439,12 @@ private:
   void runHandlerIfPending(Tid Self);
   void writeMeta();
   bool checkMeta(std::string &Error);
-  SyscallResult replaySyscall(SyscallKind Kind, Tid Self);
+  /// Replays one recorded syscall under the active recovery mode. Sets
+  /// \p IssueNative when the caller must fall through to the native issue
+  /// path (stream exhausted, hard desync, or an adaptive synthesis/free-
+  /// run decision); the returned result is only meaningful when it stays
+  /// false.
+  SyscallResult replaySyscall(SyscallKind Kind, Tid Self, bool &IssueNative);
   void recordSyscall(SyscallKind Kind, const SyscallResult &R);
   void fillMetrics(RunReport &R);
   void drainSyscallStream(uint64_t Tick, bool Final);
@@ -348,7 +455,14 @@ private:
 
   std::unique_ptr<CostModel> Cost;
   std::unique_ptr<SimEnv> Env;
-  std::unique_ptr<Scheduler> Sched;
+  /// The scheduler is owned through SchedOwner but used through the raw
+  /// Sched pointer everywhere: after a salvaging shutdown (deadlock or
+  /// watchdog stall) SchedOwner moves into a never-destroyed registry
+  /// while detached straggler threads may still reach the scheduler
+  /// through this session — the raw pointer stays valid, the moved-from
+  /// unique_ptr would not.
+  std::unique_ptr<Scheduler> SchedOwner;
+  Scheduler *Sched = nullptr;
   std::unique_ptr<RaceDetector> Race;
   std::unique_ptr<AtomicModel> Atomics;
 
@@ -395,11 +509,29 @@ private:
   /// natively without re-probing the reader.
   bool SyscallReplayStopped = false;
 
+  /// Recovery action timeline shared with the scheduler.
+  RecoveryLog Recoveries;
+
+  /// Per-thread adaptive divergence state, indexed by tid and accessed
+  /// only inside the owner's critical section (the total order of visible
+  /// ops serialises all accesses). Streak counts consecutive failed
+  /// syscall resyncs; at RecoveryPolicy::ThreadFreeRunThreshold the
+  /// thread degrades to free-run (its syscalls issue natively) while the
+  /// rest stay on script.
+  std::vector<uint32_t> SyscallDivergenceStreak;
+  std::vector<uint8_t> SyscallThreadFreeRun;
+
   std::thread LivenessThread;
   std::mutex LivenessMu;
   std::condition_variable LivenessCv;
   bool StopLivenessFlag = false;
   void stopLiveness();
+
+  std::thread WatchdogThread;
+  std::mutex WatchdogMu;
+  std::condition_variable WatchdogCv;
+  bool StopWatchdogFlag = false;
+  void stopWatchdog();
 
   bool HasRun = false;
   uint64_t UsedSeed0 = 0;

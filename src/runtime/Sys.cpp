@@ -8,6 +8,7 @@
 #include "runtime/Sys.h"
 
 #include "runtime/Session.h"
+#include "support/Diag.h"
 
 #include <algorithm>
 #include <cstring>
@@ -102,12 +103,57 @@ int sys::connect(int Fd, uint16_t Port) {
   return static_cast<int>(R.Ret);
 }
 
+namespace {
+
+/// Short-transfer continuation (RetryPolicy::RetryShortTransfers): when a
+/// send/write moved fewer bytes than asked, re-issue from the offset
+/// reached until everything went through or an error stops us. Each
+/// continuation is its own visible op and (when recordable) its own
+/// recorded syscall, so replay walks the identical sequence from the
+/// stream — determinism needs no special casing.
+int64_t transferFully(Session &S, SyscallKind Kind, const uint8_t *Buf,
+                      size_t Len, int64_t First,
+                      const std::function<SyscallResult(const uint8_t *,
+                                                        size_t)> &Reissue) {
+  if (First <= 0 || static_cast<size_t>(First) >= Len ||
+      !S.config().Retry.Enabled || !S.config().Retry.RetryShortTransfers)
+    return First;
+  size_t Done = static_cast<size_t>(First);
+  uint64_t Continuations = 0;
+  while (Done < Len) {
+    SyscallResult R = Reissue(Buf + Done, Len - Done);
+    TlsErrno = R.Err;
+    if (R.Ret <= 0)
+      break; // The bytes already moved still count (POSIX short return).
+    Done += static_cast<size_t>(R.Ret);
+    ++Continuations;
+  }
+  if (Continuations)
+    S.noteRecoveryAction(
+        RecoveryActionKind::RetryBackoff, Session::currentTid(),
+        StreamKind::Syscall, Continuations,
+        formatString("'%s' continued a short transfer to %zu/%zu bytes in "
+                     "%llu further call%s",
+                     syscallKindName(Kind), Done, Len,
+                     static_cast<unsigned long long>(Continuations),
+                     Continuations == 1 ? "" : "s"));
+  return static_cast<int64_t>(Done);
+}
+
+} // namespace
+
 int64_t sys::send(int Fd, const void *Buf, size_t Len) {
   Session &S = session();
   SyscallResult R = issue(SyscallKind::Send, S.fdClassOf(Fd), [&] {
     return S.env().sysSend(Session::currentTid(), Fd, Buf, Len);
   });
-  return R.Ret;
+  return transferFully(
+      S, SyscallKind::Send, static_cast<const uint8_t *>(Buf), Len,
+      R.Ret, [&](const uint8_t *P, size_t N) {
+        return issue(SyscallKind::Send, S.fdClassOf(Fd), [&] {
+          return S.env().sysSend(Session::currentTid(), Fd, P, N);
+        });
+      });
 }
 
 int64_t sys::recv(int Fd, void *Buf, size_t MaxLen) {
@@ -240,7 +286,13 @@ int64_t sys::write(int Fd, const void *Buf, size_t Len) {
   SyscallResult R = issue(SyscallKind::Write, S.fdClassOf(Fd), [&] {
     return S.env().sysWrite(Session::currentTid(), Fd, Buf, Len);
   });
-  return R.Ret;
+  return transferFully(
+      S, SyscallKind::Write, static_cast<const uint8_t *>(Buf), Len,
+      R.Ret, [&](const uint8_t *P, size_t N) {
+        return issue(SyscallKind::Write, S.fdClassOf(Fd), [&] {
+          return S.env().sysWrite(Session::currentTid(), Fd, P, N);
+        });
+      });
 }
 
 int sys::close(int Fd) {

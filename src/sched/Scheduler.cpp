@@ -153,6 +153,14 @@ void Scheduler::tick(Tid Self) {
   bool YieldAfterUnlock = false;
   {
     std::unique_lock<std::mutex> L(Mu);
+    if (TSR_UNLIKELY(StallSalvaged)) {
+      // The watchdog salvage froze designation while this thread was
+      // mid-critical-section. Drop the section without ticking; the
+      // thread parks forever at its next wait() and the session detaches
+      // it.
+      Threads[Self].InCritical = false;
+      return;
+    }
     assert(Active == Self && "tick() by a non-designated thread");
     assert(Threads[Self].InCritical && "tick() without a matching wait()");
     Threads[Self].InCritical = false;
@@ -274,21 +282,101 @@ void Scheduler::chooseNextLocked() {
   }
   if (Opts.ExecMode == Mode::Replay &&
       Opts.Strategy == StrategyKind::Queue) {
-    if (CurTick < ReplayQueue.size()) {
-      const uint64_t T = ReplayQueue[CurTick];
+    uint64_t Idx = CurTick + QueueSkew;
+    if (Idx < ReplayQueue.size()) {
+      uint64_t T = ReplayQueue[Idx];
       if (T >= Threads.size() || Threads[T].Finished) {
-        DesyncReport R;
-        R.Reason = DesyncReason::QueueBadThread;
-        R.Stream = StreamKind::Queue;
-        R.Thread = T < InvalidTid ? static_cast<Tid>(T) : InvalidTid;
-        R.Expected = formatString(
-            "thread %llu runnable", static_cast<unsigned long long>(T));
-        R.Actual = T >= Threads.size()
-                       ? formatString("only %zu threads exist",
-                                      Threads.size())
-                       : "it has finished";
-        hardDesyncLocked(std::move(R));
-        return;
+        const uint64_t Bad = T;
+        // Recovery forward search (Resync/Adaptive): scan a bounded
+        // window of QUEUE entries for the next one that designates a
+        // runnable thread. The skipped entries become permanent skew —
+        // every later QUEUE index and recorded SIGNAL/ASYNC tick shifts
+        // by it — and each skip is annotated on the recovery timeline.
+        bool Recovered = false;
+        if (Opts.Recovery != RecoveryMode::Strict) {
+          const uint64_t Limit = std::min<uint64_t>(
+              ReplayQueue.size(), Idx + 1 + Opts.QueueSearchWindow);
+          for (uint64_t J = Idx + 1; J < Limit; ++J) {
+            const uint64_t C = ReplayQueue[J];
+            if (C >= Threads.size() || Threads[C].Finished)
+              continue;
+            const uint64_t Skipped = J - Idx;
+            QueueSkew += Skipped;
+            Stats.QueueEntriesSkipped += Skipped;
+            recordRecoveryLocked(
+                RecoveryActionKind::SkipForward, static_cast<Tid>(C),
+                StreamKind::Queue, Skipped,
+                formatString("skipped %llu QUEUE entr%s starting with "
+                             "unrunnable thread %llu",
+                             static_cast<unsigned long long>(Skipped),
+                             Skipped == 1 ? "y" : "ies",
+                             static_cast<unsigned long long>(Bad)));
+            Idx = J;
+            T = C;
+            Recovered = true;
+            break;
+          }
+        }
+        if (!Recovered && Opts.Recovery != RecoveryMode::Strict &&
+            allFinishedLocked()) {
+          // The program ended before the recorded schedule did. With
+          // nobody left to designate, the leftover entries are vacuous:
+          // consume them as skew and let the run complete instead of
+          // manufacturing a desync out of a finished replay.
+          const uint64_t Remaining = ReplayQueue.size() - Idx;
+          QueueSkew += Remaining;
+          Stats.QueueEntriesSkipped += Remaining;
+          recordRecoveryLocked(
+              RecoveryActionKind::SkipForward, InvalidTid, StreamKind::Queue,
+              Remaining,
+              formatString("every thread finished with %llu recorded QUEUE "
+                           "entr%s left; dropping the vacuous tail",
+                           static_cast<unsigned long long>(Remaining),
+                           Remaining == 1 ? "y" : "ies"));
+          Active = AnyTid;
+          return;
+        }
+        if (!Recovered && Opts.Recovery == RecoveryMode::Adaptive) {
+          // No runnable designation inside the window: degrade the
+          // schedule to free-run and keep the run alive — a soft
+          // desynchronisation with an annotated cause, not a hard stop.
+          recordRecoveryLocked(
+              RecoveryActionKind::ScheduleFreeRun, InvalidTid,
+              StreamKind::Queue, 0,
+              formatString("no runnable designation within %u entries; "
+                           "finishing free-run",
+                           Opts.QueueSearchWindow));
+          FreeRunFcfs = true;
+          ++Stats.SoftResyncs;
+          DesyncReport R;
+          R.Reason = DesyncReason::QueueBadThread;
+          R.Stream = StreamKind::Queue;
+          R.Thread = Bad < InvalidTid ? static_cast<Tid>(Bad) : InvalidTid;
+          R.Expected = formatString(
+              "thread %llu runnable", static_cast<unsigned long long>(Bad));
+          R.Actual = formatString(
+              "no runnable designation within the %u-entry recovery "
+              "window; finishing free-run",
+              Opts.QueueSearchWindow);
+          softDesyncLocked(std::move(R));
+          Active = AnyTid;
+          wakeAllParkedLocked();
+          return;
+        }
+        if (!Recovered) {
+          DesyncReport R;
+          R.Reason = DesyncReason::QueueBadThread;
+          R.Stream = StreamKind::Queue;
+          R.Thread = T < InvalidTid ? static_cast<Tid>(T) : InvalidTid;
+          R.Expected = formatString(
+              "thread %llu runnable", static_cast<unsigned long long>(T));
+          R.Actual = T >= Threads.size()
+                         ? formatString("only %zu threads exist",
+                                        Threads.size())
+                         : "it has finished";
+          hardDesyncLocked(std::move(R));
+          return;
+        }
       }
       Active = static_cast<Tid>(T);
       Strat->onDesignated(Active);
@@ -299,10 +387,11 @@ void Scheduler::chooseNextLocked() {
         Opts.DesignationHook(Active, Threads[Active].Parked);
       return;
     }
-    // Demo exhausted: the recording ended here; continue free-running
-    // (soft desynchronisation territory, §4). Exhaustion with live
-    // threads is a soft resync; exhaustion at the natural end of the
-    // program (every thread finished) is a clean replay.
+    // Demo exhausted (Idx accounts for recovery skew: skipped entries
+    // are consumed entries): the recording ended here; continue
+    // free-running (soft desynchronisation territory, §4). Exhaustion
+    // with live threads is a soft resync; exhaustion at the natural end
+    // of the program (every thread finished) is a clean replay.
     if (!Stats.DemoExhausted) {
       Stats.DemoExhausted = true;
       Stats.DemoExhaustedAtTick = CurTick;
@@ -340,11 +429,29 @@ void Scheduler::chooseNextLocked() {
 void Scheduler::applyInjectionsLocked() {
   if (Opts.ExecMode != Mode::Replay)
     return;
+  // Recorded ticks compare against the skewed index: after the recovery
+  // forward search skipped K QUEUE entries, recorded tick r corresponds
+  // to live tick r - K. Strict keeps QueueSkew at zero, so this is the
+  // legacy comparison bit-for-bit.
+  const uint64_t EffTick = CurTick + QueueSkew;
   // SIGNAL deliveries scheduled for this completed-tick count.
   while (ReplaySignalPos < ReplaySignals.size() &&
-         ReplaySignals[ReplaySignalPos].Tick <= CurTick) {
+         ReplaySignals[ReplaySignalPos].Tick <= EffTick) {
     const SignalEntry &E = ReplaySignals[ReplaySignalPos++];
     if (E.Thread >= Threads.size()) {
+      if (Opts.Recovery != RecoveryMode::Strict) {
+        // Skip-with-annotation: a delivery for a thread that never came
+        // to exist cannot be satisfied, but dropping one signal record
+        // is recoverable — annotate and keep replaying.
+        recordRecoveryLocked(
+            RecoveryActionKind::SkipForward, E.Thread, StreamKind::Signal,
+            1,
+            formatString("dropped recorded signal %d for unknown thread "
+                         "%u (recorded tick %llu)",
+                         E.Sig, E.Thread,
+                         static_cast<unsigned long long>(E.Tick)));
+        continue;
+      }
       DesyncReport R;
       R.Reason = DesyncReason::SignalBadThread;
       R.Stream = StreamKind::Signal;
@@ -363,11 +470,21 @@ void Scheduler::applyInjectionsLocked() {
   // significant (a SignalWakeup may change the enabled set a Reschedule's
   // re-pick observes).
   while (ReplayAsyncPos < ReplayAsync.size() &&
-         ReplayAsync[ReplayAsyncPos].Tick <= CurTick) {
+         ReplayAsync[ReplayAsyncPos].Tick <= EffTick) {
     const AsyncEntry &E = ReplayAsync[ReplayAsyncPos++];
     switch (E.Kind) {
     case AsyncEventKind::SignalWakeup:
       if (E.Thread >= Threads.size()) {
+        if (Opts.Recovery != RecoveryMode::Strict) {
+          recordRecoveryLocked(
+              RecoveryActionKind::SkipForward, E.Thread, StreamKind::Async,
+              1,
+              formatString("dropped recorded wakeup for unknown thread "
+                           "%u (recorded tick %llu)",
+                           E.Thread,
+                           static_cast<unsigned long long>(E.Tick)));
+          break;
+        }
         DesyncReport R;
         R.Reason = DesyncReason::AsyncBadThread;
         R.Stream = StreamKind::Async;
@@ -418,6 +535,8 @@ void Scheduler::noticeSignalsLocked(Tid Self) {
 }
 
 void Scheduler::deadlockCheckLocked() {
+  if (StallSalvaged)
+    return; // The watchdog already salvaged; the frozen state is final.
   if (enabledCountLocked() != 0 || liveCountLocked() == 0)
     return;
   if (Opts.AbortOnDeadlock)
@@ -533,7 +652,9 @@ std::optional<uint64_t> Scheduler::emergencyFlush() {
 
 void Scheduler::fillCursorsLocked(DesyncReport &R) const {
   const uint64_t Total = ReplayQueue.size();
-  const uint64_t Tick = CurTick.load(std::memory_order_relaxed);
+  // Skipped entries count as consumed: the QUEUE cursor reports how far
+  // into the recorded schedule the replay has advanced.
+  const uint64_t Tick = CurTick.load(std::memory_order_relaxed) + QueueSkew;
   R.QueueCursor = {Tick < Total ? Tick : Total, Total};
   R.SignalCursor = {ReplaySignalPos, ReplaySignals.size()};
   R.AsyncCursor = {ReplayAsyncPos, ReplayAsync.size()};
@@ -598,6 +719,95 @@ void Scheduler::recordAsyncLocked(AsyncEventKind Kind, Tid T) {
   AsyncBytes.writeVarU64(CurTick);
   AsyncBytes.writeByte(static_cast<uint8_t>(Kind));
   AsyncBytes.writeVarU64(T);
+}
+
+void Scheduler::recordRecoveryLocked(RecoveryActionKind Kind, Tid T,
+                                     StreamKind S, uint64_t Count,
+                                     std::string Detail) {
+  // RecoveryLog is a leaf lock (it takes nothing else), so recording
+  // under Mu is safe.
+  if (!Opts.RecoveryActions)
+    return;
+  RecoveryAction A;
+  A.Kind = Kind;
+  A.Tick = CurTick.load(std::memory_order_relaxed);
+  A.Thread = T;
+  A.Stream = S;
+  A.Count = Count;
+  A.Detail = std::move(Detail);
+  Opts.RecoveryActions->record(std::move(A));
+}
+
+bool Scheduler::watchdogNudge() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (allFinishedLocked() || Deadlocked || StallSalvaged)
+    return false;
+  ++Stats.WatchdogNudges;
+  if (Opts.ExecMode == Mode::Replay || FreeRunFcfs || !Opts.Controlled) {
+    // Replay or free-run: the likeliest stall is a lost wakeup — fan out
+    // so every parked thread re-checks its predicate.
+    wakeAllParkedLocked();
+    return true;
+  }
+  // Controlled Free/Record: force (and record) a strategy re-pick — the
+  // same recovery the liveness poll applies, but unconditionally — then
+  // fan out so the new designation is observed.
+  recordAsyncLocked(AsyncEventKind::Reschedule, 0);
+  ++Stats.Reschedules;
+  const Tid T = Strat->pickNext(*this, Rng);
+  if (T != InvalidTid) {
+    Active = T;
+    if (T != AnyTid)
+      Strat->onDesignated(T);
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emitEngine(TraceEventKind::StrategyDecision,
+                        CurTick.load(std::memory_order_relaxed),
+                        traceTid(T), /*Reschedule=*/1);
+  }
+  wakeAllParkedLocked();
+  return true;
+}
+
+bool Scheduler::salvageStall(const std::string &Why) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (allFinishedLocked() || Deadlocked || StallSalvaged)
+    return false;
+  StallSalvaged = true;
+  Stats.StallSalvaged = true;
+  // The flushed prefix is a consistent recording up to the stalled
+  // frontier — replaying it reproduces the run up to the hang.
+  flushRecordStreamsLocked(false);
+  if (Report.Kind != DesyncKind::Hard) {
+    DesyncReport R;
+    R.Kind = DesyncKind::Hard;
+    R.Reason = DesyncReason::WatchdogStall;
+    R.Tick = CurTick;
+    R.Actual = Why.empty() ? dumpStateLocked() : Why + "\n" + dumpStateLocked();
+    fillCursorsLocked(R);
+    R.SoftResyncs = Stats.SoftResyncs;
+    R.Message = renderDesyncReport(R);
+    Report = std::move(R);
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emitEngine(TraceEventKind::Desync,
+                        CurTick.load(std::memory_order_relaxed), InvalidTid,
+                        static_cast<uint64_t>(DesyncReason::WatchdogStall),
+                        static_cast<uint64_t>(DesyncKind::Hard));
+  }
+  warn("watchdog: tick frontier stalled at %llu — salvaging shutdown: %s\n%s",
+       static_cast<unsigned long long>(CurTick), Why.c_str(),
+       dumpStateLocked().c_str());
+  // Freeze designation: no thread is granted again. Stragglers park
+  // forever in wait() (or drop their critical section in tick()); the
+  // session detaches them and keeps this scheduler alive.
+  FreeRunFcfs = false;
+  Active = InvalidTid;
+  DoneCv.notify_all();
+  return true;
+}
+
+bool Scheduler::stallSalvaged() {
+  std::lock_guard<std::mutex> L(Mu);
+  return StallSalvaged;
 }
 
 std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
@@ -851,6 +1061,8 @@ uint64_t Scheduler::drawChoice(uint64_t Bound) {
 
 void Scheduler::livenessPoll() {
   std::lock_guard<std::mutex> L(Mu);
+  if (StallSalvaged)
+    return;
   const bool Stalled = CurTick == LastLivenessTick;
   LastLivenessTick = CurTick;
   if (Opts.ExecMode == Mode::Replay || FreeRunFcfs || !Stalled)
@@ -889,7 +1101,7 @@ void Scheduler::livenessPoll() {
 bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
   std::unique_lock<std::mutex> L(Mu);
   uint64_t LastTicks = Stats.Ticks;
-  while (!allFinishedLocked() && !Deadlocked) {
+  while (!allFinishedLocked() && !Deadlocked && !StallSalvaged) {
     const auto Status =
         DoneCv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
     if (Status == std::cv_status::timeout) {
@@ -970,8 +1182,11 @@ void Scheduler::finishRecording() {
   if (Opts.ExecMode != Mode::Record || !RecordSink)
     return;
   QueueLog->flush();
+  // After a watchdog salvage the on-disk streams stay open: the demo
+  // must look interrupted so salvageDirectory cross-trims it to the
+  // flushed frontier, exactly like a crashed recording.
   if (Opts.LiveWriter)
-    flushRecordStreamsLocked(/*Final=*/true);
+    flushRecordStreamsLocked(/*Final=*/!StallSalvaged);
   RecordSink->setStream(StreamKind::Queue, QueueBytes.take());
   RecordSink->setStream(StreamKind::Signal, SignalBytes.take());
   RecordSink->setStream(StreamKind::Async, AsyncBytes.take());

@@ -32,6 +32,7 @@
 #include "support/ByteStream.h"
 #include "support/Demo.h"
 #include "support/Prng.h"
+#include "support/Recovery.h"
 #include "support/Rle.h"
 
 #include <atomic>
@@ -142,6 +143,19 @@ struct SchedulerOptions {
   /// are identical under both policies (same designations, same traces);
   /// only the handoff cost differs.
   WakePolicy Wake = WakePolicy::Targeted;
+
+  /// Replay divergence tolerance (support/Recovery.h). Strict preserves
+  /// the bit-exact legacy behaviour; Resync/Adaptive enable the bounded
+  /// windowed forward search over the QUEUE stream and the skip-with-
+  /// annotation handling of SIGNAL/ASYNC entries for unknown threads.
+  RecoveryMode Recovery = RecoveryMode::Strict;
+
+  /// Forward-search window in QUEUE entries (Resync/Adaptive).
+  uint32_t QueueSearchWindow = 64;
+
+  /// Recovery action sink shared with the session (null disables action
+  /// recording; recovery decisions still apply).
+  RecoveryLog *RecoveryActions = nullptr;
 };
 
 /// Counters exposed for tests and benchmark harnesses.
@@ -177,6 +191,19 @@ struct SchedulerStats {
   /// Broadcast fan-outs issued (every wake under WakePolicy::Broadcast;
   /// only deadlock salvage and hard desync under Targeted).
   uint64_t BroadcastWakeups = 0;
+
+  /// QUEUE entries skipped by the recovery forward search (the skew
+  /// between the live tick counter and the recorded schedule index).
+  uint64_t QueueEntriesSkipped = 0;
+
+  /// Forced strategy decisions / broadcast wakes issued by the watchdog's
+  /// nudge rung.
+  uint64_t WatchdogNudges = 0;
+
+  /// The run ended in the watchdog's salvaging shutdown: the tick
+  /// frontier stalled past every escalation deadline, the recording was
+  /// flushed, and the remaining threads were frozen out (parked forever).
+  bool StallSalvaged = false;
 };
 
 /// The controlled scheduler. All public methods are thread-safe.
@@ -275,6 +302,28 @@ public:
   /// disabled and parked forever; the session must detach (not join) its
   /// OS threads and keep this scheduler alive.
   bool deadlocked();
+
+  /// Watchdog rung 2: forces progress on a stalled run. In controlled
+  /// Free/Record mode this takes (and records) a Reschedule async event
+  /// and re-picks the designation — recovering a designation of a thread
+  /// that will never arrive; in replay or free-run it broadcasts a wake
+  /// to every parked thread — recovering a lost wakeup. Returns false if
+  /// the run already finished, deadlocked or salvaged.
+  bool watchdogNudge();
+
+  /// Watchdog rung 3: the salvaging shutdown for non-deadlock hangs,
+  /// mirroring the deadlock salvage. Flushes the live recording at the
+  /// current (stalled) tick frontier, fills a hard WatchdogStall report
+  /// annotated with \p Why, freezes designation so no further visible op
+  /// is granted (stragglers park forever; the session detaches them), and
+  /// wakes waitAllFinished. Returns false if the run already finished,
+  /// deadlocked or salvaged.
+  bool salvageStall(const std::string &Why);
+
+  /// True when salvageStall latched: the session must detach (not join)
+  /// its OS threads and keep this scheduler alive, exactly like a
+  /// salvaged deadlock.
+  bool stallSalvaged();
 
   /// Blocks until every unfinished thread is physically parked inside
   /// wait() (false on timeout). After a salvaged deadlock the session
@@ -398,6 +447,8 @@ private:
   void enableForWakeupLocked(Tid T);
   void removeFromWaitListsLocked(Tid T);
   void recordAsyncLocked(AsyncEventKind Kind, Tid T);
+  void recordRecoveryLocked(RecoveryActionKind Kind, Tid T, StreamKind S,
+                            uint64_t Count, std::string Detail);
   unsigned enabledCountLocked() const;
   unsigned liveCountLocked() const;
   bool allFinishedLocked() const;
@@ -454,8 +505,19 @@ private:
   /// Deadlock latched by the salvaging shutdown.
   bool Deadlocked = false;
 
+  /// Watchdog stall-salvage latched (salvageStall): designation is frozen
+  /// (Active == InvalidTid forever), tick() is a no-op, and every
+  /// unfinished thread parks forever in wait().
+  bool StallSalvaged = false;
+
   // Replay-side parsed streams and cursors.
   std::vector<uint64_t> ReplayQueue;
+
+  /// Recovery skew: QUEUE entries skipped by the forward search. The
+  /// effective replay index is CurTick + QueueSkew, and recorded
+  /// SIGNAL/ASYNC ticks compare against that skewed index. Always zero
+  /// under RecoveryMode::Strict.
+  uint64_t QueueSkew = 0;
   std::vector<SignalEntry> ReplaySignals;
   size_t ReplaySignalPos = 0;
   std::vector<AsyncEntry> ReplayAsync;

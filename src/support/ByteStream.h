@@ -158,6 +158,11 @@ public:
   size_t position() const { return Pos; }
   size_t size() const { return Bytes.size(); }
 
+  /// Repositions the cursor (clamped to the end). Lets a speculative
+  /// decoder scan forward non-destructively: note position(), probe, and
+  /// seek() back on failure.
+  void seek(size_t NewPos) { Pos = NewPos < Bytes.size() ? NewPos : Bytes.size(); }
+
 private:
   std::vector<uint8_t> Bytes;
   size_t Pos = 0;

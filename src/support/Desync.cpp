@@ -42,13 +42,19 @@ const char *tsr::desyncReasonName(DesyncReason Reason) {
 
 std::string tsr::renderDesyncReport(const DesyncReport &R) {
   if (R.Kind == DesyncKind::None) {
+    std::string Out;
     if (R.SoftResyncs)
-      return formatString(
+      Out = formatString(
           "synchronised (after %llu soft resync%s: recorded streams ran "
           "dry and replay fell back to native execution)",
           static_cast<unsigned long long>(R.SoftResyncs),
           R.SoftResyncs == 1 ? "" : "s");
-    return "synchronised";
+    else
+      Out = "synchronised";
+    if (!R.Recovery.empty())
+      Out += formatString(" with %zu recovery action%s", R.Recovery.size(),
+                          R.Recovery.size() == 1 ? "" : "s");
+    return Out;
   }
   if (R.Reason == DesyncReason::Deadlock) {
     std::string Out = formatString(
@@ -85,5 +91,9 @@ std::string tsr::renderDesyncReport(const DesyncReport &R) {
     Out += formatString("; %llu soft resync%s before this",
                         static_cast<unsigned long long>(R.SoftResyncs),
                         R.SoftResyncs == 1 ? "" : "s");
+  if (!R.Recovery.empty())
+    Out += formatString("; %zu recovery action%s taken (see timeline)",
+                        R.Recovery.size(),
+                        R.Recovery.size() == 1 ? "" : "s");
   return Out;
 }

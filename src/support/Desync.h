@@ -30,10 +30,12 @@
 #define TSR_SUPPORT_DESYNC_H
 
 #include "support/Demo.h"
+#include "support/Recovery.h"
 #include "support/VectorClock.h"
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tsr {
 
@@ -135,6 +137,12 @@ struct DesyncReport {
   /// report thus shows *what the run was doing* when it diverged, not
   /// just where.
   std::string Timeline;
+
+  /// Recovery actions taken during the run (skips, syntheses, per-thread
+  /// free-runs, retries, watchdog rungs), in order. Filled by the session
+  /// from its RecoveryLog; empty under RecoveryMode::Strict with the
+  /// watchdog off.
+  std::vector<RecoveryAction> Recovery;
 
   bool hard() const { return Kind == DesyncKind::Hard; }
 };

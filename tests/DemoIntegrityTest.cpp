@@ -13,10 +13,13 @@
 
 #include "runtime/Tsr.h"
 #include "support/DemoInspect.h"
+#include "support/Prng.h"
+#include "support/Recovery.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -441,6 +444,177 @@ TEST(FaultInjection, ReplayIgnoresConfiguredPlan) {
   EXPECT_EQ(Rep.Desync, DesyncKind::None) << Rep.DesyncInfo.Message;
   EXPECT_EQ(ReplayTrace, RecordTrace);
   EXPECT_EQ(Rep.SyscallsInjected, 0u);
+}
+
+// --- Seeded random-mutation chaos sweep ---------------------------------
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(F),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  F.write(reinterpret_cast<const char *>(Bytes.data()),
+          static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// Applies one seeded random mutation to a random stream file of \p Dir:
+/// a bit flip, a truncation, or a duplicated byte range inserted at a
+/// random offset. Returns a description for failure messages.
+std::string mutateDemoDirectory(const std::string &Dir, Prng &Rng) {
+  const StreamKind Kind = static_cast<StreamKind>(Rng.nextBelow(NumStreamKinds));
+  const std::string Path = streamPath(Dir, Kind);
+  std::vector<uint8_t> Bytes = readFileBytes(Path);
+  if (Bytes.empty())
+    return std::string(streamName(Kind)) + ": empty, left alone";
+  char Desc[128];
+  switch (Rng.nextBelow(3)) {
+  case 0: { // Bit flip anywhere (header, chunk frame or payload).
+    const size_t Off = Rng.nextBelow(Bytes.size());
+    Bytes[Off] ^= static_cast<uint8_t>(1u << Rng.nextBelow(8));
+    std::snprintf(Desc, sizeof(Desc), "%s: bit flip at %zu", streamName(Kind),
+                  Off);
+    break;
+  }
+  case 1: { // Truncation: drop a random-length tail.
+    const size_t Drop = 1 + Rng.nextBelow(std::min<size_t>(Bytes.size(), 64));
+    Bytes.resize(Bytes.size() - Drop);
+    std::snprintf(Desc, sizeof(Desc), "%s: truncated %zu bytes",
+                  streamName(Kind), Drop);
+    break;
+  }
+  default: { // Duplicated chunk: re-insert a copied range elsewhere.
+    const size_t Len = 1 + Rng.nextBelow(std::min<size_t>(Bytes.size(), 32));
+    const size_t From = Rng.nextBelow(Bytes.size() - Len + 1);
+    const size_t At = Rng.nextBelow(Bytes.size() + 1);
+    std::vector<uint8_t> Chunk(Bytes.begin() + From, Bytes.begin() + From + Len);
+    Bytes.insert(Bytes.begin() + At, Chunk.begin(), Chunk.end());
+    std::snprintf(Desc, sizeof(Desc),
+                  "%s: duplicated %zu bytes from %zu at %zu", streamName(Kind),
+                  Len, From, At);
+    break;
+  }
+  }
+  writeFileBytes(Path, Bytes);
+  return Desc;
+}
+
+size_t chaosMutantCount() {
+  if (const char *Env = std::getenv("TSR_CHAOS_MUTANTS"))
+    if (const long N = std::atol(Env); N > 0)
+      return static_cast<size_t>(N);
+  return 40;
+}
+
+/// The chaos acceptance property: EVERY seeded mutant of an on-disk demo
+/// (current v3 and legacy v2 framing alike) must fall into one of three
+/// bins — clean load, repairable salvage, or a typed load error — and a
+/// loadable mutant must replay to completion under Adaptive recovery.
+/// Crashes and hangs are the only failure; the sweep is the fuzz corpus
+/// for the demo decoder and the recovery subsystem at once.
+TEST(DemoChaos, SeededMutationSweepNeverCrashes) {
+  std::vector<int64_t> Trace;
+  RunReport Rec = recordHostileDemo(Trace);
+  const std::string Dir = scratchDir("chaos");
+  const size_t Mutants = chaosMutantCount();
+
+  for (const uint32_t Version :
+       {Demo::FormatVersion, Demo::LegacyFormatVersion}) {
+    for (size_t I = 0; I != Mutants; ++I) {
+      std::string Error;
+      ASSERT_TRUE(Rec.RecordedDemo.saveToDirectory(Dir, Error, Version))
+          << Error;
+      Prng Rng(0xC5A05EEDull + Version, 0xD15EA5Eull + I);
+      std::string Case;
+      const size_t NumMutations = 1 + Rng.nextBelow(3);
+      for (size_t M = 0; M != NumMutations; ++M)
+        Case += mutateDemoDirectory(Dir, Rng) + "; ";
+
+      Demo D;
+      std::string LoadError;
+      bool Loadable = D.loadFromDirectory(Dir, LoadError);
+      if (!Loadable) {
+        // Damaged: the error must be typed (non-empty), and salvage must
+        // either repair to a loadable prefix or fail with its own typed
+        // error — never crash.
+        EXPECT_FALSE(LoadError.empty()) << Case;
+        Demo::SalvageReport Rep;
+        std::string SalvageError;
+        if (Demo::salvageDirectory(Dir, Rep, SalvageError)) {
+          Loadable = D.loadFromDirectory(Dir, LoadError);
+          EXPECT_TRUE(Loadable || !LoadError.empty()) << Case;
+        } else {
+          EXPECT_FALSE(SalvageError.empty()) << Case;
+        }
+      }
+
+      if (Loadable) {
+        // Survivors must replay to completion under Adaptive recovery:
+        // soft desyncs and recovery actions are fine, wedging is not.
+        SessionConfig C = baseConfig(Mode::Replay, hostilePolicy());
+        C.ReplayDemo = &D;
+        C.Recovery.Mode = RecoveryMode::Adaptive;
+        Session S(C);
+        std::vector<int64_t> ReplayTrace;
+        RunReport Rep = S.run([&ReplayTrace] { hostileClient(ReplayTrace); });
+        EXPECT_FALSE(Rep.DesyncInfo.Message.empty()) << Case;
+      }
+    }
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+/// A RECOVERY sidecar is advisory: any seeded mutation of it must yield
+/// Present && !Valid with a typed error — never a crash, and never an
+/// effect on demo loading itself.
+TEST(DemoChaos, MutatedRecoverySidecarIsToleratedWithTypedError) {
+  const std::string Dir = scratchDir("chaos-sidecar");
+  std::vector<RecoveryAction> Actions;
+  for (unsigned I = 0; I != 5; ++I)
+    Actions.push_back({static_cast<RecoveryActionKind>(I % NumRecoveryActionKinds),
+                       100 + I, static_cast<Tid>(I), StreamKind::Syscall,
+                       I + 1, "chaos sweep action"});
+  std::string Error;
+  ASSERT_TRUE(saveRecoverySidecar(Dir, Actions, Error)) << Error;
+
+  // The pristine sidecar round-trips.
+  RecoverySidecarInfo Clean;
+  ASSERT_TRUE(loadRecoverySidecar(Dir, Clean));
+  EXPECT_TRUE(Clean.Valid) << Clean.Error;
+  EXPECT_EQ(Clean.Total, Actions.size());
+  ASSERT_EQ(Clean.Actions.size(), Actions.size());
+  EXPECT_EQ(Clean.Actions[2].Detail, "chaos sweep action");
+
+  const std::string Path = Dir + "/" + RecoverySidecarFileName;
+  const std::vector<uint8_t> Pristine = readFileBytes(Path);
+  ASSERT_FALSE(Pristine.empty());
+  for (size_t I = 0; I != 64; ++I) {
+    Prng Rng(0x51DECA4ull, I);
+    std::vector<uint8_t> Bytes = Pristine;
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      Bytes[Rng.nextBelow(Bytes.size())] ^=
+          static_cast<uint8_t>(1u << Rng.nextBelow(8));
+      break;
+    case 1:
+      Bytes.resize(Rng.nextBelow(Bytes.size()));
+      break;
+    default:
+      Bytes.insert(Bytes.begin() + Rng.nextBelow(Bytes.size() + 1),
+                   static_cast<uint8_t>(Rng.nextBelow(256)));
+      break;
+    }
+    writeFileBytes(Path, Bytes);
+    RecoverySidecarInfo Side;
+    EXPECT_TRUE(loadRecoverySidecar(Dir, Side)) << "mutant " << I;
+    if (!Side.Valid) {
+      EXPECT_FALSE(Side.Error.empty()) << "mutant " << I;
+    }
+  }
+  std::filesystem::remove_all(Dir);
 }
 
 // --- Structured desync reports ------------------------------------------

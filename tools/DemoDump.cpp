@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/DemoInspect.h"
+#include "support/Recovery.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -88,6 +89,42 @@ size_t recordCount(const DemoInfo &Info, StreamKind Kind) {
   return 0;
 }
 
+/// Prints the RECOVERY sidecar summary (if any) under a verify/repair
+/// listing. The sidecar is advisory metadata: damage to it is reported as
+/// a warning but never changes the exit-code contract.
+void printRecoverySidecar(const char *Dir) {
+  RecoverySidecarInfo Side;
+  if (!loadRecoverySidecar(Dir, Side))
+    return;
+  if (!Side.Valid) {
+    std::printf("  RECOVERY sidecar damaged (ignored): %s\n",
+                Side.Error.c_str());
+    return;
+  }
+  std::printf("  RECOVERY sidecar: %llu action%s",
+              static_cast<unsigned long long>(Side.Total),
+              Side.Total == 1 ? "" : "s");
+  bool FirstStream = true;
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    if (!Side.ByStream[I])
+      continue;
+    std::printf("%s%s=%llu", FirstStream ? "  (" : " ",
+                streamName(static_cast<StreamKind>(I)),
+                static_cast<unsigned long long>(Side.ByStream[I]));
+    FirstStream = false;
+  }
+  if (!FirstStream)
+    std::printf(")");
+  std::printf("\n");
+  for (unsigned I = 0; I != NumRecoveryActionKinds; ++I) {
+    if (!Side.ByKind[I])
+      continue;
+    std::printf("    %-18s %llu\n",
+                recoveryActionKindName(static_cast<RecoveryActionKind>(I)),
+                static_cast<unsigned long long>(Side.ByKind[I]));
+  }
+}
+
 int verifyCommand(const char *Dir) {
   if (unreadableDirectory(Dir)) {
     std::fprintf(stderr, "error: %s: unreadable or not a tsr demo directory\n",
@@ -141,6 +178,7 @@ int verifyCommand(const char *Dir) {
   if (Decoded && D.truncated())
     std::printf("  demo is a salvaged prefix truncated at tick %llu\n",
                 static_cast<unsigned long long>(D.frontier()));
+  printRecoverySidecar(Dir);
   for (const std::string &P : Info.Problems) {
     std::printf("  record damage: %s\n", P.c_str());
     AllOk = false;
@@ -181,6 +219,7 @@ int repairCommand(const char *Dir) {
                 F.ChunksDropped, F.ChunksDropped == 1 ? "" : "s",
                 F.BytesDropped, F.BytesDropped == 1 ? "" : "s");
   }
+  printRecoverySidecar(Dir);
   if (Rep.Clean)
     std::printf("demo was already consistent; nothing to do\n");
   else
