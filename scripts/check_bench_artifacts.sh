@@ -33,27 +33,34 @@ check() {
   echo "ok       $File"
 }
 
+# Every SampleStats distribution carries tail estimates alongside the
+# mean (p50 duplicates the median for downstream percentile tooling).
 check BENCH_record_overhead.json \
   bench workload reps policies name overhead_vs_end_of_run ticks \
-  demo_bytes on_disk_bytes ticks_per_sec wall_ms
+  demo_bytes on_disk_bytes ticks_per_sec wall_ms p50 p95 p99
 
 check BENCH_trace_overhead.json \
   bench workload reps modes name trace_events trace_dropped \
-  overhead_vs_off ticks_per_sec wall_ms
+  overhead_vs_off ticks_per_sec wall_ms p50 p95 p99
+
+check BENCH_profile_overhead.json \
+  bench workload reps modes name segments contention_edges blocked_ticks \
+  telemetry_frames overhead_vs_off ticks_per_sec wall_ms p50 p95 p99
 
 check BENCH_sched_throughput.json \
   bench workload reps ops_per_thread configs name policy threads ticks \
   spurious_wakeups targeted_wakeups broadcast_wakeups \
-  speedup_vs_broadcast ticks_per_sec wall_ms
+  speedup_vs_broadcast ticks_per_sec wall_ms p50 p95 p99
 
 check BENCH_recovery.json \
   bench workload reps modes name overhead_vs_strict ticks actions \
-  ticks_per_sec wall_ms recovered_runs runs successes success_rate
+  ticks_per_sec wall_ms recovered_runs runs successes success_rate \
+  p50 p95 p99
 
 check BENCH_race_overhead.json \
   bench workload reps iters configs name backend threads plain_accesses \
   same_epoch_hits fast_path_hits speedup_vs_striped accesses_per_sec \
-  wall_ms apps same_epoch_fraction litmus identical_reports
+  wall_ms apps same_epoch_fraction litmus identical_reports p50 p95 p99
 
 if [ "$Failures" -ne 0 ]; then
   echo "bench artifacts: $Failures problem(s) — regenerate with the" \

@@ -5,6 +5,7 @@
 # directory so incremental plain builds stay untouched.
 #
 # Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace] [--chaos]
+#        [--profile]
 #   --fast          plain configuration only (skips the sanitizer builds).
 #   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
 #                   ASan) — the crash-consistency gate, repeated to shake
@@ -13,6 +14,10 @@
 #                   trace_timeline example end to end (record, export,
 #                   replay, virtual-time diff), and `tsr-demo-dump
 #                   timeline` over the recorded demo.
+#   --profile       run only the causal-profiler smoke: Profile*/Telemetry
+#                   tests, then `tsr-demo-dump profile` over a freshly
+#                   recorded demo — run twice and byte-compared, since the
+#                   offline analysis must be deterministic.
 #   --chaos         run only the self-healing gate (plain + ASan): the
 #                   seeded demo-mutation sweep and recovery/watchdog/
 #                   retry suites at TSR_CHAOS_MUTANTS=120, then a CLI
@@ -27,12 +32,14 @@ FAST=0
 CRASH=0
 TRACE=0
 CHAOS=0
+PROFILE=0
 for Arg in "$@"; do
   case "$Arg" in
   --fast) FAST=1 ;;
   --crash-matrix) CRASH=1 ;;
   --trace) TRACE=1 ;;
   --chaos) CHAOS=1 ;;
+  --profile) PROFILE=1 ;;
   *) echo "unknown option: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -89,6 +96,37 @@ run_trace_smoke() {
     }
   done
   rm -rf "$(dirname "$demo")"
+}
+
+# Profile smoke: the profiler/telemetry suites, then the offline analysis
+# over a real recorded demo. The offline run happens twice and the output
+# is byte-compared: `tsr-demo-dump profile` reconstructs the report purely
+# from the QUEUE/SIGNAL/SYSCALL streams, so two runs over the same demo
+# must agree to the byte.
+run_profile_smoke() {
+  dir="build"
+  scratch="$(mktemp -d)"
+  demo="$scratch/demo"
+  echo "== profile: configure + build ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target profile_test trace_timeline \
+    tsr-demo-dump >/dev/null
+  echo "== profile: ctest -R 'Profile|Telemetry'"
+  ctest --test-dir "$dir" --output-on-failure -R 'Profile|Telemetry'
+  echo "== profile: recording a reference demo ($demo)"
+  "$dir/examples/trace_timeline" "$demo" >/dev/null
+  echo "== profile: tsr-demo-dump profile (twice, byte-compared)"
+  "$dir/tools/tsr-demo-dump" profile "$demo" "$scratch/profile1.json"
+  "$dir/tools/tsr-demo-dump" profile "$demo" "$scratch/profile2.json"
+  grep -q '"tsr-profile-core-v1"' "$scratch/profile1.json" || {
+    echo "offline profile missing tsr-profile-core-v1 schema" >&2
+    exit 1
+  }
+  cmp "$scratch/profile1.json" "$scratch/profile2.json" || {
+    echo "offline profile analysis is not deterministic" >&2
+    exit 1
+  }
+  rm -rf "$scratch"
 }
 
 # Chaos suite: the seeded mutation sweep plus every recovery, watchdog
@@ -159,6 +197,12 @@ fi
 if [ "$TRACE" -eq 1 ]; then
   run_trace_smoke
   echo "verify: trace smoke passed"
+  exit 0
+fi
+
+if [ "$PROFILE" -eq 1 ]; then
+  run_profile_smoke
+  echo "verify: profile smoke passed"
   exit 0
 fi
 

@@ -409,6 +409,17 @@ void RaceDetector::registerName(uintptr_t Addr, size_t Size,
   Names[Addr] = {Size, std::move(Name)};
 }
 
+std::string RaceDetector::resolveName(uintptr_t Addr) {
+  std::lock_guard<std::mutex> L(NamesMu);
+  auto It = Names.upper_bound(Addr);
+  if (It == Names.begin())
+    return std::string();
+  --It;
+  if (Addr < It->first + It->second.first)
+    return It->second.second;
+  return std::string();
+}
+
 void RaceDetector::unregisterName(uintptr_t Addr) {
   // Resolve pending reports first: the name being removed may be theirs
   // (Var destructors run before the final report snapshot).

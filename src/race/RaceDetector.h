@@ -129,6 +129,11 @@ public:
   void registerName(uintptr_t Addr, size_t Size, std::string Name);
   void unregisterName(uintptr_t Addr);
 
+  /// Name of the registered range containing \p Addr, or "" when none.
+  /// Thread-safe; the profiler's lock-ledger resolution uses this to
+  /// label contended locks by the Var<T>-style names already registered.
+  std::string resolveName(uintptr_t Addr);
+
   /// Drops all shadow state for a range (storage reuse after free would
   /// otherwise produce false races). Thread-safe. Under the two-level
   /// backend, pages fully inside the range are retired whole in O(1).

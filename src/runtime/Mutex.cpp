@@ -42,6 +42,7 @@ void Mutex::lock() {
       if (Acquired) {
         S.sched().mutexAcquired(Self, Id);
         S.race().acquire(Self, SyncClock);
+        S.profileLockAcquired(Id, this, Contended);
         // Contention costs a bounded wait (roughly one hold duration).
         // Joining the holder's absolute clock instead would serialize
         // every lock user's virtual time whenever per-thread clocks have
@@ -67,6 +68,7 @@ bool Mutex::tryLock() {
     if (Acquired) {
       S.sched().mutexAcquired(Self, Id);
       S.race().acquire(Self, SyncClock);
+      S.profileLockAcquired(Id, this, /*Contended=*/false);
     }
     return Acquired;
   });
@@ -75,6 +77,7 @@ bool Mutex::tryLock() {
 void Mutex::unlockInCritical(Tid Self, Session &S) {
   S.race().releaseJoin(Self, SyncClock);
   SyncTime = S.cost().syncRelease(Self);
+  S.profileLockReleased(Id);
   Native.unlock();
   S.sched().mutexUnlock(Self, Id);
 }

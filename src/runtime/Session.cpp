@@ -73,6 +73,16 @@ Session::Session(SessionConfig Config) : Config(std::move(Config)) {
   Env = std::make_unique<SimEnv>(*Cost, this->Config.Env);
   if (this->Config.Trace.Enabled)
     Tracer = std::make_unique<TraceRecorder>(this->Config.Trace);
+  if (this->Config.Profile.Enabled)
+    Prof = std::make_unique<Profiler>(this->Config.Profile);
+  if (this->Config.Telemetry.Enabled) {
+    auto Sink = std::make_unique<TelemetrySink>(this->Config.Telemetry);
+    if (Sink->ok()) {
+      Telemetry = std::move(Sink);
+      TelemetryNextDue.store(this->Config.Telemetry.EveryTicks,
+                             std::memory_order_relaxed);
+    }
+  }
 }
 
 Session::~Session() {
@@ -206,6 +216,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
                        Config.ReplayDemo && Config.ReplayDemo->truncated();
   SO.Trace = Tracer.get();
+  SO.Profile = Prof.get();
   // Recovery applies to replay only: there is nothing to resynchronise
   // against in Free/Record mode. The log itself is shared in all modes
   // (the watchdog and retry sites write to it too).
@@ -475,6 +486,15 @@ RunReport Session::run(std::function<void()> MainFn) {
   R.Deadlocked = DeadlockSalvaged;
   R.Seed0 = UsedSeed0;
   R.Seed1 = UsedSeed1;
+  if (Prof) {
+    // Lock call-site names come from the race detector's name registry
+    // (Var<T>/Mutex registrations); unresolved addresses stay numeric.
+    RaceDetector *RD = Race.get();
+    R.Profile = Prof->finish([RD](uint64_t Addr) {
+      return RD ? RD->resolveName(static_cast<uintptr_t>(Addr))
+                : std::string();
+    });
+  }
   if (Tracer) {
     R.Trace = Tracer->snapshot();
     // A desync report carries the virtual-time context around its tick:
@@ -483,7 +503,11 @@ RunReport Session::run(std::function<void()> MainFn) {
       R.DesyncInfo.Timeline = excerptAround(R.Trace, R.DesyncInfo.Tick,
                                             Config.Trace.DesyncContext);
     if (!Config.Trace.ExportChromePath.empty()) {
-      const std::string Json = chromeTraceJson(R.Trace);
+      // A profiled run layers counter tracks and critical-path flow
+      // arrows over the trace slices.
+      const std::string Json = chromeTraceJson(
+          R.Trace,
+          Prof ? profileChromeEvents(R.Profile.Core) : std::string());
       FILE *F = std::fopen(Config.Trace.ExportChromePath.c_str(), "w");
       if (!F) {
         warn("cannot write trace export '%s'",
@@ -494,6 +518,7 @@ RunReport Session::run(std::function<void()> MainFn) {
       }
     }
   }
+  pumpTelemetry(Sched->currentTickRelaxed(), /*Final=*/true);
   fillMetrics(R);
   if (Salvaged) {
     // The detached salvaged threads are parked forever in this
@@ -512,7 +537,14 @@ RunReport Session::run(std::function<void()> MainFn) {
 }
 
 void Session::fillMetrics(RunReport &R) {
-  MetricsSnapshot &M = R.Metrics;
+  // Re-entrancy guard: counters and gauges overwrite, but histogram()
+  // appends samples, so filling into the existing snapshot twice would
+  // double every trace-derived distribution. Build a fresh snapshot and
+  // replace wholesale — snapshotting twice in one run is idempotent.
+  assert((!R.Metrics.hasCounter("sched.ticks") ||
+          R.Metrics.counterOr("sched.ticks", 0) == R.Sched.Ticks) &&
+         "fillMetrics re-entered with a different report");
+  MetricsSnapshot M;
   M.counter("sched.ticks", R.Sched.Ticks);
   M.counter("sched.reschedules", R.Sched.Reschedules);
   M.counter("sched.signals_delivered", R.Sched.SignalsDelivered);
@@ -566,49 +598,103 @@ void Session::fillMetrics(RunReport &R) {
   M.gauge("run.virtual_ns", static_cast<double>(R.VirtualNs));
   M.counter("trace.events", Tracer ? Tracer->emitted() : 0);
   M.counter("trace.dropped", Tracer ? R.Trace.Dropped : 0);
-  if (R.Trace.Events.empty())
-    return;
-  // Tick-bucketed histograms derived from the trace: per-syscall wall
-  // latency (enter→exit, ns) and the length of each thread's consecutive
-  // run of ticks (a scheduling-granularity profile).
-  // Create both entries before taking references: histogram() appends to
-  // a vector, and a second append would invalidate the first reference.
-  M.histogram("trace.syscall_wall_ns");
-  M.histogram("trace.tick_run_length");
-  SampleStats &Latency = M.histogram("trace.syscall_wall_ns");
-  SampleStats &RunLen = M.histogram("trace.tick_run_length");
-  std::map<Tid, uint64_t> OpenEnter;
-  Tid RunThread = InvalidTid;
-  uint64_t RunCount = 0;
-  for (const TraceEvent &E : R.Trace.Events) {
-    switch (E.Kind) {
-    case TraceEventKind::SyscallEnter:
-      OpenEnter[E.Thread] = E.WallNs;
-      break;
-    case TraceEventKind::SyscallExit: {
-      auto It = OpenEnter.find(E.Thread);
-      if (It != OpenEnter.end()) {
-        Latency.add(static_cast<double>(E.WallNs - It->second));
-        OpenEnter.erase(It);
-      }
-      break;
-    }
-    case TraceEventKind::Tick:
-      if (E.Thread == RunThread) {
-        ++RunCount;
-      } else {
-        if (RunCount)
-          RunLen.add(static_cast<double>(RunCount));
-        RunThread = E.Thread;
-        RunCount = 1;
-      }
-      break;
-    default:
-      break;
-    }
+  if (R.Profile.Enabled) {
+    const ProfileCore &PC = R.Profile.Core;
+    M.counter("profile.total_ticks", PC.TotalTicks);
+    M.counter("profile.threads", PC.Threads);
+    M.counter("profile.context_switches", PC.ContextSwitches);
+    M.counter("profile.longest_segment_ticks", PC.LongestSegmentTicks);
+    M.counter("profile.segments", PC.CriticalPath.size());
+    M.counter("profile.contention_edges", PC.Contention.size());
+    M.counter("profile.signals", PC.SignalCount);
+    M.counter("profile.syscalls", PC.SyscallCount);
+    M.counter("profile.syscall_errors", PC.SyscallErrors);
+    M.counter("profile.lock_acquisitions", R.Profile.LockAcquisitions);
+    M.counter("profile.lock_contended", R.Profile.LockContended);
+    M.counter("profile.lock_hold_ticks", R.Profile.LockHoldTicks);
+    M.counter("profile.lock_wait_ticks", R.Profile.LockWaitTicks);
+    M.counter("profile.blocked_ticks", R.Profile.BlockedTicks);
+    M.counter("profile.runnable_wait_ticks", R.Profile.RunnableWaitTicks);
   }
-  if (RunCount)
-    RunLen.add(static_cast<double>(RunCount));
+  if (Telemetry) {
+    M.counter("telemetry.frames", Telemetry->frames());
+    M.counter("telemetry.bytes", Telemetry->bytes());
+  }
+  if (!R.Trace.Events.empty()) {
+    // Tick-bucketed histograms derived from the trace: per-syscall wall
+    // latency (enter→exit, ns) and the length of each thread's
+    // consecutive run of ticks (a scheduling-granularity profile).
+    // Create both entries before taking references: histogram() appends
+    // to a vector, and a second append would invalidate the first
+    // reference.
+    M.histogram("trace.syscall_wall_ns");
+    M.histogram("trace.tick_run_length");
+    SampleStats &Latency = M.histogram("trace.syscall_wall_ns");
+    SampleStats &RunLen = M.histogram("trace.tick_run_length");
+    std::map<Tid, uint64_t> OpenEnter;
+    Tid RunThread = InvalidTid;
+    uint64_t RunCount = 0;
+    for (const TraceEvent &E : R.Trace.Events) {
+      switch (E.Kind) {
+      case TraceEventKind::SyscallEnter:
+        OpenEnter[E.Thread] = E.WallNs;
+        break;
+      case TraceEventKind::SyscallExit: {
+        auto It = OpenEnter.find(E.Thread);
+        if (It != OpenEnter.end()) {
+          Latency.add(static_cast<double>(E.WallNs - It->second));
+          OpenEnter.erase(It);
+        }
+        break;
+      }
+      case TraceEventKind::Tick:
+        if (E.Thread == RunThread) {
+          ++RunCount;
+        } else {
+          if (RunCount)
+            RunLen.add(static_cast<double>(RunCount));
+          RunThread = E.Thread;
+          RunCount = 1;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    if (RunCount)
+      RunLen.add(static_cast<double>(RunCount));
+  }
+  R.Metrics = std::move(M);
+}
+
+void Session::pumpTelemetry(uint64_t Tick, bool Final) {
+  if (TSR_LIKELY(Telemetry == nullptr))
+    return;
+  if (!Final) {
+    // One relaxed load per tick on the streaming path; the CAS elects a
+    // single emitter per cadence window.
+    uint64_t Due = TelemetryNextDue.load(std::memory_order_relaxed);
+    if (Tick < Due)
+      return;
+    const uint64_t Every =
+        Config.Telemetry.EveryTicks ? Config.Telemetry.EveryTicks : 1;
+    if (!TelemetryNextDue.compare_exchange_strong(
+            Due, Due + Every, std::memory_order_relaxed))
+      return;
+  }
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  Counters.reserve(8);
+  const SchedulerStats SS = Sched->statsSnapshot();
+  Counters.emplace_back("sched.ticks", SS.Ticks);
+  Counters.emplace_back("sched.reschedules", SS.Reschedules);
+  Counters.emplace_back("sched.signals_delivered", SS.SignalsDelivered);
+  Counters.emplace_back("syscalls.issued", SyscallsIssued.load());
+  Counters.emplace_back("syscalls.recorded", SyscallsRecorded.load());
+  Counters.emplace_back("syscalls.replayed", SyscallsReplayed.load());
+  Counters.emplace_back("races.reported", Race ? Race->reportCount() : 0);
+  Counters.emplace_back("recovery.actions", Recoveries.total());
+  std::lock_guard<std::mutex> L(TelemetryMu);
+  Telemetry->emitFrame(Tick, Counters, Final);
 }
 
 void Session::stopLiveness() {
@@ -687,6 +773,10 @@ void Session::enterCritical(Tid Self) {
 void Session::leaveCritical(Tid Self, VTime ExtraCost) {
   Cost->visibleOp(Self, ExtraCost);
   Sched->tick(Self);
+  // Outside the scheduler lock, after the tick is published: the stream
+  // observes a monotone tick frontier and never holds up the handoff.
+  if (TSR_UNLIKELY(Telemetry != nullptr))
+    pumpTelemetry(Sched->currentTickRelaxed(), /*Final=*/false);
 }
 
 Tid Session::spawnThread(std::function<void()> Fn) {
@@ -1014,6 +1104,12 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
           SyscallResult R = replaySyscall(Kind, Self, IssueNative);
           if (!IssueNative) {
             SyscallsReplayed.fetch_add(1);
+            // Replay half of the profile SYSCALL identity: the values
+            // came from the stream, so they equal the recorded ones.
+            if (TSR_UNLIKELY(Prof != nullptr))
+              Prof->onSyscall(static_cast<uint64_t>(Kind), R.Ret,
+                              static_cast<uint64_t>(
+                                  static_cast<uint16_t>(R.Err)));
             return Finish(R, false);
           }
           // Exhausted (one soft resync: the recording simply ended
@@ -1070,6 +1166,14 @@ SyscallResult Session::doSyscall(SyscallKind Kind, FdClass Class,
         if (Config.ExecMode == Mode::Record && Recordable) {
           recordSyscall(Kind, R);
           SyscallsRecorded.fetch_add(1);
+          // Record half of the profile SYSCALL identity: exactly the
+          // calls that land in the stream, with the recorded values.
+          // Injected faults are indistinguishable from genuine errors
+          // here by design — the Injected flag is record-only state.
+          if (TSR_UNLIKELY(Prof != nullptr))
+            Prof->onSyscall(static_cast<uint64_t>(Kind), R.Ret,
+                            static_cast<uint64_t>(
+                                static_cast<uint16_t>(R.Err)));
         }
         return Finish(R, Faulted);
       },

@@ -44,9 +44,11 @@
 #include "race/AtomicModel.h"
 #include "race/RaceDetector.h"
 #include "sched/Scheduler.h"
+#include "support/Compiler.h"
 #include "support/Demo.h"
 #include "support/DemoWriter.h"
 #include "support/Metrics.h"
+#include "support/Profile.h"
 #include "support/Recovery.h"
 #include "support/Trace.h"
 
@@ -256,6 +258,16 @@ struct SessionConfig {
   /// when off the session creates no recorder and every emission site is
   /// one branch on a cached null pointer.
   TraceOptions Trace;
+
+  /// Schedule-aware causal profiling (support/Profile.h). Off by default;
+  /// same cached-null-pointer discipline as Trace. When on, the report's
+  /// Profile carries the critical path, contention ledger and per-thread
+  /// utilization, and `profile.*` metrics are published.
+  ProfileOptions Profile;
+
+  /// Live telemetry streaming (support/Profile.h): periodic delta
+  /// MetricsSnapshot frames as JSONL on a virtual-tick cadence.
+  TelemetryOptions Telemetry;
 };
 
 /// Everything a run produced.
@@ -319,6 +331,13 @@ struct RunReport {
 
   /// Merged execution trace (empty unless SessionConfig::Trace.Enabled).
   TraceSnapshot Trace;
+
+  /// Causal profile (Enabled false unless SessionConfig::Profile.Enabled).
+  /// Profile.Core is a pure function of the QUEUE/SIGNAL/SYSCALL streams,
+  /// so a recording, its replay and an offline `tsr-demo-dump profile` of
+  /// the demo agree bit-for-bit; the extensions (lock ledger, wait-kind
+  /// breakdown, waker edges) are deterministic across record/replay.
+  ProfileReport Profile;
 };
 
 class Session;
@@ -416,6 +435,26 @@ public:
   /// Fresh id for a mutex or condition variable.
   uint64_t allocSyncId() { return NextSyncId.fetch_add(1); }
 
+  /// Profiler lock-ledger hooks, called by Mutex from inside the owning
+  /// thread's critical section (single running thread — no lock needed).
+  /// One null-pointer branch when profiling is off.
+  void profileLockAcquired(uint64_t LockId, const void *Addr,
+                           bool Contended) {
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onLockAcquired(Sched->currentTickRelaxed(), currentTid(), LockId,
+                           reinterpret_cast<uintptr_t>(Addr), Contended);
+  }
+  void profileLockReleased(uint64_t LockId) {
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onLockReleased(Sched->currentTickRelaxed(), LockId);
+  }
+
+  /// Rebuilds \p R.Metrics (and the trace/profile-derived histograms)
+  /// from the report's structs. Idempotent: calling it again on the same
+  /// report replaces the snapshot instead of double-counting. Public so
+  /// tests can assert the idempotency.
+  void fillMetrics(RunReport &R);
+
   /// Declared invisible compute (virtual ns) by the calling thread.
   void work(VTime Ns);
 
@@ -446,8 +485,10 @@ private:
   /// false.
   SyscallResult replaySyscall(SyscallKind Kind, Tid Self, bool &IssueNative);
   void recordSyscall(SyscallKind Kind, const SyscallResult &R);
-  void fillMetrics(RunReport &R);
   void drainSyscallStream(uint64_t Tick, bool Final);
+  /// Emits one telemetry frame when the tick cadence has elapsed (called
+  /// from leaveCritical outside the scheduler lock) or the final frame.
+  void pumpTelemetry(uint64_t Tick, bool Final);
   DesyncReport syscallDesyncReport(DesyncReason Reason, Tid Self) const;
 
   SessionConfig Config;
@@ -469,6 +510,16 @@ private:
   /// Null unless Config.Trace.Enabled — the null pointer IS the cached
   /// disabled flag every emission site branches on.
   std::unique_ptr<TraceRecorder> Tracer;
+
+  /// Null unless Config.Profile.Enabled (same discipline as Tracer).
+  std::unique_ptr<Profiler> Prof;
+
+  /// Telemetry streaming state (null sink unless Config.Telemetry is on
+  /// and its sink opened). NextDue is checked with one relaxed load per
+  /// tick; TelemetryMu serialises the actual frame emission.
+  std::unique_ptr<TelemetrySink> Telemetry;
+  std::atomic<uint64_t> TelemetryNextDue{0};
+  std::mutex TelemetryMu;
 
   std::mutex ThreadsMu;
   std::vector<std::thread> OsThreads;

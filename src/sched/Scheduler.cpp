@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 #include "support/DemoWriter.h"
 #include "support/Diag.h"
+#include "support/Profile.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -26,7 +27,7 @@ Tid traceTid(Tid T) { return T == AnyTid || T == InvalidTid ? InvalidTid : T; }
 Scheduler::Scheduler(const SchedulerOptions &Opts, Demo *RecordDemo,
                      const Demo *ReplayDemo)
     : Opts(Opts), Strat(makeStrategy(Opts.Strategy, Opts.Params)),
-      Rng(Opts.Seed0, Opts.Seed1), Trace(Opts.Trace) {
+      Rng(Opts.Seed0, Opts.Seed1), Trace(Opts.Trace), Prof(Opts.Profile) {
   if (!Opts.Controlled)
     FreeRunFcfs = true;
   if (Opts.ExecMode == Mode::Record) {
@@ -170,6 +171,8 @@ void Scheduler::tick(Tid Self) {
     ++Stats.Ticks;
     if (TSR_UNLIKELY(Trace != nullptr))
       Trace->emit(Self, TraceEventKind::Tick, EventTick);
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onTick(EventTick, Self);
     Strat->onTick(EventTick, Self, Rng);
     if (Opts.ExecMode == Mode::Record && Opts.Controlled &&
         Opts.Strategy == StrategyKind::Queue)
@@ -465,6 +468,10 @@ void Scheduler::applyInjectionsLocked() {
       return;
     }
     Threads[E.Thread].DeliverableSignals.push_back(E.Sig);
+    // Replay-side half of the profile SIGNAL identity: the recorded
+    // (thread, tick, signo) triple, not the live delivery tick.
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onSignal(E.Tick, E.Thread, static_cast<uint64_t>(E.Sig));
   }
   // ASYNC events in recorded order; their relative order within a tick is
   // significant (a SignalWakeup may change the enabled set a Reschedule's
@@ -530,6 +537,8 @@ void Scheduler::noticeSignalsLocked(Tid Self) {
       SignalBytes.writeVarU64(Self);
       SignalBytes.writeVarU64(CurTick);
       SignalBytes.writeVarU64(static_cast<uint64_t>(S));
+      if (TSR_UNLIKELY(Prof != nullptr))
+        Prof->onSignal(CurTick, Self, static_cast<uint64_t>(S));
     }
   }
 }
@@ -696,6 +705,9 @@ void Scheduler::enableForWakeupLocked(Tid T) {
   if (TS.Finished)
     return;
   ++Stats.SignalWakeups;
+  if (TSR_UNLIKELY(Prof != nullptr) && !TS.Enabled)
+    Prof->onUnblock(CurTick.load(std::memory_order_relaxed), T, UINT64_MAX,
+                    ProfileWaitKind::Signal, 0);
   TS.Enabled = true;
   TS.Waiting = WaitKind::None;
   TS.WaitObj = 0;
@@ -864,6 +876,9 @@ void Scheduler::threadJoinBlock(Tid Self, Tid Target) {
   T.Enabled = false;
   T.Waiting = WaitKind::Join;
   T.WaitObj = Target;
+  if (TSR_UNLIKELY(Prof != nullptr))
+    Prof->onBlock(CurTick.load(std::memory_order_relaxed), Self,
+                  ProfileWaitKind::Join, Target);
 }
 
 void Scheduler::threadDelete(Tid Self) {
@@ -881,6 +896,9 @@ void Scheduler::threadDelete(Tid Self) {
     if (!JS.Finished && JS.Waiting == WaitKind::Join && JS.WaitObj == Self) {
       JS.Enabled = true;
       JS.Waiting = WaitKind::None;
+      if (TSR_UNLIKELY(Prof != nullptr))
+        Prof->onUnblock(CurTick.load(std::memory_order_relaxed), J, Self,
+                        ProfileWaitKind::Join, Self);
     }
   }
   // The re-enabled joiners are not yet designated: threadDelete runs
@@ -900,6 +918,9 @@ void Scheduler::mutexLockFail(Tid Self, uint64_t MutexId) {
   T.Enabled = false;
   T.Waiting = WaitKind::Mutex;
   T.WaitObj = MutexId;
+  if (TSR_UNLIKELY(Prof != nullptr))
+    Prof->onBlock(CurTick.load(std::memory_order_relaxed), Self,
+                  ProfileWaitKind::Mutex, MutexId);
   auto &Waiters = MutexWaiters[MutexId];
   if (std::find(Waiters.begin(), Waiters.end(), Self) == Waiters.end())
     Waiters.push_back(Self);
@@ -914,7 +935,7 @@ void Scheduler::mutexAcquired(Tid Self, uint64_t MutexId) {
   V.erase(std::remove(V.begin(), V.end(), Self), V.end());
 }
 
-void Scheduler::mutexUnlock(Tid, uint64_t MutexId) {
+void Scheduler::mutexUnlock(Tid Self, uint64_t MutexId) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = MutexWaiters.find(MutexId);
   if (It == MutexWaiters.end() || It->second.empty())
@@ -928,6 +949,9 @@ void Scheduler::mutexUnlock(Tid, uint64_t MutexId) {
          "mutex waiter list out of sync");
   TS.Enabled = true;
   TS.Waiting = WaitKind::None;
+  if (TSR_UNLIKELY(Prof != nullptr))
+    Prof->onUnblock(CurTick.load(std::memory_order_relaxed), T, Self,
+                    ProfileWaitKind::Mutex, MutexId);
   // The woken waiter is enabled, not designated: the unlocker still owns
   // the critical section, and its tick() hands the processor over.
   if (Opts.Wake == WakePolicy::Broadcast) {
@@ -948,9 +972,12 @@ void Scheduler::condWait(Tid Self, uint64_t CondId, bool Timed) {
   T.Enabled = false;
   T.Waiting = WaitKind::Cond;
   T.WaitObj = CondId;
+  if (TSR_UNLIKELY(Prof != nullptr))
+    Prof->onBlock(CurTick.load(std::memory_order_relaxed), Self,
+                  ProfileWaitKind::Cond, CondId);
 }
 
-unsigned Scheduler::condSignal(Tid, uint64_t CondId) {
+unsigned Scheduler::condSignal(Tid Self, uint64_t CondId) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = CondWaiters.find(CondId);
   if (It == CondWaiters.end() || It->second.empty())
@@ -968,6 +995,9 @@ unsigned Scheduler::condSignal(Tid, uint64_t CondId) {
     // the signal lands; pull it off that waiter list too — it retries
     // the trylock and re-registers if it loses (Figure 4's loop).
     removeFromWaitListsLocked(T);
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onUnblock(CurTick.load(std::memory_order_relaxed), T, Self,
+                      ProfileWaitKind::Cond, CondId);
   }
   // Enabled, not designated: the signaller's tick() issues the wake.
   if (Opts.Wake == WakePolicy::Broadcast) {
@@ -977,7 +1007,7 @@ unsigned Scheduler::condSignal(Tid, uint64_t CondId) {
   return 1;
 }
 
-unsigned Scheduler::condBroadcast(Tid, uint64_t CondId) {
+unsigned Scheduler::condBroadcast(Tid Self, uint64_t CondId) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = CondWaiters.find(CondId);
   if (It == CondWaiters.end())
@@ -993,6 +1023,9 @@ unsigned Scheduler::condBroadcast(Tid, uint64_t CondId) {
       TS.Enabled = true;
       TS.Waiting = WaitKind::None;
       removeFromWaitListsLocked(T);
+      if (TSR_UNLIKELY(Prof != nullptr))
+        Prof->onUnblock(CurTick.load(std::memory_order_relaxed), T, Self,
+                        ProfileWaitKind::Cond, CondId);
     }
     ++Woken;
   }

@@ -52,6 +52,7 @@ namespace tsr {
 
 class ChunkedDemoWriter;
 class TraceRecorder;
+class Profiler;
 
 // DesyncKind and the structured DesyncReport live in support/Desync.h
 // (pulled in through sched/Common.h): the session's syscall layer fills
@@ -138,6 +139,12 @@ struct SchedulerOptions {
   /// Virtual-time trace recorder (null when tracing is off; every
   /// emission site then reduces to one branch on this cached pointer).
   TraceRecorder *Trace = nullptr;
+
+  /// Causal profiler (null when profiling is off; every hook site then
+  /// reduces to one branch on this cached pointer). The scheduler feeds
+  /// it the tick sequence plus every park / re-enable with its cause and
+  /// waker, all under the scheduler lock (support/Profile.h).
+  Profiler *Profile = nullptr;
 
   /// Wakeup discipline for the wait()/tick() hot path. Schedule semantics
   /// are identical under both policies (same designations, same traces);
@@ -542,6 +549,9 @@ private:
 
   /// Cached from Opts.Trace: null compiles every emission to one branch.
   TraceRecorder *const Trace;
+
+  /// Cached from Opts.Profile: null compiles every hook to one branch.
+  Profiler *const Prof;
 };
 
 } // namespace tsr

@@ -9,6 +9,8 @@
 
 #include "support/ByteStream.h"
 #include "support/Diag.h"
+#include "support/Metrics.h"
+#include "support/Recovery.h"
 #include "support/Rle.h"
 
 using namespace tsr;
@@ -188,6 +190,11 @@ std::string tsr::formatDemoInfo(const DemoInfo &Info,
 }
 
 std::string tsr::demoTimelineJson(const DemoInfo &Info) {
+  return demoTimelineJson(Info, nullptr);
+}
+
+std::string tsr::demoTimelineJson(const DemoInfo &Info,
+                                  const RecoverySidecarInfo *Recovery) {
   // Same layout conventions as chromeTraceJson (support/Trace.h): one
   // process, one row per thread, the engine on a high sentinel row.
   constexpr uint64_t EngineRow = 1000000;
@@ -242,6 +249,21 @@ std::string tsr::demoTimelineJson(const DemoInfo &Info) {
                       static_cast<unsigned long long>(A.Tick),
                       A.Kind == 0 ? "reschedule" : "signal-wakeup",
                       static_cast<unsigned long long>(A.Tid)));
+
+  // RECOVERY sidecar actions (PR 6) land on the engine row as instants,
+  // so a recovered run shows *where* resync / free-run kicked in.
+  if (Recovery && Recovery->Valid)
+    for (const RecoveryAction &A : Recovery->Actions)
+      Emit(formatString(
+          "{\"ph\":\"i\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,\"s\":\"t\","
+          "\"name\":\"recovery:%s\",\"args\":{\"thread\":%lld,\"count\":"
+          "%llu,\"detail\":\"%s\"}}",
+          static_cast<unsigned long long>(EngineRow),
+          static_cast<unsigned long long>(A.Tick),
+          recoveryActionKindName(A.Kind),
+          A.Thread == InvalidTid ? -1LL : static_cast<long long>(A.Thread),
+          static_cast<unsigned long long>(A.Count),
+          jsonEscape(A.Detail).c_str()));
 
   Out += "]}";
   return Out;

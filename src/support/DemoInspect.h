@@ -88,6 +88,15 @@ std::string formatDemoInfo(const DemoInfo &Info,
 /// any demo directory on disk can be visualised after the fact.
 std::string demoTimelineJson(const DemoInfo &Info);
 
+struct RecoverySidecarInfo;
+
+/// Same, with the demo's RECOVERY sidecar (PR 6) merged in: every
+/// recovery action becomes an "i" instant on the engine row, so a
+/// recovered run shows where resync / free-run kicked in. \p Recovery
+/// may be null or invalid (ignored).
+std::string demoTimelineJson(const DemoInfo &Info,
+                             const RecoverySidecarInfo *Recovery);
+
 } // namespace tsr
 
 #endif // TSR_SUPPORT_DEMOINSPECT_H

@@ -119,17 +119,22 @@ public:
 
   /// Serialises the summary plus a fixed-bucket histogram as one JSON
   /// object: {"count":N,"mean":...,"stddev":...,"cv":...,"min":...,
-  /// "p25":...,"median":...,"p75":...,"max":...,"buckets":[{"lo":...,
-  /// "hi":...,"count":N},...]}. Shared by the metrics registry and the
+  /// "p25":...,"median":...,"p50":...,"p75":...,"p95":...,"p99":...,
+  /// "max":...,"buckets":[{"lo":...,"hi":...,"count":N},...]}. The tail
+  /// percentiles are linear-interpolated over the retained samples
+  /// (quantile()); "p50" duplicates "median" so downstream tooling can
+  /// read a uniform pNN key set. Shared by the metrics registry and the
   /// bench harnesses.
   std::string toJson(size_t NumBuckets = 16) const {
-    char Buf[256];
+    char Buf[384];
     std::snprintf(Buf, sizeof(Buf),
                   "{\"count\":%zu,\"mean\":%g,\"stddev\":%g,\"cv\":%g,"
-                  "\"min\":%g,\"p25\":%g,\"median\":%g,\"p75\":%g,"
+                  "\"min\":%g,\"p25\":%g,\"median\":%g,\"p50\":%g,"
+                  "\"p75\":%g,\"p95\":%g,\"p99\":%g,"
                   "\"max\":%g,\"buckets\":[",
                   count(), mean(), stddev(), cv(), min(), quantile(0.25),
-                  median(), quantile(0.75), max());
+                  median(), quantile(0.5), quantile(0.75), quantile(0.95),
+                  quantile(0.99), max());
     std::string Out = Buf;
     const std::vector<Bucket> Hist = histogram(NumBuckets);
     for (size_t I = 0; I != Hist.size(); ++I) {

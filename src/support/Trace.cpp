@@ -318,6 +318,11 @@ uint64_t rowFor(Tid T) { return T == InvalidTid ? EngineRow : T; }
 } // namespace
 
 std::string tsr::chromeTraceJson(const TraceSnapshot &S) {
+  return chromeTraceJson(S, std::string());
+}
+
+std::string tsr::chromeTraceJson(const TraceSnapshot &S,
+                                 const std::string &ExtraEvents) {
   std::string Out = "{\n  \"displayTimeUnit\": \"ms\",\n"
                     "  \"otherData\": {\"clock\": \"virtual (scheduler "
                     "ticks)\"},\n  \"traceEvents\": [\n";
@@ -437,6 +442,15 @@ std::string tsr::chromeTraceJson(const TraceSnapshot &S) {
         }
       }
     }
+  }
+
+  // Caller-supplied events (profile counter tracks and flow arrows) are
+  // spliced in verbatim, already rendered as comma-separated objects.
+  if (!ExtraEvents.empty()) {
+    if (!First)
+      Out += ",\n    ";
+    Out += ExtraEvents;
+    First = false;
   }
 
   Out += "\n  ]\n}\n";

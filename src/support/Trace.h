@@ -243,6 +243,13 @@ std::string formatTraceEvent(const TraceEvent &E);
 /// instants for the timing events, with ts measured in ticks.
 std::string chromeTraceJson(const TraceSnapshot &S);
 
+/// Same, with \p ExtraEvents — pre-rendered, comma-separated trace-event
+/// objects (no enclosing array) — spliced into the traceEvents stream.
+/// The session's export path layers profile counter tracks and
+/// critical-path flow arrows (profileChromeEvents) in this way.
+std::string chromeTraceJson(const TraceSnapshot &S,
+                            const std::string &ExtraEvents);
+
 } // namespace tsr
 
 #endif // TSR_SUPPORT_TRACE_H

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/DemoInspect.h"
+#include "support/Profile.h"
 #include "support/Recovery.h"
 
 #include <cstdio>
@@ -39,10 +40,19 @@ int usage(const char *Prog) {
       "       %s verify <demo-dir>\n"
       "       %s repair <demo-dir>\n"
       "       %s timeline <demo-dir> [out.json]\n"
+      "       %s profile <demo-dir> [out.json]\n"
       "\n"
       "timeline renders the demo's QUEUE/SIGNAL/ASYNC streams as Chrome\n"
       "trace-event JSON (ts = scheduler tick) to out.json, or stdout when\n"
       "omitted. Open it at https://ui.perfetto.dev or chrome://tracing.\n"
+      "Recovery sidecar actions (RECOVERY) appear as instant events.\n"
+      "\n"
+      "profile reconstructs the schedule-level causal profile offline\n"
+      "from the QUEUE/SIGNAL/SYSCALL streams — no re-execution: the\n"
+      "virtual-time critical path with per-handoff gap attribution,\n"
+      "per-thread utilization and the waiter/blocker contention matrix\n"
+      "as canonical JSON (tsr-profile-core-v1), bit-identical to the\n"
+      "in-process profile of the run that recorded the demo.\n"
       "\n"
       "verify exit status:\n"
       "  0  every stream is intact\n"
@@ -55,7 +65,7 @@ int usage(const char *Prog) {
       "  0  demo is intact, or was salvaged to a consistent prefix\n"
       "  1  salvage failed (damage beyond torn chunk tails)\n"
       "  2  the directory is unreadable or not a tsr demo at all\n",
-      Prog, Prog, Prog, Prog);
+      Prog, Prog, Prog, Prog, Prog);
   return 2;
 }
 
@@ -243,7 +253,11 @@ int timelineCommand(const char *Dir, const char *OutPath) {
   const DemoInfo Info = inspectDemo(D);
   for (const std::string &P : Info.Problems)
     std::fprintf(stderr, "warning: %s\n", P.c_str());
-  const std::string Json = demoTimelineJson(Info);
+  // A RECOVERY sidecar (if present and intact) lands on the engine row.
+  RecoverySidecarInfo Side;
+  const bool HasSidecar = loadRecoverySidecar(Dir, Side) && Side.Valid;
+  const std::string Json =
+      demoTimelineJson(Info, HasSidecar ? &Side : nullptr);
   if (!OutPath) {
     std::fwrite(Json.data(), 1, Json.size(), stdout);
     std::fputc('\n', stdout);
@@ -256,9 +270,46 @@ int timelineCommand(const char *Dir, const char *OutPath) {
   }
   std::fwrite(Json.data(), 1, Json.size(), F);
   std::fclose(F);
-  std::printf("wrote %zu ticks, %zu signals, %zu async events to %s\n",
+  std::printf("wrote %zu ticks, %zu signals, %zu async events, %zu "
+              "recovery actions to %s\n",
               Info.Schedule.size(), Info.Signals.size(), Info.Asyncs.size(),
-              OutPath);
+              HasSidecar ? Side.Actions.size() : 0, OutPath);
+  return 0;
+}
+
+int profileCommand(const char *Dir, const char *OutPath) {
+  if (unreadableDirectory(Dir)) {
+    std::fprintf(stderr, "error: %s: unreadable or not a tsr demo directory\n",
+                 Dir);
+    return 2;
+  }
+  Demo D;
+  std::string Error;
+  if (!D.loadFromDirectory(Dir, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  const DemoInfo Info = inspectDemo(D);
+  for (const std::string &P : Info.Problems)
+    std::fprintf(stderr, "warning: %s\n", P.c_str());
+  const ProfileCore Core = analyzeProfile(profileInputsFromDemo(Info));
+  const std::string Json = profileCoreJson(Core);
+  if (!OutPath) {
+    std::fwrite(Json.data(), 1, Json.size(), stdout);
+    return 0;
+  }
+  FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  std::printf("wrote profile of %llu ticks across %llu threads (%zu "
+              "critical-path segments) to %s\n",
+              static_cast<unsigned long long>(Core.TotalTicks),
+              static_cast<unsigned long long>(Core.Threads),
+              Core.CriticalPath.size(), OutPath);
   return 0;
 }
 
@@ -285,6 +336,12 @@ int main(int Argc, char **Argv) {
     if (Argc != 3 && Argc != 4)
       return usage(Argv[0]);
     return timelineCommand(Argv[2], Argc == 4 ? Argv[3] : nullptr);
+  }
+
+  if (std::strcmp(Argv[1], "profile") == 0) {
+    if (Argc != 3 && Argc != 4)
+      return usage(Argv[0]);
+    return profileCommand(Argv[2], Argc == 4 ? Argv[3] : nullptr);
   }
 
   const size_t MaxEntries =

@@ -1,0 +1,162 @@
+//===-- tools/TelemetryRollup.cpp - tsr-telemetry-rollup -------------------===//
+//
+// Part of the tsr project: a reproduction of "Sparse Record and Replay with
+// Controlled Scheduling" (PLDI 2019).
+//
+// Rolls the JSONL telemetry streams of multiple sessions into one fleet
+// summary. Each input file is a SessionConfig::Telemetry stream: one
+// {"type":"tsr-telemetry",...} object per line with cumulative "counters".
+// The rollup takes each stream's last frame (the cumulative totals) and
+// sums them across streams, reporting per-counter totals plus per-stream
+// frame/tick statistics.
+//
+// Usage: tsr-telemetry-rollup <stream.jsonl>... [> fleet.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace tsr;
+
+namespace {
+
+/// Minimal scanner for the flat one-line frames TelemetrySink writes. Not
+/// a general JSON parser: keys never contain escapes we care about beyond
+/// jsonEscape's output, and values in "counters" are unsigned integers.
+struct Frame {
+  uint64_t Tick = 0;
+  uint64_t Seq = 0;
+  bool Final = false;
+  std::map<std::string, uint64_t> Counters;
+};
+
+bool scanU64(const std::string &Line, const char *Key, uint64_t &Out) {
+  const std::string Needle = std::string("\"") + Key + "\": ";
+  const size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  Out = std::strtoull(Line.c_str() + At + Needle.size(), nullptr, 10);
+  return true;
+}
+
+/// Parses the {"name": value, ...} object following \p Key.
+void scanCounterObject(const std::string &Line, const char *Key,
+                       std::map<std::string, uint64_t> &Out) {
+  const std::string Needle = std::string("\"") + Key + "\": {";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return;
+  At += Needle.size();
+  while (At < Line.size() && Line[At] != '}') {
+    const size_t KeyStart = Line.find('"', At);
+    if (KeyStart == std::string::npos)
+      return;
+    const size_t KeyEnd = Line.find('"', KeyStart + 1);
+    if (KeyEnd == std::string::npos)
+      return;
+    const size_t Colon = Line.find(':', KeyEnd);
+    if (Colon == std::string::npos)
+      return;
+    Out[Line.substr(KeyStart + 1, KeyEnd - KeyStart - 1)] =
+        std::strtoull(Line.c_str() + Colon + 1, nullptr, 10);
+    const size_t Comma = Line.find_first_of(",}", Colon);
+    if (Comma == std::string::npos)
+      return;
+    At = Line[Comma] == ',' ? Comma + 1 : Comma;
+  }
+}
+
+bool parseFrame(const std::string &Line, Frame &F) {
+  if (Line.find("\"type\": \"tsr-telemetry\"") == std::string::npos)
+    return false;
+  scanU64(Line, "tick", F.Tick);
+  scanU64(Line, "seq", F.Seq);
+  F.Final = Line.find("\"final\": true") != std::string::npos;
+  scanCounterObject(Line, "counters", F.Counters);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2 || std::strcmp(Argv[1], "--help") == 0 ||
+      std::strcmp(Argv[1], "-h") == 0) {
+    std::fprintf(stderr,
+                 "usage: %s <stream.jsonl>...\n"
+                 "\n"
+                 "Sums the final cumulative counters of each session's\n"
+                 "telemetry stream into one fleet summary (JSON, stdout).\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::map<std::string, uint64_t> Fleet;
+  uint64_t Streams = 0, TotalFrames = 0, MaxTick = 0, FinalFrames = 0;
+  std::vector<std::string> Damaged;
+
+  for (int I = 1; I < Argc; ++I) {
+    FILE *F = std::fopen(Argv[I], "r");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot read %s (skipped)\n", Argv[I]);
+      Damaged.push_back(Argv[I]);
+      continue;
+    }
+    Frame LastFrame;
+    uint64_t Frames = 0;
+    std::string Line;
+    char Buf[4096];
+    while (std::fgets(Buf, sizeof(Buf), F)) {
+      Line = Buf;
+      // Reassemble frames longer than the buffer.
+      while (!Line.empty() && Line.back() != '\n' &&
+             std::fgets(Buf, sizeof(Buf), F))
+        Line += Buf;
+      Frame Fr;
+      if (!parseFrame(Line, Fr))
+        continue;
+      ++Frames;
+      LastFrame = std::move(Fr);
+    }
+    std::fclose(F);
+    if (!Frames) {
+      std::fprintf(stderr, "warning: %s holds no telemetry frames\n",
+                   Argv[I]);
+      Damaged.push_back(Argv[I]);
+      continue;
+    }
+    ++Streams;
+    TotalFrames += Frames;
+    FinalFrames += LastFrame.Final ? 1 : 0;
+    MaxTick = LastFrame.Tick > MaxTick ? LastFrame.Tick : MaxTick;
+    for (const auto &C : LastFrame.Counters)
+      Fleet[C.first] += C.second;
+  }
+
+  std::printf("{\n  \"type\": \"tsr-telemetry-fleet\",\n"
+              "  \"streams\": %llu,\n  \"frames\": %llu,\n"
+              "  \"complete_streams\": %llu,\n  \"max_tick\": %llu,\n"
+              "  \"totals\": {",
+              static_cast<unsigned long long>(Streams),
+              static_cast<unsigned long long>(TotalFrames),
+              static_cast<unsigned long long>(FinalFrames),
+              static_cast<unsigned long long>(MaxTick));
+  bool First = true;
+  for (const auto &C : Fleet) {
+    std::printf("%s\n    \"%s\": %llu", First ? "" : ",",
+                jsonEscape(C.first).c_str(),
+                static_cast<unsigned long long>(C.second));
+    First = false;
+  }
+  std::printf("%s},\n  \"skipped\": [", First ? "" : "\n  ");
+  for (size_t I = 0; I != Damaged.size(); ++I)
+    std::printf("%s\"%s\"", I ? ", " : "", jsonEscape(Damaged[I]).c_str());
+  std::printf("]\n}\n");
+  return Streams ? 0 : 1;
+}
