@@ -62,6 +62,12 @@ check BENCH_race_overhead.json \
   same_epoch_hits fast_path_hits speedup_vs_striped accesses_per_sec \
   wall_ms apps same_epoch_fraction litmus identical_reports p50 p95 p99
 
+check BENCH_fleet_throughput.json \
+  bench workload reps requests_per_session solo_wall_ms max_sessions \
+  fleet name sessions sessions_per_sec agg_ticks_per_sec \
+  per_session_overhead_vs_solo hard_desyncs deadlocks \
+  demo_bit_identical_to_solo replay_identical wall_ms p50 p95 p99
+
 if [ "$Failures" -ne 0 ]; then
   echo "bench artifacts: $Failures problem(s) — regenerate with the" \
     "bench binaries and re-commit" >&2

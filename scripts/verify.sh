@@ -5,7 +5,7 @@
 # directory so incremental plain builds stay untouched.
 #
 # Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace] [--chaos]
-#        [--profile]
+#        [--profile] [--fleet]
 #   --fast          plain configuration only (skips the sanitizer builds).
 #   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
 #                   ASan) — the crash-consistency gate, repeated to shake
@@ -18,6 +18,12 @@
 #                   tests, then `tsr-demo-dump profile` over a freshly
 #                   recorded demo — run twice and byte-compared, since the
 #                   offline analysis must be deterministic.
+#   --fleet         run only the multi-session gate: SessionPool tests
+#                   (plain + ASan), then a fleet_throughput smoke run
+#                   whose JSON must report zero desyncs/deadlocks and
+#                   replay_identical=true at every rung — i.e. a demo
+#                   recorded inside a concurrent fleet is byte-identical
+#                   to the solo recording and replays cleanly.
 #   --chaos         run only the self-healing gate (plain + ASan): the
 #                   seeded demo-mutation sweep and recovery/watchdog/
 #                   retry suites at TSR_CHAOS_MUTANTS=120, then a CLI
@@ -33,6 +39,7 @@ CRASH=0
 TRACE=0
 CHAOS=0
 PROFILE=0
+FLEET=0
 for Arg in "$@"; do
   case "$Arg" in
   --fast) FAST=1 ;;
@@ -40,6 +47,7 @@ for Arg in "$@"; do
   --trace) TRACE=1 ;;
   --chaos) CHAOS=1 ;;
   --profile) PROFILE=1 ;;
+  --fleet) FLEET=1 ;;
   *) echo "unknown option: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -185,6 +193,54 @@ run_chaos_cli() {
   done
   rm -rf "$scratch"
 }
+
+# Multi-session gate: the SessionPool suite (concurrent record/replay
+# stress, registry drain, fleet-vs-solo bit-identity) in the requested
+# configuration, then a fleet_throughput smoke whose JSON must show a
+# fully healthy fleet.
+run_fleet_tests() {
+  name="$1"
+  sanitize="$2"
+  dir="build-verify-$name"
+  [ "$name" = "plain" ] && dir="build"
+  echo "== $name: SessionPool suite ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target session_pool_test >/dev/null
+  ctest --test-dir "$dir" --output-on-failure -R SessionPool
+}
+
+run_fleet_smoke() {
+  dir="build"
+  scratch="$(mktemp -d)"
+  cmake --build "$dir" -j "$JOBS" --target fleet_throughput >/dev/null
+  echo "== fleet: fleet_throughput smoke (reps=2, up to 64 sessions)"
+  ( cd "$scratch" && \
+    TSR_BENCH_REPS=2 TSR_BENCH_FLEET_MAX=64 \
+    "$OLDPWD/$dir/bench/fleet_throughput" )
+  json="$scratch/BENCH_fleet_throughput.json"
+  grep -q '"replay_identical": true' "$json" || {
+    echo "fleet smoke: no rung reported replay_identical=true" >&2
+    exit 1
+  }
+  if grep -q '"replay_identical": false' "$json"; then
+    echo "fleet smoke: a fleet-recorded demo was not byte-identical to" \
+         "the solo recording (or failed to replay cleanly)" >&2
+    exit 1
+  fi
+  if grep -Eq '"(hard_desyncs|deadlocks)": [1-9]' "$json"; then
+    echo "fleet smoke: fleet sessions desynced or deadlocked" >&2
+    exit 1
+  fi
+  rm -rf "$scratch"
+}
+
+if [ "$FLEET" -eq 1 ]; then
+  run_fleet_tests plain ""
+  [ "$FAST" -eq 0 ] && run_fleet_tests asan address
+  run_fleet_smoke
+  echo "verify: fleet gate passed"
+  exit 0
+fi
 
 if [ "$CHAOS" -eq 1 ]; then
   run_chaos plain ""

@@ -60,18 +60,27 @@ void CostModel::visibleOp(Tid T, VTime ExtraCost) {
   assert(T < Local.size() && "visible op by unregistered thread");
   const VTime Cost = Config.VisibleOpCost + ExtraCost;
   if (Config.ChainVisibleOps && EagerStalled[T]) {
-    // The chain waited for this thread to emerge from invisible code;
-    // estimate the stall as half its just-finished segment.
+    // An eager strategy designated this thread; the chain idled while it
+    // emerged from invisible code. The stall is estimated purely in
+    // virtual time — the thread's lead over the chain, limited to the
+    // part earned by declared work since its last visible op (an idle
+    // poller ahead of the chain via a wait deadline stalled nobody).
+    // Virtual-only inputs keep recordings deterministic: sampling the
+    // thread's physical parked state here would leak wall-clock timing
+    // into clocks that recorded syscalls embed in the demo.
     EagerStalled[T] = false;
-    ++EagerStalls;
-    const VTime Charge =
-        std::min(WorkSinceOp[T], Config.EagerStallCapNs) +
-        Config.EagerStallFixedNs;
-    EagerChargedNs += Charge;
-    GlobalChain += Charge;
-    // Everyone waited for this thread to arrive: wall-dead time.
-    for (VTime &L : Local)
-      L += Charge;
+    const VTime Gap = Local[T] > GlobalChain ? Local[T] - GlobalChain : 0;
+    const VTime Stall = std::min(Gap, WorkSinceOp[T]);
+    if (Stall) {
+      ++EagerStalls;
+      const VTime Charge = std::min(Stall, Config.EagerStallCapNs) +
+                           Config.EagerStallFixedNs;
+      EagerChargedNs += Charge;
+      GlobalChain += Charge;
+      // Everyone waited for this thread to arrive: wall-dead time.
+      for (VTime &L : Local)
+        L += Charge;
+    }
   }
   WorkSinceOp[T] = 0;
   if (Config.ChainVisibleOps || Config.SequentializeAll) {

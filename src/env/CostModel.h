@@ -66,14 +66,17 @@ struct CostModelConfig {
   /// Extra virtual cost per recorded syscall (compression + demo write).
   VTime SyscallRecordCost = 600;
 
-  /// When the strategy designates a thread that has not reached Wait()
-  /// yet, everyone stalls until it arrives — the random strategy's
+  /// When an eager strategy designates a thread that has not reached
+  /// Wait() yet, everyone stalls until it arrives — the random strategy's
   /// pathology (§5.2): it picks among all enabled threads, parked or
   /// not, while queue only designates arrived threads. During the stall
-  /// the whole system is dead in wall time, so the charge — the stalling
-  /// thread's current invisible segment (declared work since its last
-  /// visible op), capped here, plus a fixed handoff cost — advances every
-  /// thread's clock.
+  /// the whole system is dead in wall time, so the charge — the
+  /// designated thread's virtual-time lead over the chain, limited to
+  /// its current invisible segment (declared work since its last visible
+  /// op), capped here, plus a fixed handoff cost — advances every
+  /// thread's clock. The estimate uses virtual time only; physical
+  /// arrival state must never feed it, because recorded syscalls embed
+  /// these clocks and recording must be a pure function of the seeds.
   VTime EagerStallCapNs = 5000000;
   VTime EagerStallFixedNs = 2000;
 
@@ -117,8 +120,9 @@ public:
   /// charges BlockingOpCost.
   void blockingOp(Tid T);
 
-  /// The scheduler designated T while it was still running invisible
-  /// code; its next visible op charges the estimated stall to the chain.
+  /// An eager strategy designated T; T's next visible op prices any
+  /// resulting chain stall from virtual-time state alone (no charge if T
+  /// was not virtually behind on declared work).
   void markEagerStall(Tid T);
 
   /// Charges a serialization stall to the global chain (see

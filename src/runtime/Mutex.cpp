@@ -13,9 +13,19 @@ using namespace tsr;
 
 namespace {
 
-/// Sync-object ids are process-global; their values never influence
-/// scheduling decisions, only identity.
-std::atomic<uint64_t> NextSyncObjectId{1};
+/// Fallback id source for sync objects constructed outside any session
+/// (globals). Objects created inside a controlled thread draw from the
+/// session's own counter instead: id sequences restart at 1 per session,
+/// so two same-seed sessions of one program produce identical id streams
+/// regardless of what ran before them in the process — a prerequisite
+/// for fleet-recorded demos being bit-identical to solo-recorded ones.
+std::atomic<uint64_t> OrphanSyncObjectId{uint64_t(1) << 48};
+
+uint64_t nextSyncObjectId() {
+  if (Session *S = Session::current())
+    return S->allocSyncId();
+  return OrphanSyncObjectId.fetch_add(1);
+}
 
 Session &session() {
   Session *S = Session::current();
@@ -25,7 +35,7 @@ Session &session() {
 
 } // namespace
 
-Mutex::Mutex() : Id(NextSyncObjectId.fetch_add(1)) {}
+Mutex::Mutex() : Id(nextSyncObjectId()) {}
 
 void Mutex::lock() {
   Session &S = session();
@@ -87,7 +97,7 @@ void Mutex::unlock() {
   S.visibleOp([&](Tid Self) { unlockInCritical(Self, S); });
 }
 
-CondVar::CondVar() : Id(NextSyncObjectId.fetch_add(1)) {}
+CondVar::CondVar() : Id(nextSyncObjectId()) {}
 
 bool CondVar::waitImpl(Mutex &M, bool Timed, uint64_t TimeoutMs) {
   Session &S = session();

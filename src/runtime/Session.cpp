@@ -11,6 +11,7 @@
 #include "support/Diag.h"
 #include "support/Rle.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -19,17 +20,102 @@
 
 using namespace tsr;
 
-namespace {
-// One TLS object for both the session pointer and the tid: the plain
-// access hot path reads them together via currentAccessContext().
-thread_local AccessContext TlsCtx;
+namespace tsr {
 
-// Fatal-signal emergency flush (RecordFlushPolicy::OnFatalSignal). One
-// process-wide owner session; the handler performs a single best-effort
-// flush of the live recording, then restores the default disposition and
-// re-raises so the process still dies with the original signal.
-std::atomic<Session *> EmergencySession{nullptr};
+/// Where each controlled OS thread of a session keeps its identity, and
+/// the roster of threads still alive. The registry is shared (through a
+/// shared_ptr) between the Session, its thread-entry lambdas and — after
+/// a salvaged run — the parked-scheduler registry, so it outlives the
+/// Session object itself: a detached straggler deregisters as its very
+/// last act, and only a registry with zero live threads lets a parked
+/// scheduler be reclaimed.
+class ThreadRegistry {
+public:
+  /// One controlled thread's TLS identity. The session pointer is
+  /// written by the owning thread (enter/exit) and by session teardown
+  /// (orphanAll, through the registered pointer) — hence atomic, though
+  /// the hot path only ever pays a relaxed load.
+  struct Slot {
+    std::atomic<Session *> S{nullptr};
+    Tid T = 0;
+    /// Teardown nulled this slot while the thread was still alive: any
+    /// later instrumented access in the thread is the use-after-free bug
+    /// this flag turns into a deterministic diagnostic.
+    std::atomic<bool> Orphaned{false};
+  };
+
+  void enter(Slot *P, Session *S, Tid T) {
+    P->T = T;
+    P->Orphaned.store(false, std::memory_order_relaxed);
+    P->S.store(S, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> L(Mu);
+    Slots.push_back(P);
+  }
+
+  /// The exiting thread's LAST act — after this it must not touch its
+  /// session or scheduler again (both may be reclaimed the moment the
+  /// roster is empty).
+  void exit(Slot *P) {
+    P->S.store(nullptr, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> L(Mu);
+    Slots.erase(std::remove(Slots.begin(), Slots.end(), P), Slots.end());
+    Cv.notify_all();
+  }
+
+  /// Session teardown with threads still alive (detached stragglers):
+  /// null their session pointers through the registered slots so an
+  /// instrumented access in a thread that outlived its session fails
+  /// fast instead of dereferencing freed memory.
+  void orphanAll() {
+    std::lock_guard<std::mutex> L(Mu);
+    for (Slot *P : Slots) {
+      P->S.store(nullptr, std::memory_order_relaxed);
+      P->Orphaned.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  size_t live() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Slots.size();
+  }
+
+  bool waitExited(uint64_t TimeoutMs) {
+    std::unique_lock<std::mutex> L(Mu);
+    return Cv.wait_for(L, std::chrono::milliseconds(TimeoutMs),
+                       [this] { return Slots.empty(); });
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<Slot *> Slots;
+};
+
+} // namespace tsr
+
+namespace {
+// One TLS slot for both the session pointer and the tid: the plain
+// access hot path reads them together via currentAccessContext().
+thread_local ThreadRegistry::Slot TlsSlot;
+
+[[noreturn]] void orphanedAccess() {
+  fatal("tsr API used by a thread that outlived its session: the session "
+        "was torn down while this thread was still running (tid %u)",
+        static_cast<unsigned>(TlsSlot.T));
+}
+
+// Fatal-signal emergency flush (RecordFlushPolicy::OnFatalSignal). The
+// handlers are process-wide, so they are installed exactly once — by
+// whichever registration takes the live count from zero — and every live
+// session with the flag occupies a slot in this registry. The first
+// fatal signal dispatches one best-effort flush to all of them, then
+// restores the default disposition and re-raises so the process still
+// dies with the original signal.
+constexpr size_t MaxEmergencySessions = 4096;
+std::atomic<Session *> EmergencySessions[MaxEmergencySessions];
 std::atomic<bool> EmergencyRan{false};
+std::mutex EmergencyMu; ///< serialises register/unregister/install
+size_t EmergencyLive = 0;
 constexpr int EmergencySignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGILL,
                                     SIGFPE};
 constexpr size_t NumEmergencySignals =
@@ -38,8 +124,9 @@ struct sigaction EmergencyOldActions[NumEmergencySignals];
 
 void emergencyHandler(int Sig) {
   if (!EmergencyRan.exchange(true))
-    if (Session *S = EmergencySession.load())
-      S->emergencyFlushDemo();
+    for (size_t I = 0; I != MaxEmergencySessions; ++I)
+      if (Session *S = EmergencySessions[I].load())
+        S->emergencyFlushDemo();
   ::signal(Sig, SIG_DFL);
   ::raise(Sig);
 }
@@ -57,18 +144,115 @@ void uninstallEmergencyHandlers() {
   for (size_t I = 0; I != NumEmergencySignals; ++I)
     ::sigaction(EmergencySignals[I], &EmergencyOldActions[I], nullptr);
 }
-} // namespace
 
-Session *Session::current() { return TlsCtx.S; }
-
-Tid Session::currentTid() {
-  assert(TlsCtx.S && "tsr API used outside a controlled thread");
-  return TlsCtx.T;
+bool registerEmergencySession(Session *S) {
+  std::lock_guard<std::mutex> L(EmergencyMu);
+  for (size_t I = 0; I != MaxEmergencySessions; ++I) {
+    Session *Expected = nullptr;
+    if (EmergencySessions[I].compare_exchange_strong(Expected, S)) {
+      if (EmergencyLive++ == 0) {
+        EmergencyRan.store(false);
+        installEmergencyHandlers();
+      }
+      return true;
+    }
+  }
+  return false; // registry full: this session just goes unprotected
 }
 
-AccessContext Session::currentAccessContext() { return TlsCtx; }
+void unregisterEmergencySession(Session *S) {
+  std::lock_guard<std::mutex> L(EmergencyMu);
+  for (size_t I = 0; I != MaxEmergencySessions; ++I) {
+    if (EmergencySessions[I].load() == S) {
+      EmergencySessions[I].store(nullptr);
+      if (--EmergencyLive == 0)
+        uninstallEmergencyHandlers();
+      return;
+    }
+  }
+}
+
+// Salvaged runs leave stragglers parked forever inside their scheduler;
+// the scheduler survives here (reachable, so leak checkers stay quiet)
+// together with the thread registry that says when every straggler has
+// exited — at which point drainParkedSchedulers can reclaim the entry.
+// Function-local leaked singletons: sessions may end during static
+// destruction of the host program.
+struct ParkedScheduler {
+  std::unique_ptr<Scheduler> Sched;
+  std::shared_ptr<ThreadRegistry> Threads;
+};
+
+std::mutex &parkedMu() {
+  static std::mutex *const M = new std::mutex();
+  return *M;
+}
+
+std::vector<ParkedScheduler> &parkedList() {
+  static std::vector<ParkedScheduler> *const V =
+      new std::vector<ParkedScheduler>();
+  return *V;
+}
+} // namespace
+
+Session *Session::current() {
+  Session *S = TlsSlot.S.load(std::memory_order_relaxed);
+  if (TSR_UNLIKELY(!S && TlsSlot.Orphaned.load(std::memory_order_relaxed)))
+    orphanedAccess();
+  return S;
+}
+
+Tid Session::currentTid() {
+  if (TSR_UNLIKELY(TlsSlot.S.load(std::memory_order_relaxed) == nullptr)) {
+    if (TlsSlot.Orphaned.load(std::memory_order_relaxed))
+      orphanedAccess();
+    assert(false && "tsr API used outside a controlled thread");
+  }
+  return TlsSlot.T;
+}
+
+AccessContext Session::currentAccessContext() {
+  Session *S = TlsSlot.S.load(std::memory_order_relaxed);
+  if (TSR_UNLIKELY(!S && TlsSlot.Orphaned.load(std::memory_order_relaxed)))
+    orphanedAccess();
+  return {S, TlsSlot.T};
+}
+
+void Session::beginStragglerRetire() {
+  if (Sched)
+    Sched->requestRetire();
+}
+
+size_t Session::liveStragglers() const { return Reg ? Reg->live() : 0; }
+
+bool Session::waitStragglersRetired(uint64_t TimeoutMs) {
+  return Reg ? Reg->waitExited(TimeoutMs) : true;
+}
+
+size_t Session::parkedSchedulerCount() {
+  std::lock_guard<std::mutex> L(parkedMu());
+  return parkedList().size();
+}
+
+size_t Session::drainParkedSchedulers() {
+  std::lock_guard<std::mutex> L(parkedMu());
+  auto &List = parkedList();
+  const size_t Before = List.size();
+  List.erase(std::remove_if(List.begin(), List.end(),
+                            [](const ParkedScheduler &P) {
+                              return !P.Threads || P.Threads->live() == 0;
+                            }),
+             List.end());
+  return Before - List.size();
+}
+
+size_t Session::liveEmergencySessionCountForTest() {
+  std::lock_guard<std::mutex> L(EmergencyMu);
+  return EmergencyLive;
+}
 
 Session::Session(SessionConfig Config) : Config(std::move(Config)) {
+  Reg = std::make_shared<ThreadRegistry>();
   Cost = std::make_unique<CostModel>(this->Config.Cost);
   Env = std::make_unique<SimEnv>(*Cost, this->Config.Env);
   if (this->Config.Trace.Enabled)
@@ -88,10 +272,18 @@ Session::Session(SessionConfig Config) : Config(std::move(Config)) {
 Session::~Session() {
   stopLiveness();
   stopWatchdog();
-  std::lock_guard<std::mutex> L(ThreadsMu);
-  for (std::thread &T : OsThreads)
-    if (T.joinable())
-      T.join();
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    for (std::thread &T : OsThreads)
+      if (T.joinable())
+        T.join();
+  }
+  // Detached stragglers (salvaged runs without a retire) may outlive this
+  // object. Null their TLS session pointers through the registry so any
+  // instrumented access they ever make fails with a deterministic
+  // diagnostic instead of using freed session memory.
+  if (Reg)
+    Reg->orphanAll();
 }
 
 void Session::writeMeta() {
@@ -184,21 +376,20 @@ RunReport Session::run(std::function<void()> MainFn) {
     writeMeta();
     if (!Config.Flush.Directory.empty()) {
       std::string WriterError;
-      if (!LiveWriter.open(Config.Flush.Directory, WriterError)) {
+      const bool Opened =
+          Config.Flush.Backend
+              ? LiveWriter.attach(*Config.Flush.Backend,
+                                  Config.Flush.Directory, WriterError)
+              : LiveWriter.open(Config.Flush.Directory, WriterError);
+      if (!Opened) {
         warn("incremental demo flushing disabled: %s", WriterError.c_str());
       } else {
         const auto &Meta = RecordDemo.stream(StreamKind::Meta);
         LiveWriter.appendChunk(StreamKind::Meta, Meta.data(), Meta.size(),
                                /*Frontier=*/0);
         LiveWriter.closeStream(StreamKind::Meta);
-        if (Config.Flush.OnFatalSignal) {
-          Session *Expected = nullptr;
-          if (EmergencySession.compare_exchange_strong(Expected, this)) {
-            EmergencyRan.store(false);
-            installEmergencyHandlers();
-            EmergencyInstalled = true;
-          }
-        }
+        if (Config.Flush.OnFatalSignal)
+          EmergencyRegistered = registerEmergencySession(this);
       }
     }
   }
@@ -234,12 +425,14 @@ RunReport Session::run(std::function<void()> MainFn) {
     };
   }
   if (Config.Cost.ChainVisibleOps) {
-    // Designating a thread that has not reached Wait() stalls the whole
-    // visible-op chain until it arrives (§5.2's random-strategy cost).
-    SO.DesignationHook = [this](Tid T, bool WasParked) {
-      if (!WasParked)
-        Cost->markEagerStall(T);
-    };
+    // Eagerly designating a thread that has not reached Wait() stalls the
+    // whole visible-op chain until it arrives (§5.2's random-strategy
+    // cost). Whether a stall actually occurred — and how long it was — is
+    // decided by the cost model from virtual time alone, never from the
+    // thread's physical parked state: recorded syscall results embed the
+    // virtual clock, so any wall-clock input here would make two
+    // same-seed recordings differ byte-for-byte.
+    SO.DesignationHook = [this](Tid T) { Cost->markEagerStall(T); };
   }
   SchedOwner = std::make_unique<Scheduler>(SO, &RecordDemo, Config.ReplayDemo);
   Sched = SchedOwner.get();
@@ -348,10 +541,19 @@ RunReport Session::run(std::function<void()> MainFn) {
 
   {
     std::lock_guard<std::mutex> L(ThreadsMu);
-    OsThreads.emplace_back(
-        [this, Fn = std::move(MainFn)]() mutable {
-          mainThreadBody(std::move(Fn));
-        });
+    OsThreads.emplace_back([this, Fn = std::move(MainFn),
+                            R = Reg]() mutable {
+      R->enter(&TlsSlot, this, 0);
+      try {
+        mainThreadBody(std::move(Fn));
+      } catch (const ControlledThreadRetire &) {
+        // A straggler retire unwound this thread off the controlled
+        // body; destructors already ran under degenerate grants.
+      }
+      // Deregistering is the thread's last act: after this the session
+      // and scheduler may be reclaimed at any moment.
+      R->exit(&TlsSlot);
+    });
   }
 
   bool Done = Sched->waitAllFinished(Config.WatchdogTimeoutMs);
@@ -416,10 +618,9 @@ RunReport Session::run(std::function<void()> MainFn) {
       // consistent prefix that ends at the stalled frontier.
       RecordDemo.markTruncated(Sched->currentTick());
   }
-  if (EmergencyInstalled) {
-    uninstallEmergencyHandlers();
-    EmergencySession.store(nullptr);
-    EmergencyInstalled = false;
+  if (EmergencyRegistered) {
+    unregisterEmergencySession(this);
+    EmergencyRegistered = false;
   }
   LiveWriter.closeAll();
 
@@ -523,15 +724,15 @@ RunReport Session::run(std::function<void()> MainFn) {
   if (Salvaged) {
     // The detached salvaged threads are parked forever in this
     // scheduler's condition variable; destroying it would pull the state
-    // out from under them. Park the scheduler in a never-destroyed
-    // registry instead (still reachable, so leak checkers stay quiet).
-    // The raw Sched pointer keeps aiming at the parked instance, so a
-    // straggler calling back through this session stays safe.
-    static std::mutex *const ParkedMu = new std::mutex();
-    static std::vector<std::unique_ptr<Scheduler>> *const Parked =
-        new std::vector<std::unique_ptr<Scheduler>>();
-    std::lock_guard<std::mutex> L(*ParkedMu);
-    Parked->push_back(std::move(SchedOwner));
+    // out from under them. Park the scheduler in the process-wide
+    // registry instead (still reachable, so leak checkers stay quiet),
+    // paired with the thread registry that knows when every straggler
+    // has exited — beginStragglerRetire + drainParkedSchedulers can then
+    // reclaim it. The raw Sched pointer keeps aiming at the parked
+    // instance, so a straggler calling back through this session stays
+    // safe.
+    std::lock_guard<std::mutex> L(parkedMu());
+    parkedList().push_back({std::move(SchedOwner), Reg});
   }
   return R;
 }
@@ -726,22 +927,22 @@ void Session::noteRecoveryAction(RecoveryActionKind Kind, Tid Thread,
 }
 
 void Session::mainThreadBody(std::function<void()> MainFn) {
-  TlsCtx = {this, 0};
+  // TLS registration happens in the OS-thread lambda (run/spawnThread),
+  // bracketing the retire catch: a ControlledThreadRetire unwinding out
+  // of here must still find the TLS context intact for the destructors
+  // it runs.
   MainFn();
   // Thread deletion is a visible operation (§3.2).
   enterCritical(0);
   Sched->threadDelete(0);
   leaveCritical(0);
-  TlsCtx = {};
 }
 
 void Session::childThreadBody(Tid Self, std::function<void()> Fn) {
-  TlsCtx = {this, Self};
   Fn();
   enterCritical(Self);
   Sched->threadDelete(Self);
   leaveCritical(Self);
-  TlsCtx = {};
 }
 
 void Session::enterCritical(Tid Self) {
@@ -787,8 +988,15 @@ Tid Session::spawnThread(std::function<void()> Fn) {
     return C;
   });
   std::lock_guard<std::mutex> L(ThreadsMu);
-  OsThreads.emplace_back([this, Child, F = std::move(Fn)]() mutable {
-    childThreadBody(Child, std::move(F));
+  OsThreads.emplace_back([this, Child, F = std::move(Fn),
+                          R = Reg]() mutable {
+    R->enter(&TlsSlot, this, Child);
+    try {
+      childThreadBody(Child, std::move(F));
+    } catch (const ControlledThreadRetire &) {
+      // Unwound off the controlled body by a straggler retire.
+    }
+    R->exit(&TlsSlot);
   });
   return Child;
 }
@@ -1055,6 +1263,14 @@ void Session::drainSyscallStream(uint64_t Tick, bool Final) {
 void Session::emergencyFlushDemo() {
   if (!LiveWriter.isOpen() || !Sched)
     return;
+  if (LiveWriter.isAttached()) {
+    // Attached mode cannot assemble new chunks from a signal handler
+    // (enqueueing allocates and may block on backpressure). Push out the
+    // frames producers already queued instead: crash durability is the
+    // queued prefix, and the per-chunk CRCs cut any torn tail.
+    LiveWriter.emergencyFlushQueued();
+    return;
+  }
   const auto Tick = Sched->emergencyFlush();
   if (!Tick)
     return; // Scheduler lock unavailable: keep the durable prefix as-is.

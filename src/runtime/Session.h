@@ -84,8 +84,18 @@ struct RecordFlushPolicy {
 
   /// Install fatal-signal handlers (SIGABRT/SIGSEGV/SIGBUS/SIGILL/SIGFPE)
   /// that perform one best-effort async-signal-safe flush before the
-  /// process dies, then re-raise with the default disposition.
+  /// process dies, then re-raise with the default disposition. Handlers
+  /// are process-wide but installed once: every live session with this
+  /// flag registers in a shared registry, and the first fatal signal
+  /// dispatches the flush to all of them.
   bool OnFatalSignal = true;
+
+  /// Shared multi-session writer backend (SessionPool wires this; null
+  /// keeps the session's own synchronous writer). The streams still land
+  /// in Directory with identical framing — one background thread just
+  /// does the write(2) calls for every session in the pool. The backend
+  /// must outlive the session's run().
+  AsyncDemoBackend *Backend = nullptr;
 };
 
 /// Tick-watchdog supervision: a dedicated supervisor thread polls the
@@ -341,6 +351,7 @@ struct RunReport {
 };
 
 class Session;
+class ThreadRegistry;
 
 /// The calling controlled thread's session and tid, fetched together.
 /// The race-detector hot path (Var<T>::get/set, plainRead/plainWrite)
@@ -472,6 +483,38 @@ public:
   /// remains salvageable. Async-signal-safe apart from try-locks.
   void emergencyFlushDemo();
 
+  // --- Straggler management after a salvaged run (used by SessionPool and
+  // tests). A salvaged run() returns with its leftover threads detached
+  // and parked forever inside the scheduler, which moves to a process-
+  // wide parked registry so the threads' parking place stays alive.
+
+  /// Asks the scheduler to retire every straggler: each one gets
+  /// ControlledThreadRetire thrown out of its next wait() and its OS
+  /// thread exits. Only call when this Session object is guaranteed to
+  /// stay alive until liveStragglers() reaches zero — the unwind still
+  /// runs destructors with visible operations through this session.
+  void beginStragglerRetire();
+
+  /// OS threads spawned by this session that have not yet fully exited
+  /// (includes parked-forever stragglers).
+  size_t liveStragglers() const;
+
+  /// Blocks until every straggler has exited, or \p TimeoutMs elapsed
+  /// (returns false). With retire never begun, stragglers of a salvaged
+  /// run park forever and this can only time out.
+  bool waitStragglersRetired(uint64_t TimeoutMs);
+
+  /// Schedulers currently held by the process-wide parked registry
+  /// (salvaged runs whose stragglers have not been drained).
+  static size_t parkedSchedulerCount();
+
+  /// Frees parked schedulers whose threads have all exited (retired
+  /// stragglers); returns how many were drained. Safe to call any time.
+  static size_t drainParkedSchedulers();
+
+  /// Live sessions registered for the fatal-signal emergency flush.
+  static size_t liveEmergencySessionCountForTest();
+
 private:
   void mainThreadBody(std::function<void()> MainFn);
   void childThreadBody(Tid Self, std::function<void()> Fn);
@@ -541,8 +584,18 @@ private:
   /// Serialises SyscallBytes/SyscallFlushed between the recording thread,
   /// the flush hook and the fatal-signal path (which only try-locks).
   std::mutex SyscallStreamMu;
-  /// This session installed the process-wide fatal-signal flush handlers.
-  bool EmergencyInstalled = false;
+  /// This session is registered in the process-wide fatal-signal flush
+  /// registry (the handlers themselves are installed once per process,
+  /// by whichever registration takes the live count from zero).
+  bool EmergencyRegistered = false;
+
+  /// Registry of this session's controlled OS threads and their TLS
+  /// slots. Shared with the thread-entry lambdas and the parked-scheduler
+  /// registry so it outlives the Session object: a detached straggler
+  /// deregisters itself as its very last act, and teardown orphans any
+  /// slot still present so a thread that outlives its session fails with
+  /// a deterministic diagnostic instead of using freed memory.
+  std::shared_ptr<ThreadRegistry> Reg;
 
   std::atomic<uint64_t> NextSyncId{1};
   std::atomic<uint64_t> SyscallsIssued{0};

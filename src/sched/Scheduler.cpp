@@ -95,6 +95,8 @@ Tid Scheduler::addMainThread() {
 void Scheduler::wait(Tid Self) {
   std::unique_lock<std::mutex> L(Mu);
   assert(Self < Threads.size() && "unknown thread in wait()");
+  if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
+    return; // degenerate retire grant; tick() releases it
   noticeSignalsLocked(Self);
   Threads[Self].Parked = true;
   Strat->onArrive(Self);
@@ -113,6 +115,8 @@ void Scheduler::wait(Tid Self) {
       }
       Slot.Cv.wait(L, [&Slot] { return Slot.Notified; });
       Slot.Notified = false;
+      if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
+        return;
       grantIfAnyLocked(Self);
       if (!(Threads[Self].Enabled && Active == Self))
         ++Stats.SpuriousWakeups;
@@ -125,6 +129,8 @@ void Scheduler::wait(Tid Self) {
                     CurTick.load(std::memory_order_relaxed));
       }
       Cv.wait(L);
+      if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
+        return;
       grantIfAnyLocked(Self);
       if (!(Threads[Self].Enabled && Active == Self))
         ++Stats.SpuriousWakeups;
@@ -135,6 +141,36 @@ void Scheduler::wait(Tid Self) {
                 CurTick.load(std::memory_order_relaxed));
   Threads[Self].Parked = false;
   Threads[Self].InCritical = true;
+}
+
+bool Scheduler::maybeRetireLocked(Tid Self, std::unique_lock<std::mutex> &L) {
+  ThreadState &TS = Threads[Self];
+  if (!TS.RetireThrown) {
+    // First retire of this thread: finish it for scheduling purposes and
+    // unwind it out of the controlled body. The throw happens with the
+    // lock released — the unwind immediately re-enters scheduler methods
+    // (destructors run visible operations).
+    TS.RetireThrown = true;
+    TS.Parked = false;
+    TS.InCritical = false;
+    if (!TS.Finished) {
+      TS.Finished = true;
+      TS.Enabled = false;
+      removeFromWaitListsLocked(Self);
+      DoneCv.notify_all();
+    }
+    L.unlock();
+    throw ControlledThreadRetire{};
+  }
+  // Re-entrant wait() during the unwind. Hand out a degenerate critical
+  // section — no designation, no schedule entry — but serialised, so the
+  // bookkeeping calls between wait() and tick() keep their mutual
+  // exclusion against other retiring threads.
+  RetireCv.wait(L, [this] { return !RetireCsBusy; });
+  RetireCsBusy = true;
+  TS.Parked = false;
+  TS.InCritical = true;
+  return true;
 }
 
 void Scheduler::grantIfAnyLocked(Tid Self) {
@@ -154,6 +190,14 @@ void Scheduler::tick(Tid Self) {
   bool YieldAfterUnlock = false;
   {
     std::unique_lock<std::mutex> L(Mu);
+    if (TSR_UNLIKELY(Threads[Self].RetireThrown)) {
+      // Closing a degenerate retire grant: release the serialised
+      // section and do no scheduling work (the thread is Finished).
+      Threads[Self].InCritical = false;
+      RetireCsBusy = false;
+      RetireCv.notify_one();
+      return;
+    }
     if (TSR_UNLIKELY(StallSalvaged)) {
       // The watchdog salvage froze designation while this thread was
       // mid-critical-section. Drop the section without ticking; the
@@ -386,8 +430,8 @@ void Scheduler::chooseNextLocked() {
       if (TSR_UNLIKELY(Trace != nullptr))
         Trace->emitEngine(TraceEventKind::StrategyDecision,
                           CurTick.load(std::memory_order_relaxed), Active);
-      if (Opts.DesignationHook)
-        Opts.DesignationHook(Active, Threads[Active].Parked);
+      if (Opts.DesignationHook && Strat->designatesEagerly())
+        Opts.DesignationHook(Active);
       return;
     }
     // Demo exhausted (Idx accounts for recovery skew: skipped entries
@@ -424,8 +468,8 @@ void Scheduler::chooseNextLocked() {
     if (TSR_UNLIKELY(Trace != nullptr))
       Trace->emitEngine(TraceEventKind::StrategyDecision,
                         CurTick.load(std::memory_order_relaxed), T);
-    if (Opts.DesignationHook)
-      Opts.DesignationHook(T, Threads[T].Parked);
+    if (Opts.DesignationHook && Strat->designatesEagerly())
+      Opts.DesignationHook(T);
   }
 }
 
@@ -822,10 +866,24 @@ bool Scheduler::stallSalvaged() {
   return StallSalvaged;
 }
 
+void Scheduler::requestRetire() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (RetireRequested)
+    return;
+  RetireRequested = true;
+  // Every parked straggler wakes into the retire check at the top of its
+  // park loop; threads still running invisible code hit the check at
+  // their next wait(). No further designations are needed — retiring
+  // threads never wait for one.
+  wakeAllParkedLocked();
+}
+
 std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
   std::lock_guard<std::mutex> L(Mu);
   auto &T = Threads[Self];
-  if (T.HandlerDepth > 0 || T.DeliverableSignals.empty())
+  // A retiring thread's degenerate grants never deliver signals: the
+  // thread is unwinding, and a handler frame would re-enter user code.
+  if (T.RetireThrown || T.HandlerDepth > 0 || T.DeliverableSignals.empty())
     return std::nullopt;
   const Signo S = T.DeliverableSignals.front();
   T.DeliverableSignals.pop_front();

@@ -58,6 +58,15 @@ class Profiler;
 // (pulled in through sched/Common.h): the session's syscall layer fills
 // the same report type without depending on the scheduler.
 
+/// Thrown out of Scheduler::wait() (once per thread) after
+/// requestRetire(): unwinds a straggler thread out of the controlled
+/// body so its OS thread can exit instead of parking forever. Not
+/// derived from std::exception on purpose — application catch blocks
+/// must not swallow it. Visible operations executed by destructors
+/// during the unwind still work: wait() hands the retiring thread a
+/// serialised degenerate grant instead of throwing again.
+struct ControlledThreadRetire {};
+
 /// How the scheduler wakes parked threads when the designation changes.
 enum class WakePolicy : uint8_t {
   /// Each thread parks on its own slot; a designation hands the processor
@@ -130,11 +139,13 @@ struct SchedulerOptions {
   /// the session must close its stream.
   std::function<void(uint64_t Tick, bool Final)> SyscallFlushHook;
 
-  /// Invoked (under the scheduler lock) whenever a concrete thread is
-  /// designated; the argument says whether it was already parked at
-  /// Wait(). Designating a non-parked thread stalls every other thread
-  /// until it arrives — the cost model charges for it.
-  std::function<void(Tid T, bool WasParked)> DesignationHook;
+  /// Invoked (under the scheduler lock) whenever an eager strategy (one
+  /// that designates without regard to arrival — see
+  /// Strategy::designatesEagerly) designates a concrete thread. The cost
+  /// model prices the potential chain stall deterministically in virtual
+  /// time; the hook must NOT consult physical state such as whether the
+  /// thread is parked, or two same-seed recordings diverge.
+  std::function<void(Tid T)> DesignationHook;
 
   /// Virtual-time trace recorder (null when tracing is off; every
   /// emission site then reduces to one branch on this cached pointer).
@@ -332,6 +343,16 @@ public:
   /// salvaged deadlock.
   bool stallSalvaged();
 
+  /// Begins retiring the stragglers of a salvaged run: every thread
+  /// still alive gets ControlledThreadRetire thrown out of its next
+  /// wait() (parked threads are woken into it), unwinding it off the
+  /// controlled body so its OS thread can exit and the scheduler can be
+  /// reclaimed instead of leaking in the parked registry. Only safe
+  /// when the owning session object is kept alive until every straggler
+  /// has exited — the unwind still runs destructors with visible
+  /// operations.
+  void requestRetire();
+
   /// Blocks until every unfinished thread is physically parked inside
   /// wait() (false on timeout). After a salvaged deadlock the session
   /// must not tear anything down before this: a thread can be *disabled*
@@ -418,6 +439,10 @@ private:
     WaitKind Waiting = WaitKind::None;
     uint64_t WaitObj = 0;
     bool WokenBySignal = false;
+    /// ControlledThreadRetire was thrown at this thread: it is finished
+    /// as far as scheduling goes, and its re-entrant wait() calls (from
+    /// destructors unwinding) get serialised degenerate grants.
+    bool RetireThrown = false;
     unsigned HandlerDepth = 0;
     std::deque<Signo> RawSignals;
     std::deque<Signo> DeliverableSignals;
@@ -437,6 +462,12 @@ private:
   };
 
   // All private helpers assume Mu is held.
+  /// Retire check for wait(): returns false when no retire is pending
+  /// for \p Self; throws ControlledThreadRetire (with \p L released) on
+  /// the thread's first retire; returns true — with the caller granted a
+  /// serialised degenerate critical section — for re-entrant waits
+  /// during the unwind.
+  bool maybeRetireLocked(Tid Self, std::unique_lock<std::mutex> &L);
   void chooseNextLocked();
   void grantIfAnyLocked(Tid Self);
   void wakeForDesignationLocked();
@@ -516,6 +547,13 @@ private:
   /// (Active == InvalidTid forever), tick() is a no-op, and every
   /// unfinished thread parks forever in wait().
   bool StallSalvaged = false;
+
+  /// requestRetire() latched: stragglers unwind out of wait() instead of
+  /// parking forever. RetireCv/RetireCsBusy serialise the degenerate
+  /// critical sections handed to destructors running during the unwind.
+  bool RetireRequested = false;
+  std::condition_variable RetireCv;
+  bool RetireCsBusy = false;
 
   // Replay-side parsed streams and cursors.
   std::vector<uint64_t> ReplayQueue;

@@ -34,6 +34,9 @@ void Strategy::onArrive(Tid) {}
 void Strategy::onDesignated(Tid) {}
 void Strategy::onThreadNew(Tid, Prng &) {}
 void Strategy::onTick(uint64_t, Tid, Prng &) {}
+// Every strategy except queue picks without consulting arrival order, so
+// eager designation (and its §5.2 stall cost) is the default.
+bool Strategy::designatesEagerly() const { return true; }
 
 size_t Strategy::pickWaiter(const std::vector<Tid> &Waiters, Prng &) {
   assert(!Waiters.empty() && "pickWaiter requires waiters");
@@ -82,6 +85,8 @@ public:
 class QueueStrategy final : public Strategy {
 public:
   StrategyKind kind() const override { return StrategyKind::Queue; }
+
+  bool designatesEagerly() const override { return false; }
 
   void onArrive(Tid T) override {
     if (T >= InQueue.size())

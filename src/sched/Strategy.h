@@ -64,6 +64,14 @@ public:
   /// A thread reached Wait() (queue strategy enqueues here).
   virtual void onArrive(Tid T);
 
+  /// True if the strategy designates threads without regard to whether
+  /// they have arrived at Wait() yet (random, PCT, delay-bounded,
+  /// round-robin). An eager designation of a thread still deep in
+  /// invisible code stalls the visible-op chain (§5.2); the cost model
+  /// prices that stall deterministically in virtual time. The queue
+  /// strategy only designates arrived threads and returns false.
+  virtual bool designatesEagerly() const;
+
   /// A thread was designated and is about to run its critical section.
   virtual void onDesignated(Tid T);
 

@@ -37,13 +37,8 @@ SessionConfig baseConfig(Mode M = Mode::Free,
   C.Env.Seed1 = 94;
   C.LivenessIntervalMs = 0;
   // Record and replay charge identical virtual cost, so the round-trip
-  // tests can assert VirtualNs equality across the mode switch. Eager
-  // stalls depend on OS-thread arrival timing (whether a thread had
-  // parked when designated), which is not part of the recorded state, so
-  // their charge is zeroed too.
+  // tests can assert VirtualNs equality across the mode switch.
   C.Cost.SyscallRecordCost = 0;
-  C.Cost.EagerStallCapNs = 0;
-  C.Cost.EagerStallFixedNs = 0;
   return C;
 }
 

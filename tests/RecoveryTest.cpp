@@ -33,8 +33,6 @@ SessionConfig baseConfig(Mode M = Mode::Free,
   C.Env.Seed1 = 174;
   C.LivenessIntervalMs = 0;
   C.Cost.SyscallRecordCost = 0;
-  C.Cost.EagerStallCapNs = 0;
-  C.Cost.EagerStallFixedNs = 0;
   return C;
 }
 
