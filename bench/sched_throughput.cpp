@@ -1,20 +1,24 @@
-//===-- bench/sched_throughput.cpp - Wakeup policy tick throughput -------===//
+//===-- bench/sched_throughput.cpp - Tick commit/wake throughput ---------===//
 //
 // Part of the tsr project: a reproduction of "Sparse Record and Replay with
 // Controlled Scheduling" (PLDI 2019).
 //
-// Measures what targeted per-thread parking buys over the legacy global
-// notify_all broadcast in the scheduler hot path: controlled-run tick
-// throughput on a contended atomic-counter workload, swept over
-// {2, 4, 8} threads x {broadcast, targeted} wake policies. The schedule
-// is identical under both policies (the wake path moves threads between
-// parked and runnable but never picks who runs); only the wakeup cost
-// differs. Emits BENCH_sched_throughput.json alongside the table.
+// Measures the scheduler hot path on a contended atomic-counter workload:
+// controlled-run tick throughput swept over {2, 4, 8} threads x
+// {broadcast, targeted} wake policies x {mutex, pipelined} tick-commit
+// modes x {random, queue} strategies. The schedule is identical under both
+// wake policies and both commit modes (neither moves a scheduling
+// decision); only the handoff cost differs. Repetitions run interleaved
+// round-robin across all cells with a discarded warm-up round, and the
+// speedup columns are medians of per-round paired ratios, so host drift
+// (frequency scaling, neighbours) cancels instead of flattering whichever
+// cell ran last. Emits BENCH_sched_throughput.json alongside the table.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace tsr;
@@ -24,60 +28,110 @@ namespace {
 
 struct CellResult {
   std::string Name;
-  const char *Policy = "";
+  const char *Policy = "";   ///< "targeted" | "broadcast"
+  const char *Commit = "";   ///< "pipelined" | "mutex"
+  const char *Strategy = ""; ///< "random" | "queue"
+  StrategyKind Strat = StrategyKind::Random;
+  WakePolicy Wake = WakePolicy::Targeted;
+  TickCommitMode Mode = TickCommitMode::Mutex;
   int Threads = 0;
   SampleStats TicksPerSec;
   SampleStats WallMs;
-  uint64_t Ticks = 0;            ///< Controlled ticks of the last repetition.
-  uint64_t SpuriousWakeups = 0;  ///< Last repetition.
-  uint64_t TargetedWakeups = 0;  ///< Last repetition.
-  uint64_t BroadcastWakeups = 0; ///< Last repetition.
-  double SpeedupVsBroadcast = 0; ///< Filled after both policies ran.
+  std::vector<double> PerRound; ///< ticks/sec, one entry per round.
+  uint64_t Ticks = 0;           ///< Controlled ticks of the last repetition.
+  uint64_t SpuriousWakeups = 0; ///< Last repetition.
+  uint64_t TargetedWakeups = 0;
+  uint64_t BroadcastWakeups = 0;
+  uint64_t FastPathCommits = 0;
+  uint64_t SlowPathCommits = 0;
+  uint64_t FastPathAborts = 0;
+  double SpeedupVsBroadcast = 1.0; ///< vs broadcast at the same threads.
+  double SpeedupVsMutex = 1.0;     ///< vs mutex commit, same cell otherwise.
 };
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V.empty() ? 0.0
+                   : (V.size() % 2 ? V[V.size() / 2]
+                                   : (V[V.size() / 2 - 1] + V[V.size() / 2]) /
+                                         2.0);
+}
+
+/// Speedup of \p M over \p Base as the median of per-round paired ratios:
+/// the cells run interleaved, so each round's ratio sees the same host
+/// conditions and drift cancels.
+double speedupVs(const CellResult &Base, const CellResult &M) {
+  std::vector<double> Ratios;
+  const size_t N = std::min(Base.PerRound.size(), M.PerRound.size());
+  for (size_t I = 0; I != N; ++I)
+    if (Base.PerRound[I] > 0)
+      Ratios.push_back(M.PerRound[I] / Base.PerRound[I]);
+  return medianOf(Ratios);
+}
 
 /// Every fetchAdd is one visible op = one tick, so ticks/sec is a direct
 /// read of scheduler handoff cost. Detectors are off to keep the tick
-/// itself as thin as possible — the wake path dominates.
-CellResult measure(WakePolicy Wake, int Threads, int Reps, int OpsPerThread) {
-  CellResult Out;
-  Out.Policy = Wake == WakePolicy::Targeted ? "targeted" : "broadcast";
-  Out.Name = std::string(Out.Policy) + "-" + std::to_string(Threads);
-  Out.Threads = Threads;
-  for (int Rep = 0; Rep != Reps; ++Rep) {
-    SessionConfig C;
-    C.Strategy = StrategyKind::Random;
-    C.ExecMode = Mode::Free;
-    C.Controlled = true;
-    C.Wake = Wake;
-    C.RaceDetection = false;
-    C.WeakMemory = false;
-    C.LivenessIntervalMs = 0;
-    seedFor(C, static_cast<uint64_t>(Rep), 37 + Threads);
-    Session S(C);
-    const auto Start = std::chrono::steady_clock::now();
-    RunReport R = S.run([Threads, OpsPerThread] {
-      Atomic<uint64_t> Counter(0);
-      std::vector<Thread> Ts;
-      Ts.reserve(static_cast<size_t>(Threads));
-      for (int T = 0; T != Threads; ++T)
-        Ts.push_back(Thread::spawn([&Counter, OpsPerThread] {
-          for (int I = 0; I != OpsPerThread; ++I)
-            Counter.fetchAdd(1);
-        }));
-      for (Thread &T : Ts)
-        T.join();
-    });
-    const double Ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - Start)
-                          .count();
-    Out.WallMs.add(Ms);
-    Out.TicksPerSec.add(static_cast<double>(R.Sched.Ticks) / (Ms / 1000.0));
-    Out.Ticks = R.Sched.Ticks;
-    Out.SpuriousWakeups = R.Sched.SpuriousWakeups;
-    Out.TargetedWakeups = R.Sched.TargetedWakeups;
-    Out.BroadcastWakeups = R.Sched.BroadcastWakeups;
-  }
-  return Out;
+/// itself as thin as possible. One repetition; discarded when \p Warmup.
+void runOnce(CellResult &Out, int Rep, int OpsPerThread, bool Warmup) {
+  SessionConfig C;
+  C.Strategy = Out.Strat;
+  C.ExecMode = Mode::Free;
+  C.Controlled = true;
+  C.Wake = Out.Wake;
+  C.TickCommit = Out.Mode;
+  C.RaceDetection = false;
+  C.WeakMemory = false;
+  C.LivenessIntervalMs = 0;
+  seedFor(C, static_cast<uint64_t>(Rep), 37 + Out.Threads);
+  Session S(C);
+  const int Threads = Out.Threads;
+  const auto Start = std::chrono::steady_clock::now();
+  RunReport R = S.run([Threads, OpsPerThread] {
+    Atomic<uint64_t> Counter(0);
+    std::vector<Thread> Ts;
+    Ts.reserve(static_cast<size_t>(Threads));
+    for (int T = 0; T != Threads; ++T)
+      Ts.push_back(Thread::spawn([&Counter, OpsPerThread] {
+        for (int I = 0; I != OpsPerThread; ++I)
+          Counter.fetchAdd(1);
+      }));
+    for (Thread &T : Ts)
+      T.join();
+  });
+  const double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  if (Warmup)
+    return;
+  Out.WallMs.add(Ms);
+  const double Tps = static_cast<double>(R.Sched.Ticks) / (Ms / 1000.0);
+  Out.TicksPerSec.add(Tps);
+  Out.PerRound.push_back(Tps);
+  Out.Ticks = R.Sched.Ticks;
+  Out.SpuriousWakeups = R.Sched.SpuriousWakeups;
+  Out.TargetedWakeups = R.Sched.TargetedWakeups;
+  Out.BroadcastWakeups = R.Sched.BroadcastWakeups;
+  Out.FastPathCommits = R.Sched.FastPathCommits;
+  Out.SlowPathCommits = R.Sched.SlowPathCommits;
+  Out.FastPathAborts = R.Sched.FastPathAborts;
+}
+
+CellResult makeCell(StrategyKind Strat, WakePolicy Wake, TickCommitMode Mode,
+                    int Threads) {
+  CellResult C;
+  C.Strat = Strat;
+  C.Wake = Wake;
+  C.Mode = Mode;
+  C.Threads = Threads;
+  C.Policy = Wake == WakePolicy::Targeted ? "targeted" : "broadcast";
+  C.Commit = Mode == TickCommitMode::Pipelined ? "pipelined" : "mutex";
+  C.Strategy = Strat == StrategyKind::Queue ? "queue" : "random";
+  if (Wake == WakePolicy::Broadcast)
+    C.Name = "broadcast-" + std::to_string(Threads);
+  else
+    C.Name = std::string(C.Strategy) + "-" + C.Commit + "-" +
+             std::to_string(Threads);
+  return C;
 }
 
 } // namespace
@@ -86,46 +140,67 @@ int main() {
   const int Reps = envInt("TSR_BENCH_REPS", 5);
   const int OpsPerThread = envInt("TSR_BENCH_SCHED_OPS", 20000);
 
-  std::printf("Scheduler tick throughput: targeted parking vs notify_all "
-              "broadcast\n(atomic-counter workload, %d reps, %d ops/thread)"
-              "\n\n",
+  std::printf("Scheduler tick throughput: commit mode x wake policy x "
+              "strategy\n(atomic-counter workload, %d reps interleaved + 1 "
+              "warm-up, %d ops/thread)\n\n",
               Reps, OpsPerThread);
 
-  // Broadcast first per thread count so its mean is ready when the
-  // targeted cell computes its speedup.
-  std::vector<CellResult> Results;
+  // Broadcast (the legacy notify_all path, random strategy, mutex commit)
+  // anchors speedup_vs_broadcast; each pipelined cell pairs with the
+  // mutex cell that differs only in commit mode for speedup_vs_mutex.
+  std::vector<CellResult> Cells;
   for (int Threads : {2, 4, 8}) {
-    CellResult Broadcast =
-        measure(WakePolicy::Broadcast, Threads, Reps, OpsPerThread);
-    CellResult Targeted =
-        measure(WakePolicy::Targeted, Threads, Reps, OpsPerThread);
-    const double Base = Broadcast.TicksPerSec.mean();
-    Broadcast.SpeedupVsBroadcast = 1.0;
-    Targeted.SpeedupVsBroadcast =
-        Base > 0 ? Targeted.TicksPerSec.mean() / Base : 0.0;
-    Results.push_back(Broadcast);
-    Results.push_back(Targeted);
+    Cells.push_back(makeCell(StrategyKind::Random, WakePolicy::Broadcast,
+                             TickCommitMode::Mutex, Threads));
+    for (StrategyKind Strat : {StrategyKind::Random, StrategyKind::Queue})
+      for (TickCommitMode Mode :
+           {TickCommitMode::Mutex, TickCommitMode::Pipelined})
+        Cells.push_back(
+            makeCell(Strat, WakePolicy::Targeted, Mode, Threads));
   }
 
-  const std::vector<int> W = {14, 18, 14, 9, 10, 10, 10};
+  // Interleave repetitions round-robin across every cell; the first round
+  // is a discarded warm-up paying one-time costs (page faults, allocator
+  // growth).
+  for (int Rep = -1; Rep != Reps; ++Rep)
+    for (CellResult &C : Cells)
+      runOnce(C, Rep < 0 ? 0 : Rep, OpsPerThread, /*Warmup=*/Rep < 0);
+
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    CellResult &C = Cells[I];
+    for (const CellResult &Base : Cells) {
+      if (Base.Threads == C.Threads && Base.Wake == WakePolicy::Broadcast &&
+          C.Wake == WakePolicy::Targeted)
+        C.SpeedupVsBroadcast = speedupVs(Base, C);
+      if (Base.Threads == C.Threads && Base.Strat == C.Strat &&
+          Base.Wake == C.Wake && Base.Mode == TickCommitMode::Mutex &&
+          C.Mode == TickCommitMode::Pipelined)
+        C.SpeedupVsMutex = speedupVs(Base, C);
+    }
+  }
+
+  const std::vector<int> W = {20, 18, 12, 9, 9, 8, 8, 8, 9};
   printRule(W);
-  printRow({"config", "ticks/sec", "wall ms", "speedup", "spurious",
-            "targeted", "broadcast"},
+  printRow({"config", "ticks/sec", "wall ms", "vs bcast", "vs mutex",
+            "fast", "slow", "aborts", "spurious"},
            W);
   printRule(W);
-  for (const CellResult &R : Results)
+  for (const CellResult &R : Cells)
     printRow({R.Name, meanSd(R.TicksPerSec, 0), meanSd(R.WallMs, 1),
               fmt(R.SpeedupVsBroadcast, 2) + "x",
-              std::to_string(R.SpuriousWakeups),
-              std::to_string(R.TargetedWakeups),
-              std::to_string(R.BroadcastWakeups)},
+              fmt(R.SpeedupVsMutex, 2) + "x",
+              std::to_string(R.FastPathCommits),
+              std::to_string(R.SlowPathCommits),
+              std::to_string(R.FastPathAborts),
+              std::to_string(R.SpuriousWakeups)},
              W);
   printRule(W);
-  std::printf("\nspeedup = targeted ticks/sec / broadcast ticks/sec at the "
-              "same thread count.\nspurious counts threads that woke without "
-              "holding the designation; targeted\nparking keeps it at zero "
-              "while broadcast pays one of these per non-designated\nparked "
-              "thread per tick.\n");
+  std::printf(
+      "\nvs bcast = median per-round ratio against the broadcast cell at "
+      "the same\nthread count; vs mutex = against the cell differing only "
+      "in commit mode.\nfast/slow/aborts split ticks between the lock-free "
+      "ticket pipeline and the\nmutex slow path; spurious stays zero under "
+      "targeted parking in every mode.\n");
 
   FILE *F = std::fopen("BENCH_sched_throughput.json", "w");
   if (!F) {
@@ -137,23 +212,29 @@ int main() {
                "  \"workload\": \"atomic-counter\",\n  \"reps\": %d,\n"
                "  \"ops_per_thread\": %d,\n  \"configs\": [\n",
                Reps, OpsPerThread);
-  for (size_t I = 0; I != Results.size(); ++I) {
-    const CellResult &R = Results[I];
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const CellResult &R = Cells[I];
     std::fprintf(
         F,
-        "    {\"name\": \"%s\", \"policy\": \"%s\", \"threads\": %d, "
-        "\"ticks\": %llu,\n"
+        "    {\"name\": \"%s\", \"policy\": \"%s\", \"commit\": \"%s\", "
+        "\"strategy\": \"%s\", \"threads\": %d, \"ticks\": %llu,\n"
         "     \"spurious_wakeups\": %llu, \"targeted_wakeups\": %llu, "
         "\"broadcast_wakeups\": %llu,\n"
-        "     \"speedup_vs_broadcast\": %.3f,\n"
+        "     \"fast_path_commits\": %llu, \"slow_path_commits\": %llu, "
+        "\"fast_path_aborts\": %llu,\n"
+        "     \"speedup_vs_broadcast\": %.3f, \"speedup_vs_mutex\": %.3f,\n"
         "     \"ticks_per_sec\": %s,\n     \"wall_ms\": %s}%s\n",
-        R.Name.c_str(), R.Policy, R.Threads,
+        R.Name.c_str(), R.Policy, R.Commit, R.Strategy, R.Threads,
         static_cast<unsigned long long>(R.Ticks),
         static_cast<unsigned long long>(R.SpuriousWakeups),
         static_cast<unsigned long long>(R.TargetedWakeups),
         static_cast<unsigned long long>(R.BroadcastWakeups),
-        R.SpeedupVsBroadcast, R.TicksPerSec.toJson(8).c_str(),
-        R.WallMs.toJson(8).c_str(), I + 1 == Results.size() ? "" : ",");
+        static_cast<unsigned long long>(R.FastPathCommits),
+        static_cast<unsigned long long>(R.SlowPathCommits),
+        static_cast<unsigned long long>(R.FastPathAborts),
+        R.SpeedupVsBroadcast, R.SpeedupVsMutex,
+        R.TicksPerSec.toJson(8).c_str(), R.WallMs.toJson(8).c_str(),
+        I + 1 == Cells.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

@@ -5,8 +5,13 @@
 # directory so incremental plain builds stay untouched.
 #
 # Usage: scripts/verify.sh [--fast] [--crash-matrix] [--trace] [--chaos]
-#        [--profile] [--fleet]
+#        [--profile] [--fleet] [--tsan]
 #   --fast          plain configuration only (skips the sanitizer builds).
+#   --tsan          run only the lock-free commit-pipeline gate: the
+#                   scheduler, shadow-memory and trace suites built with
+#                   TSR_SANITIZE=thread, so the ticket/epoch fast path's
+#                   atomics are checked by ThreadSanitizer rather than by
+#                   code review alone.
 #   --crash-matrix  run only the CrashRecovery kill-matrix tests (plain +
 #                   ASan) — the crash-consistency gate, repeated to shake
 #                   out timing-dependent salvage bugs.
@@ -40,6 +45,7 @@ TRACE=0
 CHAOS=0
 PROFILE=0
 FLEET=0
+TSAN=0
 for Arg in "$@"; do
   case "$Arg" in
   --fast) FAST=1 ;;
@@ -48,6 +54,7 @@ for Arg in "$@"; do
   --chaos) CHAOS=1 ;;
   --profile) PROFILE=1 ;;
   --fleet) FLEET=1 ;;
+  --tsan) TSAN=1 ;;
   *) echo "unknown option: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -233,6 +240,27 @@ run_fleet_smoke() {
   fi
   rm -rf "$scratch"
 }
+
+# TSan gate: the suites that drive the lock-free tick commit pipeline
+# (scheduler protocol, litmus schedules, shadow memory, tracing) under
+# ThreadSanitizer. The pipelined fast path hands plain committer-owned
+# state across threads through atomic publish/claim edges; TSan checks
+# those edges mechanically on every handoff the suites exercise.
+run_tsan() {
+  dir="build-verify-tsan"
+  echo "== tsan: configure + build ($dir)"
+  cmake -B "$dir" -S . -DTSR_SANITIZE=thread >/dev/null
+  cmake --build "$dir" -j "$JOBS" \
+    --target sched_test litmus_property_test trace_test >/dev/null
+  echo "== tsan: ctest -R 'Sched|Litmus|Trace'"
+  ctest --test-dir "$dir" --output-on-failure -R 'Sched|Litmus|Trace'
+}
+
+if [ "$TSAN" -eq 1 ]; then
+  run_tsan
+  echo "verify: tsan gate passed"
+  exit 0
+fi
 
 if [ "$FLEET" -eq 1 ]; then
   run_fleet_tests plain ""

@@ -402,6 +402,7 @@ RunReport Session::run(std::function<void()> MainFn) {
   SO.Seed1 = UsedSeed1;
   SO.Controlled = Config.Controlled;
   SO.Wake = Config.Wake;
+  SO.TickCommit = Config.TickCommit;
   SO.AbortOnHardDesync = Config.AbortOnHardDesync;
   SO.AbortOnDeadlock = Config.AbortOnDeadlock;
   SO.ReplayTruncated = Config.ExecMode == Mode::Replay &&
@@ -753,6 +754,9 @@ void Session::fillMetrics(RunReport &R) {
   M.counter("sched.targeted_wakeups", R.Sched.TargetedWakeups);
   M.counter("sched.spurious_wakeups", R.Sched.SpuriousWakeups);
   M.counter("sched.broadcast_wakeups", R.Sched.BroadcastWakeups);
+  M.counter("sched.fast_path_commits", R.Sched.FastPathCommits);
+  M.counter("sched.slow_path_commits", R.Sched.SlowPathCommits);
+  M.counter("sched.fast_path_aborts", R.Sched.FastPathAborts);
   M.counter("sched.soft_resyncs", R.Sched.SoftResyncs);
   M.counter("sched.demo_exhausted_at_tick", R.Sched.DemoExhaustedAtTick);
   M.gauge("sched.demo_exhausted", R.Sched.DemoExhausted ? 1.0 : 0.0);
@@ -887,6 +891,7 @@ void Session::pumpTelemetry(uint64_t Tick, bool Final) {
   Counters.reserve(8);
   const SchedulerStats SS = Sched->statsSnapshot();
   Counters.emplace_back("sched.ticks", SS.Ticks);
+  Counters.emplace_back("sched.fast_path_commits", SS.FastPathCommits);
   Counters.emplace_back("sched.reschedules", SS.Reschedules);
   Counters.emplace_back("sched.signals_delivered", SS.SignalsDelivered);
   Counters.emplace_back("syscalls.issued", SyscallsIssued.load());

@@ -191,6 +191,14 @@ struct SessionConfig {
   /// (bench/sched_throughput). Schedule semantics are identical.
   WakePolicy Wake = WakePolicy::Targeted;
 
+  /// How a tick is committed (sched/Scheduler.h). Pipelined — the
+  /// ticket/epoch fast path that commits common-case ticks with a handful
+  /// of atomics and falls back to the mutex for pending work — is the
+  /// default; Mutex restores the all-ticks-under-Mu baseline and exists
+  /// as the bit-identity oracle (bench/sched_throughput). The schedule,
+  /// recordings, and replays are identical across both modes.
+  TickCommitMode TickCommit = TickCommitMode::Pipelined;
+
   /// Enable happens-before race detection.
   bool RaceDetection = true;
 

@@ -22,12 +22,54 @@ namespace {
 /// Trace attribution for a designation result: AnyTid/InvalidTid carry no
 /// concrete thread.
 Tid traceTid(Tid T) { return T == AnyTid || T == InvalidTid ? InvalidTid : T; }
+
+/// Polite spin body for the fast-claim and commit-gate loops.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// How long a thread arriving at wait() watches FastGrant before parking.
+/// On a multi-core host: long enough to catch a committer mid-designation
+/// (the common handoff is a few hundred nanoseconds), short enough that an
+/// oversubscribed host falls back to the condvar instead of burning a
+/// core. On a single-core host spinning only steals the committer's
+/// timeslice, so the claim degrades to one probe — which still catches the
+/// already-published case (self-grants, and grants issued before we
+/// arrived), the only case a lone core can ever observe.
+int claimSpins() {
+  static const int Spins =
+      std::thread::hardware_concurrency() > 1 ? 2048 : 1;
+  return Spins;
+}
+
+/// Bounds for how many consecutive fast FCFS commits may bypass a
+/// parked, enabled arrival before the committer must designate it
+/// concretely. Large enough to amortise the condvar round trip a
+/// concrete designation of a sleeping thread costs, small enough that a
+/// waiter is never more than a brief burst of ticks from running. The
+/// burst length cycles Max..Min (one step per forced handoff) rather
+/// than staying fixed: a constant bound aliases with fixed-period
+/// workload loops — an even bound against a two-tick lock/unlock cycle
+/// lands every preemption right after the unlock, so waiters never
+/// observe a held lock and contention vanishes from the schedule.
+constexpr unsigned kFcfsBypassMin = 9;
+constexpr unsigned kFcfsBypassMax = 16;
+static_assert(kFcfsBypassMin < kFcfsBypassMax,
+              "burst cycle needs a non-empty range");
 } // namespace
 
 Scheduler::Scheduler(const SchedulerOptions &Opts, Demo *RecordDemo,
                      const Demo *ReplayDemo)
     : Opts(Opts), Strat(makeStrategy(Opts.Strategy, Opts.Params)),
       Rng(Opts.Seed0, Opts.Seed1), Trace(Opts.Trace), Prof(Opts.Profile) {
+  PipelineEnabled = Opts.TickCommit == TickCommitMode::Pipelined &&
+                    Opts.Controlled && Opts.Wake == WakePolicy::Targeted;
   if (!Opts.Controlled)
     FreeRunFcfs = true;
   if (Opts.ExecMode == Mode::Record) {
@@ -92,22 +134,153 @@ Tid Scheduler::addMainThread() {
   return 0;
 }
 
+bool Scheduler::fastGrantMine(Tid Self) const {
+  // The ticket must match the *current* tick: CurTick cannot advance past
+  // an unclaimed valid grant (only the granted thread may commit that
+  // tick), so `==` is exact and a stale grant from an earlier tick — left
+  // behind when its owner was woken through the mutex instead — can never
+  // be claimed again.
+  const uint64_t G = FastGrant.load(std::memory_order_seq_cst);
+  return G != kNoFastGrant && grantTid(G) == Self &&
+         grantTicket(G) ==
+             static_cast<uint32_t>(CurTick.load(std::memory_order_relaxed));
+}
+
+bool Scheduler::tryFastClaim(Tid Self) {
+  // Announce the arrival before spinning: the queue strategy's FCFS
+  // order is defined by onArrive, and it must see us whether the grant
+  // comes through the pipeline or the mutex. This is the one strategy
+  // hook that runs outside the commit chain (see Strategy.h).
+  Strat->onArrive(Self);
+  for (int I = 0, E = claimSpins(); I != E; ++I) {
+    const uint64_t G = FastGrant.load(std::memory_order_acquire);
+    const Tid Who = G == kNoFastGrant ? InvalidTid : grantTid(G);
+    if (Who == Self || Who == AnyTid) {
+      if (grantTicket(G) !=
+          static_cast<uint32_t>(CurTick.load(std::memory_order_relaxed)))
+        return false; // our own stale grant; park and let slowTick clear it
+      // Anything that needs the slow path's pre-commit work (pending raw
+      // signals -> noticeSignalsLocked, retire) declines the claim. The
+      // grant stays published, so the park predicate passes immediately.
+      if (RetireRequested ||
+          Threads[Self].RawCount.load(std::memory_order_acquire) != 0)
+        return false;
+      // An FCFS grant is for enabled arrivals only; a blocked thread is
+      // here just to park. (Own flag: only we disable ourselves, so the
+      // lock-free read cannot claim while actually blocked.)
+      if (Who == AnyTid && !Threads[Self].Enabled)
+        return false;
+      // Claim order matters: InCritical goes up *before* the CAS so a
+      // revoker whose exchange() comes back empty can tell "claimed and
+      // running" from "never granted" by reading InCritical (the RMW on
+      // FastGrant carries the store).
+      Threads[Self].InCritical.store(true, std::memory_order_seq_cst);
+      uint64_t Expected = G;
+      if (FastGrant.compare_exchange_strong(Expected, kNoFastGrant,
+                                            std::memory_order_acq_rel)) {
+        if (Who == AnyTid && noteFcfsClaim(Self))
+          std::this_thread::yield();
+        return true;
+      }
+      if (Who == Self) {
+        // Revoked under us. The revoker held Mu, so no critical section
+        // is running and the thread table is stable for this store.
+        Threads[Self].InCritical.store(false, std::memory_order_seq_cst);
+        return false;
+      }
+      // Lost the FCFS race: the winner is already in its critical
+      // section and may be reallocating Threads (threadNew), so the
+      // revert of InCritical waits until wait() holds Mu. Until then
+      // the stale flag only makes revokers stand down — conservative.
+      return false;
+    }
+    cpuRelax();
+  }
+  return false;
+}
+
+bool Scheduler::noteFcfsClaim(Tid Self) {
+  // The lock-free twin of grantIfAnyLocked. The claimant owns the
+  // critical section (the CAS above won the word), and every mutex-side
+  // reader of these fields sits behind an Active == AnyTid guard, which
+  // a pipelined FCFS grant never sets — so the plain writes cannot race.
+  Active.store(Self, std::memory_order_release);
+  Strat->onDesignated(Self);
+  if (Self == LastGranter) {
+    ++SelfGrantStreak;
+  } else {
+    LastGranter = Self;
+    SelfGrantStreak = 1;
+  }
+  if (SelfGrantStreak < 16)
+    return false;
+  // Single-core fairness, mirroring slowTick: a thread re-claiming its
+  // own FCFS grant indefinitely would keep runnable threads off the
+  // processor.
+  SelfGrantStreak = 0;
+  return true;
+}
+
 void Scheduler::wait(Tid Self) {
+  if (PipelineEnabled) {
+    if (tryFastClaim(Self))
+      return;
+  }
   std::unique_lock<std::mutex> L(Mu);
   assert(Self < Threads.size() && "unknown thread in wait()");
+  // A lost FCFS CAS race leaves our InCritical flag set (tryFastClaim
+  // cannot revert it lock-free: the race winner is already critical and
+  // may be reallocating Threads). Clear it here, where Mu makes the
+  // table stable; the transient stale-true only made revokers stand
+  // down, which is the conservative direction.
+  Threads[Self].InCritical.store(false, std::memory_order_relaxed);
   if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
     return; // degenerate retire grant; tick() releases it
   noticeSignalsLocked(Self);
-  Threads[Self].Parked = true;
-  Strat->onArrive(Self);
+  Threads[Self].Parked.store(true, std::memory_order_seq_cst);
+  ParkedCount.fetch_add(1, std::memory_order_seq_cst);
+  if (!PipelineEnabled)
+    Strat->onArrive(Self); // pipelined mode announced in tryFastClaim
   grantIfAnyLocked(Self);
+  // Park predicate: a designation through the mutex (Enabled && Active ==
+  // Self) or an unclaimed pipelined grant published while we were parking.
+  // The FastGrant check is the parker's half of the Dekker pair with
+  // tryFastCommit: we store Parked+ParkedCount (seq_cst) *then* load
+  // FastGrant (seq_cst); the committer stores FastGrant then loads
+  // ParkedCount — one of the two must observe the other, so the handoff
+  // is never lost. A concrete grant observed here is consumed without a
+  // CAS: the mutex serialises us against revokers, and slowTick's
+  // hygiene clears the leftover word. An FCFS (AnyTid) grant is shared
+  // with running claimants that do not take Mu, so it is consumed by CAS
+  // only; the designation bookkeeping runs after the park loop exits.
+  bool ClaimedFcfs = false;
+  const auto Granted = [&] {
+    if (Threads[Self].Enabled && Active.load(std::memory_order_acquire) == Self)
+      return true;
+    if (!PipelineEnabled)
+      return false;
+    if (fastGrantMine(Self))
+      return true;
+    const uint64_t G = FastGrant.load(std::memory_order_seq_cst);
+    if (G == kNoFastGrant || grantTid(G) != AnyTid ||
+        grantTicket(G) !=
+            static_cast<uint32_t>(CurTick.load(std::memory_order_relaxed)) ||
+        !Threads[Self].Enabled)
+      return false;
+    uint64_t Expected = G;
+    if (!FastGrant.compare_exchange_strong(Expected, kNoFastGrant,
+                                           std::memory_order_acq_rel))
+      return false;
+    ClaimedFcfs = true;
+    return true;
+  };
   bool Blocked = false;
   if (Opts.Wake == WakePolicy::Targeted) {
     // The slot outlives any Threads reallocation (threadNew runs while
     // we block); the ThreadState reference would not, so the loop
     // re-indexes Threads[Self] instead of caching it.
     ParkSlot &Slot = *Threads[Self].Slot;
-    while (!(Threads[Self].Enabled && Active == Self)) {
+    while (!Granted()) {
       if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
         Blocked = true;
         Trace->emit(Self, TraceEventKind::Park,
@@ -118,11 +291,11 @@ void Scheduler::wait(Tid Self) {
       if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
         return;
       grantIfAnyLocked(Self);
-      if (!(Threads[Self].Enabled && Active == Self))
+      if (!Granted())
         ++Stats.SpuriousWakeups;
     }
   } else {
-    while (!(Threads[Self].Enabled && Active == Self)) {
+    while (!Granted()) {
       if (TSR_UNLIKELY(Trace != nullptr) && !Blocked) {
         Blocked = true;
         Trace->emit(Self, TraceEventKind::Park,
@@ -132,15 +305,18 @@ void Scheduler::wait(Tid Self) {
       if (TSR_UNLIKELY(RetireRequested) && maybeRetireLocked(Self, L))
         return;
       grantIfAnyLocked(Self);
-      if (!(Threads[Self].Enabled && Active == Self))
+      if (!Granted())
         ++Stats.SpuriousWakeups;
     }
   }
   if (TSR_UNLIKELY(Trace != nullptr) && Blocked)
     Trace->emit(Self, TraceEventKind::Wake,
                 CurTick.load(std::memory_order_relaxed));
-  Threads[Self].Parked = false;
-  Threads[Self].InCritical = true;
+  ParkedCount.fetch_sub(1, std::memory_order_seq_cst);
+  Threads[Self].Parked.store(false, std::memory_order_relaxed);
+  Threads[Self].InCritical.store(true, std::memory_order_relaxed);
+  if (ClaimedFcfs)
+    noteFcfsClaim(Self); // yield hint irrelevant: we already slept on Mu
 }
 
 bool Scheduler::maybeRetireLocked(Tid Self, std::unique_lock<std::mutex> &L) {
@@ -151,6 +327,8 @@ bool Scheduler::maybeRetireLocked(Tid Self, std::unique_lock<std::mutex> &L) {
     // lock released — the unwind immediately re-enters scheduler methods
     // (destructors run visible operations).
     TS.RetireThrown = true;
+    if (TS.Parked.load(std::memory_order_relaxed))
+      ParkedCount.fetch_sub(1, std::memory_order_seq_cst);
     TS.Parked = false;
     TS.InCritical = false;
     if (!TS.Finished) {
@@ -168,6 +346,8 @@ bool Scheduler::maybeRetireLocked(Tid Self, std::unique_lock<std::mutex> &L) {
   // exclusion against other retiring threads.
   RetireCv.wait(L, [this] { return !RetireCsBusy; });
   RetireCsBusy = true;
+  if (TS.Parked.load(std::memory_order_relaxed))
+    ParkedCount.fetch_sub(1, std::memory_order_seq_cst);
   TS.Parked = false;
   TS.InCritical = true;
   return true;
@@ -186,7 +366,283 @@ void Scheduler::grantIfAnyLocked(Tid Self) {
   }
 }
 
+void Scheduler::asyncEnter() {
+  if (!PipelineEnabled)
+    return;
+  // Announce, then wait out any in-flight fast commit. The seq_cst RMW
+  // orders against the committer's gate checks: either the committer sees
+  // our announcement and falls back to the mutex, or we see its
+  // CommitBusy and spin until the commit retires. CommitBusy is never
+  // held across a mutex acquisition, so this spin cannot deadlock.
+  AsyncGate.fetch_add(1, std::memory_order_seq_cst);
+  while (CommitBusy.load(std::memory_order_acquire) != 0)
+    cpuRelax();
+}
+
+void Scheduler::asyncExit() {
+  if (!PipelineEnabled)
+    return;
+  AsyncGate.fetch_sub(1, std::memory_order_release);
+}
+
+bool Scheduler::tryFastCommit(Tid Self) {
+  // Gate, phase 1: an announced async wins outright — this is not an
+  // abort, the commit never began.
+  if (AsyncGate.load(std::memory_order_seq_cst) != 0)
+    return false;
+  CommitBusy.store(1, std::memory_order_seq_cst);
+  if (AsyncGate.load(std::memory_order_seq_cst) != 0) {
+    CommitBusy.store(0, std::memory_order_release);
+    return false;
+  }
+  // Commit owner from here until CommitBusy drops: gated entry points
+  // spin behind us and the single-critical-section invariant keeps other
+  // committers out, so plain committer-owned state (Stats, Strat, Rng,
+  // record byte streams, flush cursors, replay cursors) is safe to touch.
+  assert(Active.load(std::memory_order_relaxed) == Self &&
+         "tick() by a non-designated thread");
+  bool Committed = false;
+  Tid Next = InvalidTid;
+  bool RacerPossible = false;
+  bool FcfsBypass = false;
+  uint32_t ParkSnap = 0;
+  uint64_t EventTick = 0;
+  do {
+    ThreadState &TS = Threads[Self];
+    // Slow-path-only machinery: terminal latches, degenerate retire
+    // grants, free-run FCFS, pending raw signals (need
+    // noticeSignalsLocked's SIGNAL bytes before the tick is logged).
+    if (TSR_UNLIKELY(TS.RetireThrown || RetireRequested || StallSalvaged ||
+                     Deadlocked || FreeRunFcfs))
+      break;
+    if (TS.RawCount.load(std::memory_order_acquire) != 0)
+      break;
+    EventTick = CurTick.load(std::memory_order_relaxed);
+    if (Opts.ExecMode == Mode::Record && Opts.LiveWriter) {
+      // Flush boundaries stay a slow-path exclusive so chunk framing is
+      // identical across commit modes: exact for the tick trigger
+      // (compared at the post-advance tick, like maybeFlushLocked), and
+      // conservative for the byte trigger — this commit appends at most
+      // one RLE run to the QUEUE stream, bounded well under 32 bytes.
+      if (Opts.FlushEveryTicks != 0 &&
+          EventTick + 1 - LastFlushTick >= Opts.FlushEveryTicks)
+        break;
+      if (Opts.FlushEveryBytes != 0) {
+        const uint64_t Pending = (QueueBytes.size() - QueueFlushed) +
+                                 (SignalBytes.size() - SignalFlushed) +
+                                 (AsyncBytes.size() - AsyncFlushed);
+        if (Pending + 32 >= Opts.FlushEveryBytes)
+          break;
+      }
+    }
+    if (Opts.ExecMode == Mode::Replay) {
+      // A due injection (compared at the post-advance tick, exactly like
+      // applyInjectionsLocked) is slow-path machinery.
+      const uint64_t EffNext = EventTick + 1 + QueueSkew;
+      if (ReplaySignalPos < ReplaySignals.size() &&
+          ReplaySignals[ReplaySignalPos].Tick <= EffNext)
+        break;
+      if (ReplayAsyncPos < ReplayAsync.size() &&
+          ReplayAsync[ReplayAsyncPos].Tick <= EffNext)
+        break;
+    }
+    if (Opts.ExecMode == Mode::Replay &&
+        Opts.Strategy == StrategyKind::Queue) {
+      // The QUEUE stream designates directly; anything that needs the
+      // recovery forward search, exhaustion bookkeeping, or a desync
+      // report falls back.
+      const uint64_t Idx = EventTick + 1 + QueueSkew;
+      if (Idx >= ReplayQueue.size())
+        break;
+      const uint64_t T = ReplayQueue[Idx];
+      if (T >= Threads.size() || Threads[T].Finished || !Threads[T].Enabled)
+        break;
+      Next = static_cast<Tid>(T);
+    } else {
+      // The queue strategy's AnyTid answer — first come, first served
+      // for the next arrival — can commit fast in record/free mode
+      // (replay needs the recovery machinery).
+      const bool FcfsOk =
+          (Opts.ExecMode == Mode::Record || Opts.ExecMode == Mode::Free) &&
+          Opts.Strategy == StrategyKind::Queue;
+      if (!Strat->fastPickPossible(*this)) {
+        // An enabled thread must exist so the all-disabled case keeps
+        // reaching slowTick's deadlock check. A parked thread is always
+        // registered (onArrive precedes the park), so no pick here means
+        // nobody is waiting: plain FCFS, nothing bypassed.
+        if (!FcfsOk || enabledCountLocked() == 0)
+          break; // InvalidTid designations need the deadlock check
+        FcfsBypassStreak = 0;
+        Next = AnyTid;
+      } else if (FcfsOk && Threads[Self].Enabled &&
+                 FcfsBypassStreak < FcfsBypassLimit) {
+        // Bounded FCFS self-preference. Designating a parked arrival
+        // concretely costs a condvar round trip per tick and parks the
+        // committer right behind it — on a single-CPU host the two
+        // threads then hand the processor back and forth through the
+        // futex on every commit. Preferring an open FCFS grant keeps
+        // the committer (which is enabled and about to re-arrive, so
+        // the grant cannot dangle) ticking at fast-path speed; the
+        // streak bound forces a concrete designation of the waiter at
+        // least every kFcfsBypassMax commits, so a parked thread's
+        // wait stays bounded. The mutex path needs no analogue: its
+        // commit serialisation delays arrival registration past the
+        // pick, which breaks the wake-per-tick cycle by accident.
+        // The in-gate scan is safe: with no claimable grant published
+        // there is no critical section, so no threadNew can be
+        // reallocating the table.
+        bool ParkedWaiter = false;
+        for (const ThreadState &TS2 : Threads)
+          if (TS2.Parked.load(std::memory_order_seq_cst) && TS2.Enabled &&
+              !TS2.Finished) {
+            ParkedWaiter = true;
+            break;
+          }
+        if (ParkedWaiter) {
+          ++FcfsBypassStreak;
+          FcfsBypass = true;
+          Next = AnyTid;
+        }
+      }
+    }
+    // ---- Commit. Mirrors slowTick's order exactly for this case.
+    TS.InCritical.store(false, std::memory_order_relaxed);
+    CurTick.store(EventTick + 1, std::memory_order_release);
+    ++Stats.Ticks;
+    ++Stats.FastPathCommits;
+    if (TSR_UNLIKELY(Trace != nullptr))
+      Trace->emit(Self, TraceEventKind::Tick, EventTick);
+    if (TSR_UNLIKELY(Prof != nullptr))
+      Prof->onTick(EventTick, Self);
+    Strat->onTick(EventTick, Self, Rng);
+    if (Opts.ExecMode == Mode::Record && Opts.Strategy == StrategyKind::Queue)
+      QueueLog->push(Self);
+    if (Next == InvalidTid) {
+      Next = Strat->pickNext(*this, Rng);
+      assert(Next != AnyTid && Next != InvalidTid &&
+             "fastPickPossible promised a concrete designation");
+    }
+    if (Next == AnyTid) {
+      // FCFS grant: first claimant wins by CAS; the designation
+      // bookkeeping (Active, onDesignated, streak) runs claimant-side in
+      // noteFcfsClaim. Like the slow path, no StrategyDecision is traced
+      // — the QUEUE stream's logged tick is the decision. Active gets the
+      // InvalidTid sentinel: it must match nobody's park predicate (the
+      // winner is chosen by CAS alone) and must not be AnyTid, which
+      // would open grantIfAnyLocked as a second, uncoordinated grant
+      // path. Snapshot the parked population first (table is stable
+      // pre-publish) so the post-gate wake check can skip Mu when no
+      // parked enabled claimant existed. A bypass commit skips the scan
+      // on purpose: its waiters are known parked, the committer itself
+      // is the guaranteed claimant, and converting the grant for a
+      // waiter would undo the bypass.
+      ParkSnap = ParkedCount.load(std::memory_order_seq_cst);
+      if (!FcfsBypass)
+        for (const ThreadState &TS2 : Threads)
+          if (TS2.Parked.load(std::memory_order_seq_cst) && TS2.Enabled &&
+              !TS2.Finished) {
+            RacerPossible = true;
+            break;
+          }
+      Active.store(InvalidTid, std::memory_order_release);
+    } else {
+      if (FcfsBypassStreak != 0) {
+        // This concrete designation ends a bypass burst: slide the next
+        // burst's length one step (cycling Max..Min) so handoff points
+        // never lock onto a fixed-period critical section.
+        FcfsBypassLimit = FcfsBypassLimit == kFcfsBypassMin
+                              ? kFcfsBypassMax
+                              : FcfsBypassLimit - 1;
+        FcfsBypassStreak = 0;
+      }
+      Active.store(Next, std::memory_order_release);
+      Strat->onDesignated(Next);
+      if (TSR_UNLIKELY(Trace != nullptr))
+        Trace->emitEngine(TraceEventKind::StrategyDecision, EventTick + 1,
+                          Next);
+      if (Opts.DesignationHook && Strat->designatesEagerly())
+        Opts.DesignationHook(Next);
+    }
+    // Publish the ticket last: everything the successor needs is written.
+    FastGrant.store(packGrant(Next, EventTick + 1), std::memory_order_seq_cst);
+    Committed = true;
+  } while (false);
+  if (!Committed)
+    ++Stats.FastPathAborts; // still gate-owned: plain increment is safe
+  CommitBusy.store(0, std::memory_order_release);
+  if (!Committed)
+    return false;
+  // Dekker handoff, committer's half: FastGrant published seq_cst above,
+  // ParkedCount loaded seq_cst here. A successor observed parked (or
+  // mid-park) gets a mutex wake; wakeTargetLocked re-checks the full
+  // predicate so SpuriousWakeups stays zero. The check reads the stable
+  // counter rather than ThreadState::Parked: once the grant is published
+  // a claimant may already be critical and reallocating Threads
+  // (threadNew), so any indexed read of the table is hazardous here.
+  // CommitBusy is already released — taking Mu while holding it would
+  // deadlock against asyncEnter.
+  if (Next == AnyTid) {
+    // A parked enabled claimant cannot CAS (it sleeps on its ParkSlot),
+    // so the grant must be converted under Mu — but only when one could
+    // exist. ABA on the count is benign: any unpark in the window means
+    // the grant was already claimed through a park predicate, and the
+    // convert CAS below fails harmlessly.
+    if (RacerPossible ||
+        ParkedCount.load(std::memory_order_seq_cst) != ParkSnap) {
+      std::lock_guard<std::mutex> L(Mu);
+      convertFcfsGrantLocked(packGrant(AnyTid, EventTick + 1));
+    }
+  } else if (Next != Self &&
+             ParkedCount.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> L(Mu);
+    wakeTargetLocked(Next);
+  }
+  return true;
+}
+
+void Scheduler::convertFcfsGrantLocked(uint64_t Grant) {
+  // Under Mu the table is stable and parkers are serialised against us,
+  // so scanning and waking is safe. Rotate like wakeAnyLocked so FCFS
+  // conversions spread wakeups fairly. Waking a parked thread *into* the
+  // CAS race instead could lose it to a running claimant and re-park it,
+  // which would break the SpuriousWakeups == 0 contract — so the grant
+  // is converted to a concrete one for the chosen thread first.
+  const Tid N = static_cast<Tid>(Threads.size());
+  for (Tid Step = 1; Step <= N; ++Step) {
+    const Tid T = (AnyWakeCursor + Step) % N;
+    ThreadState &TS = Threads[T];
+    if (TS.Finished || !TS.Parked.load(std::memory_order_seq_cst) ||
+        !TS.Enabled)
+      continue;
+    uint64_t Expected = Grant;
+    if (!FastGrant.compare_exchange_strong(Expected,
+                                           packGrant(T, grantTicket(Grant)),
+                                           std::memory_order_acq_rel))
+      return; // claimed (or revoked) in the window; nothing to convert
+    AnyWakeCursor = T;
+    // Mirror noteFcfsClaim/grantIfAnyLocked: Active must name the target
+    // before wakeTargetLocked's predicate check, and the streak tracking
+    // stays consistent across grant paths.
+    Active.store(T, std::memory_order_release);
+    Strat->onDesignated(T);
+    if (T == LastGranter) {
+      ++SelfGrantStreak;
+    } else {
+      LastGranter = T;
+      SelfGrantStreak = 1;
+    }
+    wakeTargetLocked(T);
+    return;
+  }
+}
+
 void Scheduler::tick(Tid Self) {
+  if (PipelineEnabled && tryFastCommit(Self))
+    return;
+  slowTick(Self);
+}
+
+void Scheduler::slowTick(Tid Self) {
   bool YieldAfterUnlock = false;
   {
     std::unique_lock<std::mutex> L(Mu);
@@ -209,10 +665,19 @@ void Scheduler::tick(Tid Self) {
     assert(Active == Self && "tick() by a non-designated thread");
     assert(Threads[Self].InCritical && "tick() without a matching wait()");
     Threads[Self].InCritical = false;
+    // Grant hygiene: the only word that can linger here is our own
+    // concrete grant, consumed through the park predicate instead of a
+    // CAS (FCFS words are always CAS-consumed and never linger). Clear
+    // it so the ticket check never has to reason about
+    // claimed-but-uncleared state (no concurrent claimant exists — the
+    // grant names us).
+    if (PipelineEnabled)
+      FastGrant.store(kNoFastGrant, std::memory_order_relaxed);
 
     const uint64_t EventTick = CurTick.load(std::memory_order_relaxed);
-    CurTick.store(EventTick + 1, std::memory_order_relaxed);
+    CurTick.store(EventTick + 1, std::memory_order_release);
     ++Stats.Ticks;
+    ++Stats.SlowPathCommits;
     if (TSR_UNLIKELY(Trace != nullptr))
       Trace->emit(Self, TraceEventKind::Tick, EventTick);
     if (TSR_UNLIKELY(Prof != nullptr))
@@ -223,6 +688,10 @@ void Scheduler::tick(Tid Self) {
       QueueLog->push(Self);
 
     noticeSignalsLocked(Self);
+    // Any slow pick serves waiters through the mutex (a concrete pick
+    // directly, an AnyTid pick only happens with nobody parked), so the
+    // fast path's bypass budget starts over.
+    FcfsBypassStreak = 0;
     chooseNextLocked();
     applyInjectionsLocked();
     maybeFlushLocked();
@@ -512,6 +981,9 @@ void Scheduler::applyInjectionsLocked() {
       return;
     }
     Threads[E.Thread].DeliverableSignals.push_back(E.Sig);
+    Threads[E.Thread].DeliverableCount.store(
+        static_cast<uint32_t>(Threads[E.Thread].DeliverableSignals.size()),
+        std::memory_order_release);
     // Replay-side half of the profile SIGNAL identity: the recorded
     // (thread, tick, signo) triple, not the live delivery tick.
     if (TSR_UNLIKELY(Prof != nullptr))
@@ -570,10 +1042,13 @@ void Scheduler::applyInjectionsLocked() {
 void Scheduler::noticeSignalsLocked(Tid Self) {
   if (Opts.ExecMode == Mode::Replay) {
     Threads[Self].RawSignals.clear();
+    Threads[Self].RawCount.store(0, std::memory_order_release);
     return;
   }
   auto &T = Threads[Self];
-  while (!T.RawSignals.empty()) {
+  if (T.RawSignals.empty())
+    return;
+  do {
     const Signo S = T.RawSignals.front();
     T.RawSignals.pop_front();
     T.DeliverableSignals.push_back(S);
@@ -584,7 +1059,10 @@ void Scheduler::noticeSignalsLocked(Tid Self) {
       if (TSR_UNLIKELY(Prof != nullptr))
         Prof->onSignal(CurTick, Self, static_cast<uint64_t>(S));
     }
-  }
+  } while (!T.RawSignals.empty());
+  T.RawCount.store(0, std::memory_order_release);
+  T.DeliverableCount.store(static_cast<uint32_t>(T.DeliverableSignals.size()),
+                           std::memory_order_release);
 }
 
 void Scheduler::deadlockCheckLocked() {
@@ -680,12 +1158,24 @@ void Scheduler::flushRecordStreamsLocked(bool Final) {
 std::optional<uint64_t> Scheduler::emergencyFlush() {
   if (Opts.ExecMode != Mode::Record || !Opts.LiveWriter)
     return std::nullopt;
-  // A fatal signal may have landed while another thread held the lock and
-  // was mutating these streams; flushing anyway would write garbage after
-  // the consistent prefix already on disk. Skipping keeps the durable
-  // prefix intact — that is what salvage recovers.
-  if (!Mu.try_lock())
+  // A fatal signal may have landed while another thread held the lock (or
+  // the commit gate) and was mutating these streams; flushing anyway
+  // would write garbage after the consistent prefix already on disk.
+  // Everything here must try, never block: the signal may have landed on
+  // the lock holder itself. Skipping keeps the durable prefix intact —
+  // that is what salvage recovers.
+  if (PipelineEnabled) {
+    AsyncGate.fetch_add(1, std::memory_order_seq_cst);
+    if (CommitBusy.load(std::memory_order_acquire) != 0) {
+      AsyncGate.fetch_sub(1, std::memory_order_release);
+      return std::nullopt;
+    }
+  }
+  if (!Mu.try_lock()) {
+    if (PipelineEnabled)
+      AsyncGate.fetch_sub(1, std::memory_order_release);
     return std::nullopt;
+  }
   const uint64_t Tick = CurTick;
   ChunkedDemoWriter &W = *Opts.LiveWriter;
   if (QueueLog)
@@ -700,6 +1190,8 @@ std::optional<uint64_t> Scheduler::emergencyFlush() {
                 AsyncBytes.size() - AsyncFlushed, Tick);
   AsyncFlushed = AsyncBytes.size();
   Mu.unlock();
+  if (PipelineEnabled)
+    AsyncGate.fetch_sub(1, std::memory_order_release);
   return Tick;
 }
 
@@ -734,11 +1226,16 @@ void Scheduler::hardDesyncLocked(DesyncReport R) {
   warn("replay hard desynchronisation: %s (continuing uncontrolled)",
        Report.Message.c_str());
   FreeRunFcfs = true;
+  // Post-desync free-run never fast-commits; revoke any unclaimed grant
+  // so its owner re-parks into the FCFS predicate. Callers are either the
+  // committer itself or a gated async, so no claim races the store.
+  if (PipelineEnabled)
+    FastGrant.store(kNoFastGrant, std::memory_order_seq_cst);
   // Reset the designation unless a thread is mid-critical-section (its
   // tick() will re-designate through the free-run path).
   bool AnyCritical = false;
   for (const auto &T : Threads)
-    AnyCritical = AnyCritical || T.InCritical;
+    AnyCritical = AnyCritical || T.InCritical.load(std::memory_order_seq_cst);
   if (!AnyCritical)
     Active = AnyTid;
   wakeAllParkedLocked();
@@ -795,7 +1292,7 @@ void Scheduler::recordRecoveryLocked(RecoveryActionKind Kind, Tid T,
 }
 
 bool Scheduler::watchdogNudge() {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (allFinishedLocked() || Deadlocked || StallSalvaged)
     return false;
   ++Stats.WatchdogNudges;
@@ -807,7 +1304,21 @@ bool Scheduler::watchdogNudge() {
   }
   // Controlled Free/Record: force (and record) a strategy re-pick — the
   // same recovery the liveness poll applies, but unconditionally — then
-  // fan out so the new designation is observed.
+  // fan out so the new designation is observed. Any unclaimed fast grant
+  // is revoked first; a claimant that lost the race to our exchange()
+  // parks and is re-woken by the fan-out below.
+  if (PipelineEnabled) {
+    FastGrant.exchange(kNoFastGrant, std::memory_order_acq_rel);
+    // If a claimant won before the exchange it is already critical and
+    // stores Active itself (FCFS grants) or holds it (concrete grants) —
+    // re-picking here would double-designate. Stand down; InCritical was
+    // raised before the claim CAS, so the RMW above orders this read.
+    for (const ThreadState &TS : Threads)
+      if (TS.InCritical.load(std::memory_order_seq_cst)) {
+        wakeAllParkedLocked();
+        return true;
+      }
+  }
   recordAsyncLocked(AsyncEventKind::Reschedule, 0);
   ++Stats.Reschedules;
   const Tid T = Strat->pickNext(*this, Rng);
@@ -825,9 +1336,14 @@ bool Scheduler::watchdogNudge() {
 }
 
 bool Scheduler::salvageStall(const std::string &Why) {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (allFinishedLocked() || Deadlocked || StallSalvaged)
     return false;
+  // Freeze the pipeline along with the designation: a claimant that
+  // already holds the grant still ticks once more, hits the StallSalvaged
+  // latch, and drops its section — same straggler contract as Mutex mode.
+  if (PipelineEnabled)
+    FastGrant.store(kNoFastGrant, std::memory_order_seq_cst);
   StallSalvaged = true;
   Stats.StallSalvaged = true;
   // The flushed prefix is a consistent recording up to the stalled
@@ -867,9 +1383,13 @@ bool Scheduler::stallSalvaged() {
 }
 
 void Scheduler::requestRetire() {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (RetireRequested)
     return;
+  // Revoke any unclaimed grant so its owner parks into the retire check
+  // instead of claiming a critical section nobody will wait for.
+  if (PipelineEnabled)
+    FastGrant.store(kNoFastGrant, std::memory_order_seq_cst);
   RetireRequested = true;
   // Every parked straggler wakes into the retire check at the top of its
   // park loop; threads still running invisible code hit the check at
@@ -879,6 +1399,15 @@ void Scheduler::requestRetire() {
 }
 
 std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
+  // Hot-path fast-out: one acquire load per visible op instead of a mutex
+  // round trip. Deliverables reach us from our own commit chain or from a
+  // gated async; a push racing this load is picked up at the next visible
+  // op — the same timing a post arriving a moment later has in Mutex
+  // mode. Replay injections are committer-chain writes, so the exact
+  // delivery tick replay needs is always visible here.
+  if (PipelineEnabled &&
+      Threads[Self].DeliverableCount.load(std::memory_order_acquire) == 0)
+    return std::nullopt;
   std::lock_guard<std::mutex> L(Mu);
   auto &T = Threads[Self];
   // A retiring thread's degenerate grants never deliver signals: the
@@ -887,6 +1416,8 @@ std::optional<Signo> Scheduler::takeDeliverableSignal(Tid Self) {
     return std::nullopt;
   const Signo S = T.DeliverableSignals.front();
   T.DeliverableSignals.pop_front();
+  T.DeliverableCount.store(static_cast<uint32_t>(T.DeliverableSignals.size()),
+                           std::memory_order_release);
   ++Stats.SignalsDelivered;
   if (TSR_UNLIKELY(Trace != nullptr))
     Trace->emit(Self, TraceEventKind::SignalDeliver,
@@ -1113,13 +1644,15 @@ bool Scheduler::condConsumeSignaled(Tid Self, uint64_t CondId) {
 }
 
 void Scheduler::postSignal(Tid Target, Signo S) {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (Opts.ExecMode == Mode::Replay)
     return; // Recorded SIGNAL/ASYNC entries drive delivery instead.
   if (Target >= Threads.size() || Threads[Target].Finished)
     return;
   auto &T = Threads[Target];
   T.RawSignals.push_back(S);
+  T.RawCount.store(static_cast<uint32_t>(T.RawSignals.size()),
+                   std::memory_order_release);
   const bool WasDisabled = !T.Enabled;
   if (T.Parked || WasDisabled)
     noticeSignalsLocked(Target);
@@ -1137,10 +1670,31 @@ void Scheduler::postSignal(Tid Target, Signo S) {
       // (or any other parked arrival) may proceed right now.
       wakeAnyLocked();
     } else {
+      // A pipelined FCFS grant may be outstanding (Active holds the
+      // InvalidTid sentinel). Reel it back to the mutex-side FCFS state
+      // so the newly enabled target participates: CAS the word out, then
+      // restore Active = AnyTid and fan a wake out. A failed CAS means
+      // a claimant won — the running thread's next tick reconsiders.
+      bool Handled = false;
+      if (PipelineEnabled) {
+        const uint64_t G = FastGrant.load(std::memory_order_seq_cst);
+        if (G != kNoFastGrant && grantTid(G) == AnyTid &&
+            grantTicket(G) == static_cast<uint32_t>(
+                                  CurTick.load(std::memory_order_relaxed))) {
+          uint64_t Expected = G;
+          if (FastGrant.compare_exchange_strong(Expected, kNoFastGrant,
+                                                std::memory_order_acq_rel)) {
+            Active.store(AnyTid, std::memory_order_release);
+            wakeAnyLocked();
+            Handled = true;
+          }
+        }
+      }
       // Under a concrete designation the target can proceed only if it
       // already holds it (no-op otherwise; the designated thread's next
       // tick reconsiders the enlarged enabled set).
-      wakeTargetLocked(Target);
+      if (!Handled)
+        wakeTargetLocked(Target);
     }
   }
 }
@@ -1151,27 +1705,64 @@ uint64_t Scheduler::drawChoice(uint64_t Bound) {
 }
 
 void Scheduler::livenessPoll() {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (StallSalvaged)
     return;
   const bool Stalled = CurTick == LastLivenessTick;
   LastLivenessTick = CurTick;
   if (Opts.ExecMode == Mode::Replay || FreeRunFcfs || !Stalled)
     return;
-  if (Active == AnyTid || Active == InvalidTid)
+  const Tid Act = Active.load(std::memory_order_relaxed);
+  if (Act == AnyTid)
+    return; // mutex-side FCFS: grantIfAnyLocked serves the next arrival
+  if (Act == InvalidTid) {
+    // Either startup, or an outstanding pipelined FCFS grant whose
+    // claimants are all parked (claim races lost to nobody — e.g. every
+    // enabled thread reached its ParkSlot before the grant published and
+    // the committer's convert raced a benign ABA). Reel the grant back
+    // to the mutex-side FCFS state; a failed CAS means it was claimed
+    // and the stall resolved itself.
+    if (!PipelineEnabled)
+      return;
+    const uint64_t G = FastGrant.load(std::memory_order_seq_cst);
+    if (G == kNoFastGrant || grantTid(G) != AnyTid ||
+        grantTicket(G) !=
+            static_cast<uint32_t>(CurTick.load(std::memory_order_relaxed)))
+      return;
+    uint64_t Expected = G;
+    if (FastGrant.compare_exchange_strong(Expected, kNoFastGrant,
+                                          std::memory_order_acq_rel)) {
+      Active.store(AnyTid, std::memory_order_release);
+      wakeAnyLocked();
+    }
     return;
-  const auto &A = Threads[Active];
-  if (A.InCritical || A.Parked)
+  }
+  const auto &A = Threads[Act];
+  if (A.InCritical.load(std::memory_order_seq_cst) ||
+      A.Parked.load(std::memory_order_seq_cst))
     return; // The designated thread is running or about to run.
   bool OtherParked = false;
   for (Tid T = 0, E = static_cast<Tid>(Threads.size()); T != E; ++T)
-    if (T != Active && Threads[T].Parked && Threads[T].Enabled &&
+    if (T != Act && Threads[T].Parked && Threads[T].Enabled &&
         !Threads[T].Finished) {
       OtherParked = true;
       break;
     }
   if (!OtherParked)
     return;
+  if (PipelineEnabled) {
+    // Revoke-or-stand-down: take the grant word atomically. If a valid
+    // grant came back, its owner never claimed it — safe to re-pick. If
+    // the word was already empty, the owner may have claimed it a moment
+    // ago; the claimant raised InCritical *before* its CAS, so reading
+    // InCritical after our exchange (the RMW on the same word orders us
+    // behind the claim) distinguishes "running" from "never granted".
+    const uint64_t Revoked =
+        FastGrant.exchange(kNoFastGrant, std::memory_order_acq_rel);
+    if (Revoked == kNoFastGrant &&
+        Threads[Act].InCritical.load(std::memory_order_seq_cst))
+      return; // claimed and running; the stall resolved itself
+  }
   recordAsyncLocked(AsyncEventKind::Reschedule, 0);
   ++Stats.Reschedules;
   const Tid T = Strat->pickNext(*this, Rng);
@@ -1190,22 +1781,26 @@ void Scheduler::livenessPoll() {
 }
 
 bool Scheduler::waitAllFinished(uint64_t TimeoutMs) {
+  // Progress is measured through CurTick, not Stats.Ticks: fast commits
+  // advance the counter without Mu, and this waiter must not hold the
+  // commit gate across a condvar sleep.
   std::unique_lock<std::mutex> L(Mu);
-  uint64_t LastTicks = Stats.Ticks;
+  uint64_t LastTick = CurTick.load(std::memory_order_relaxed);
   while (!allFinishedLocked() && !Deadlocked && !StallSalvaged) {
     const auto Status =
         DoneCv.wait_for(L, std::chrono::milliseconds(TimeoutMs));
     if (Status == std::cv_status::timeout) {
-      if (Stats.Ticks == LastTicks)
+      const uint64_t Now = CurTick.load(std::memory_order_relaxed);
+      if (Now == LastTick)
         return false; // No progress for a full timeout window.
-      LastTicks = Stats.Ticks;
+      LastTick = Now;
     }
   }
   return true;
 }
 
 void Scheduler::declareDesync(DesyncReport Report) {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   hardDesyncLocked(std::move(Report));
 }
 
@@ -1217,7 +1812,7 @@ void Scheduler::declareHardDesync(const std::string &Message) {
 }
 
 void Scheduler::declareSoftDesync(DesyncReport Report) {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   softDesyncLocked(std::move(Report));
 }
 
@@ -1269,7 +1864,7 @@ bool Scheduler::waitLiveParked(uint64_t TimeoutMs) {
 }
 
 void Scheduler::finishRecording() {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   if (Opts.ExecMode != Mode::Record || !RecordSink)
     return;
   QueueLog->flush();
@@ -1284,8 +1879,10 @@ void Scheduler::finishRecording() {
 }
 
 uint64_t Scheduler::currentTick() {
-  std::lock_guard<std::mutex> L(Mu);
-  return CurTick;
+  // Lock-free: pairs with the committer's release store (fast or slow).
+  // Callers needing more than the counter go through statsSnapshot or
+  // desyncReport, which take the full gate.
+  return CurTick.load(std::memory_order_acquire);
 }
 
 DesyncKind Scheduler::desyncKind() {
@@ -1308,12 +1905,14 @@ DesyncReport Scheduler::desyncReport() {
 }
 
 SchedulerStats Scheduler::statsSnapshot() {
-  std::lock_guard<std::mutex> L(Mu);
+  // Stats fields are plain and a fast commit writes them without Mu, so a
+  // coherent snapshot needs the commit gate as well as the mutex.
+  AsyncSection G(*this);
   return Stats;
 }
 
 std::string Scheduler::dumpState() {
-  std::lock_guard<std::mutex> L(Mu);
+  AsyncSection G(*this);
   return dumpStateLocked();
 }
 

@@ -82,6 +82,25 @@ enum class WakePolicy : uint8_t {
   Broadcast,
 };
 
+/// How a visible operation's tick is committed (DESIGN.md §14).
+enum class TickCommitMode : uint8_t {
+  /// Sequenced ticket pipeline: the committing thread publishes its
+  /// successor as a (tid, ticket) grant with a handful of atomic
+  /// operations and never touches the scheduler mutex on the hot path.
+  /// The mutex survives as the slow path for everything that needs
+  /// global machinery — AnyTid FCFS grants, signal/async injections,
+  /// live-writer flush boundaries, recovery/watchdog/desync handling and
+  /// thread retire — detected by pre-commit pending-work checks that
+  /// make the fast path fall back before mutating anything. The schedule
+  /// (and every recorded byte) is identical to Mutex mode.
+  Pipelined,
+
+  /// Legacy behaviour: every wait()/tick() takes the global scheduler
+  /// mutex. Kept as the measurable baseline for bench/sched_throughput
+  /// and as the cross-mode bit-identity oracle in tests.
+  Mutex,
+};
+
 /// Scheduler configuration.
 struct SchedulerOptions {
   /// Scheduling strategy for designations.
@@ -162,6 +181,13 @@ struct SchedulerOptions {
   /// only the handoff cost differs.
   WakePolicy Wake = WakePolicy::Targeted;
 
+  /// Tick-commit discipline (see TickCommitMode). The pipeline engages
+  /// only for controlled runs under targeted parking (broadcast parking
+  /// has no per-thread wake point for the lock-free handoff to target);
+  /// other configurations silently use the mutex path. Schedule semantics
+  /// and recorded bytes are identical under both modes.
+  TickCommitMode TickCommit = TickCommitMode::Pipelined;
+
   /// Replay divergence tolerance (support/Recovery.h). Strict preserves
   /// the bit-exact legacy behaviour; Resync/Adaptive enable the bounded
   /// windowed forward search over the QUEUE stream and the skip-with-
@@ -222,6 +248,19 @@ struct SchedulerStats {
   /// frontier stalled past every escalation deadline, the recording was
   /// flushed, and the remaining threads were frozen out (parked forever).
   bool StallSalvaged = false;
+
+  /// Ticks committed on the lock-free pipeline fast path (zero under
+  /// TickCommitMode::Mutex).
+  uint64_t FastPathCommits = 0;
+
+  /// Ticks committed under the scheduler mutex (every tick in Mutex
+  /// mode; only pending-work fallbacks in Pipelined mode).
+  uint64_t SlowPathCommits = 0;
+
+  /// Fast commits that won the commit gate, hit a pending-work
+  /// disqualifier before mutating anything, and fell back to the mutex.
+  /// Bounded by SlowPathCommits: every abort becomes one slow commit.
+  uint64_t FastPathAborts = 0;
 };
 
 /// The controlled scheduler. All public methods are thread-safe.
@@ -433,9 +472,20 @@ private:
 
   struct ThreadState {
     bool Finished = false;
-    bool Enabled = true;
-    bool Parked = false;
-    bool InCritical = false;
+    /// Atomic because tryFastClaim reads its *own* Enabled flag outside
+    /// the commit domain to decide whether an FCFS (AnyTid) grant is
+    /// claimable. Writes stay in the commit domain / under Mu, and a
+    /// thread is only ever disabled from its own critical section, so
+    /// the lock-free self-read is never stale in the dangerous
+    /// direction (enabled-looking while actually blocked).
+    std::atomic<bool> Enabled{true};
+    /// Parked/InCritical are atomic for the pipelined commit path: a
+    /// fast committer reads its successor's Parked without the mutex
+    /// (the Dekker wake pair below), and a fast claim publishes
+    /// InCritical before consuming its grant so revoking asyncs observe
+    /// the claim. Both still change under Mu on the slow path.
+    std::atomic<bool> Parked{false};
+    std::atomic<bool> InCritical{false};
     WaitKind Waiting = WaitKind::None;
     uint64_t WaitObj = 0;
     bool WokenBySignal = false;
@@ -445,8 +495,38 @@ private:
     bool RetireThrown = false;
     unsigned HandlerDepth = 0;
     std::deque<Signo> RawSignals;
+    /// Mirror of RawSignals.size(), release-published by every mutator.
+    /// The fast claim/commit paths read it (acquire) where touching the
+    /// deque itself would race with a gated postSignal.
+    std::atomic<uint32_t> RawCount{0};
     std::deque<Signo> DeliverableSignals;
+    /// Mirror of DeliverableSignals.size(): lets takeDeliverableSignal
+    /// answer "nothing deliverable" without the scheduler mutex.
+    std::atomic<uint32_t> DeliverableCount{0};
     std::unique_ptr<ParkSlot> Slot = std::make_unique<ParkSlot>();
+
+    // Threads reallocates on threadNew, which runs in the registering
+    // thread's critical section: no fast commit (same thread) and no
+    // gated async (holds Mu) is concurrent, and lock-free readers only
+    // reach ThreadState through a grant acquire that happens-after the
+    // previous critical section. A plain member-wise move is therefore
+    // safe; it exists only because atomics delete the implicit one.
+    ThreadState() = default;
+    ThreadState(ThreadState &&O) noexcept
+        : Finished(O.Finished),
+          Enabled(O.Enabled.load(std::memory_order_relaxed)),
+          Parked(O.Parked.load(std::memory_order_relaxed)),
+          InCritical(O.InCritical.load(std::memory_order_relaxed)),
+          Waiting(O.Waiting), WaitObj(O.WaitObj),
+          WokenBySignal(O.WokenBySignal), RetireThrown(O.RetireThrown),
+          HandlerDepth(O.HandlerDepth),
+          RawSignals(std::move(O.RawSignals)),
+          RawCount(O.RawCount.load(std::memory_order_relaxed)),
+          DeliverableSignals(std::move(O.DeliverableSignals)),
+          DeliverableCount(O.DeliverableCount.load(std::memory_order_relaxed)),
+          Slot(std::move(O.Slot)) {}
+    ThreadState(const ThreadState &) = delete;
+    ThreadState &operator=(const ThreadState &) = delete;
   };
 
   struct SignalEntry {
@@ -461,7 +541,53 @@ private:
     Tid Thread;
   };
 
-  // All private helpers assume Mu is held.
+  // Pipelined fast paths and the commit gate (no Mu unless noted).
+  /// Spins briefly on FastGrant for a grant addressed to \p Self and
+  /// CAS-claims it. True: the caller is in its critical section without
+  /// ever taking Mu. Announces arrival to the strategy first (the queue
+  /// strategy's FCFS fast path depends on it; internally synchronised).
+  bool tryFastClaim(Tid Self);
+  /// Attempts the lock-free commit of \p Self's tick: wins the commit
+  /// gate, checks every pending-work disqualifier, and only then mutates
+  /// committer-owned state, publishing the successor through FastGrant.
+  /// False: nothing was mutated; the caller must take the Mu slow path.
+  bool tryFastCommit(Tid Self);
+  /// True when FastGrant currently holds a claimable grant for \p Self
+  /// (seq_cst load — the parker half of the Dekker pair).
+  bool fastGrantMine(Tid Self) const;
+  /// Bookkeeping for a CAS-won FCFS (AnyTid) grant — the lock-free twin
+  /// of grantIfAnyLocked: stores Active, tells the strategy, maintains
+  /// the self-grant streak. Returns true when the claimant should yield
+  /// the processor once (single-core fairness, mirrors slowTick).
+  bool noteFcfsClaim(Tid Self);
+  /// An FCFS grant was published while some thread was parked (it
+  /// enqueued after pickNext scanned and parked before the word landed).
+  /// Converts the grant to a concrete one for a parked enabled thread
+  /// and wakes it — waking it into the CAS race instead could lose and
+  /// re-park it, which would break the SpuriousWakeups==0 contract.
+  void convertFcfsGrantLocked(uint64_t Grant);
+  /// The mutex commit path (the entire legacy tick body).
+  void slowTick(Tid Self);
+  /// Async halves of the commit gate; no-ops unless PipelineEnabled.
+  /// asyncEnter must be called *before* locking Mu (an async may hold Mu
+  /// while waiting out a fast commit, never the reverse).
+  void asyncEnter();
+  void asyncExit();
+  /// RAII for external entry points: gate + Mu.
+  struct AsyncSection {
+    explicit AsyncSection(Scheduler &S) : S(S) {
+      S.asyncEnter();
+      L = std::unique_lock<std::mutex>(S.Mu);
+    }
+    ~AsyncSection() {
+      L.unlock();
+      S.asyncExit();
+    }
+    Scheduler &S;
+    std::unique_lock<std::mutex> L;
+  };
+
+  // All private helpers below assume Mu is held.
   /// Retire check for wait(): returns false when no retire is pending
   /// for \p Self; throws ControlledThreadRetire (with \p L released) on
   /// the thread's first retire; returns true — with the caller granted a
@@ -515,13 +641,98 @@ private:
   std::unordered_map<uint64_t, std::vector<Tid>> MutexWaiters;
   std::unordered_map<uint64_t, std::vector<Tid>> CondWaiters;
 
-  /// Designated thread: a tid, AnyTid (first arrival proceeds) or
-  /// InvalidTid (nobody runnable yet).
-  Tid Active = InvalidTid;
+  //===--------------------------------------------------------------------===//
+  // Pipelined tick commit (DESIGN.md §14). Memory-ordering contract:
+  //
+  //  * CurTick — advanced only by the committing thread (fast path:
+  //    store-release in tryFastCommit; slow path: under Mu). Pairs:
+  //    commit release-store -> currentTick() acquire-load gives external
+  //    readers (watchdog progress, telemetry stamps) a monotonic value;
+  //    readers needing the *rest* of the commit's writes synchronise
+  //    through FastGrant or Mu instead, so most internal loads stay
+  //    relaxed. currentTickRelaxed() is unchanged: stable inside a
+  //    critical section because only the critical thread advances it.
+  //
+  //  * FastGrant — the commit's publication point. The committer
+  //    seq_cst-stores pack(successor, ticket) after every commit write;
+  //    a claiming thread's seq_cst load + acq_rel CAS synchronises with
+  //    it, carrying the whole committer chain (strategy state, PRNG,
+  //    record streams, CurTick) to the next critical section. The
+  //    seq_cst store also forms a Dekker pair with ThreadState::Parked:
+  //    committer stores FastGrant then loads Parked; a parking thread
+  //    stores Parked then loads FastGrant — one side always observes the
+  //    other, so a grant is never lost between "not parked yet" and
+  //    "asleep" (the parked case is handed off under Mu through
+  //    wakeTargetLocked, whose predicate re-check keeps SpuriousWakeups
+  //    at zero).
+  //
+  //  * AsyncGate / CommitBusy — the asymmetric gate between fast commits
+  //    and every external entry point (postSignal, liveness poll,
+  //    watchdog, desync declarations, stats). Asyncs fetch_add AsyncGate
+  //    (seq_cst), spin until CommitBusy == 0, do their work under Mu,
+  //    then fetch_sub (release). The fast committer stores CommitBusy=1
+  //    (seq_cst), re-checks AsyncGate (seq_cst) and aborts if an async
+  //    announced itself; the release store of CommitBusy=0 pairs with
+  //    the async's acquire spin, handing the commit's writes to the Mu
+  //    domain. RULE: never acquire Mu while holding CommitBusy — an
+  //    async may hold Mu while spinning on CommitBusy.
+  //===--------------------------------------------------------------------===//
 
-  /// Written only under Mu (by the ticking thread); read locked by most
-  /// code and relaxed by currentTickRelaxed().
+  /// Designated thread: a tid, AnyTid (first arrival proceeds) or
+  /// InvalidTid (nobody runnable yet). Atomic because the pipelined
+  /// commit writes it without Mu (release, before FastGrant) and wait()
+  /// predicates read it (acquire); slow-path writes still happen under
+  /// Mu.
+  std::atomic<Tid> Active{InvalidTid};
+
+  /// Global tick counter; ordering contract in the block comment above.
   std::atomic<uint64_t> CurTick{0};
+
+  /// Packed fast-path grant: (successor tid << 32) | low 32 bits of the
+  /// ticket (the tick the successor may commit at). The ticket rejects
+  /// stale grants: a grant is claimable only while its ticket matches
+  /// CurTick, and a published grant survives at most one commit (the
+  /// successor's own tick overwrites or clears it), so 32 ticket bits
+  /// cannot alias. The tid may be AnyTid — a lock-free FCFS grant
+  /// (queue strategy, empty queue): any enabled arrival may take it,
+  /// and because several can race, AnyTid grants are consumed strictly
+  /// by CAS (concrete grants may be consumed by observation under Mu).
+  /// While an AnyTid grant is outstanding, Active holds the InvalidTid
+  /// sentinel: it must match no thread's park predicate, and it must
+  /// not be AnyTid, which would open the mutex-side grantIfAnyLocked as
+  /// a second grant path for the same tick.
+  std::atomic<uint64_t> FastGrant{~0ull};
+  static constexpr uint64_t kNoFastGrant = ~0ull;
+  static uint64_t packGrant(Tid T, uint64_t Tick) {
+    return (static_cast<uint64_t>(T) << 32) | (Tick & 0xffffffffull);
+  }
+  static Tid grantTid(uint64_t G) { return static_cast<Tid>(G >> 32); }
+  static uint32_t grantTicket(uint64_t G) {
+    return static_cast<uint32_t>(G);
+  }
+
+  /// Async side of the commit gate: number of external entry points
+  /// announced (waiting for or holding Mu).
+  std::atomic<uint32_t> AsyncGate{0};
+
+  /// Committer side of the commit gate: nonzero while a fast commit is
+  /// between its gate re-check and its final release.
+  std::atomic<uint32_t> CommitBusy{0};
+
+  /// Number of threads currently parked (any reason). The post-commit
+  /// wake check reads this counter instead of ThreadState::Parked: once
+  /// a grant is claimable, the successor may already be running
+  /// threadNew, and Threads may reallocate under a lock-free indexed
+  /// read. The counter is a stable member; a nonzero value routes the
+  /// wake through Mu, where the table is stable. Parker half of the
+  /// Dekker pair: fetch_add (seq_cst) before the park predicate loads
+  /// FastGrant; committer half: FastGrant store (seq_cst) before the
+  /// counter load — one side always observes the other.
+  std::atomic<uint32_t> ParkedCount{0};
+
+  /// TickCommit == Pipelined actually engaged (controlled + targeted
+  /// parking); immutable after construction.
+  bool PipelineEnabled = false;
 
   /// When true, designation is first-come-first-served (uncontrolled
   /// modes, post-desync and post-exhaustion fallback).
@@ -551,7 +762,10 @@ private:
   /// requestRetire() latched: stragglers unwind out of wait() instead of
   /// parking forever. RetireCv/RetireCsBusy serialise the degenerate
   /// critical sections handed to destructors running during the unwind.
-  bool RetireRequested = false;
+  /// Atomic because tryFastClaim polls it outside Mu before consuming a
+  /// grant; the latch is sticky, so a stale false there costs at most
+  /// one more critical section — the same window the mutex path has.
+  std::atomic<bool> RetireRequested{false};
   std::condition_variable RetireCv;
   bool RetireCsBusy = false;
 
@@ -573,6 +787,18 @@ private:
   /// single-CPU host (see tick()).
   Tid LastGranter = InvalidTid;
   unsigned SelfGrantStreak = 0;
+
+  /// Consecutive pipelined FCFS commits that bypassed a parked, enabled
+  /// arrival (tryFastCommit's bounded self-preference). Committer-owned:
+  /// written by fast commits inside the gate and by slowTick under Mu,
+  /// both on the commit chain. Once the streak hits the current limit
+  /// the next commit designates the waiter concretely, so a parked
+  /// thread waits at most kFcfsBypassMax ticks before it is scheduled.
+  /// The limit cycles through [kFcfsBypassMin, kFcfsBypassMax] one step
+  /// per forced handoff so preemption points never alias with a
+  /// fixed-period critical section in the workload (Scheduler.cpp).
+  unsigned FcfsBypassStreak = 0;
+  unsigned FcfsBypassLimit = 16; ///< == kFcfsBypassMax initially.
 
   /// Rotation point for first-come-first-served wakes (wakeAnyLocked):
   /// an AnyTid grant wakes one parked enabled thread, and the cursor

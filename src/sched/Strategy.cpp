@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 
 #include <algorithm>
+#include <mutex>
 
 using namespace tsr;
 
@@ -37,6 +38,16 @@ void Strategy::onTick(uint64_t, Tid, Prng &) {}
 // Every strategy except queue picks without consulting arrival order, so
 // eager designation (and its §5.2 stall cost) is the default.
 bool Strategy::designatesEagerly() const { return true; }
+
+// Every eager strategy designates a concrete thread whenever one is
+// enabled (random/pct pick among the enabled set; round-robin and
+// delay-bounded scan it), so "any enabled thread exists" is exact.
+bool Strategy::fastPickPossible(const ThreadView &Threads) const {
+  for (Tid T = 0, E = Threads.threadCount(); T != E; ++T)
+    if (Threads.isEnabled(T))
+      return true;
+  return false;
+}
 
 size_t Strategy::pickWaiter(const std::vector<Tid> &Waiters, Prng &) {
   assert(!Waiters.empty() && "pickWaiter requires waiters");
@@ -88,7 +99,13 @@ public:
 
   bool designatesEagerly() const override { return false; }
 
+  // The one hook that runs outside the commit serialization domain under
+  // the pipelined commit mode (see Strategy.h): the arrival state gets a
+  // leaf mutex of its own. Uncontended in the common case — committers
+  // only take it while picking, arrivals only while enqueuing — and never
+  // held across anything that blocks.
   void onArrive(Tid T) override {
+    std::lock_guard<std::mutex> L(ArrivalMu);
     if (T >= InQueue.size())
       InQueue.resize(T + 1, false);
     if (InQueue[T])
@@ -97,24 +114,36 @@ public:
     Arrivals.push_back(T);
   }
 
-  void onDesignated(Tid T) override { removeFromQueue(T); }
+  void onDesignated(Tid T) override {
+    std::lock_guard<std::mutex> L(ArrivalMu);
+    removeFromQueueLocked(T);
+  }
 
   Tid pickNext(const ThreadView &Threads, Prng &) override {
+    std::lock_guard<std::mutex> L(ArrivalMu);
     // Skip over disabled entries without losing their arrival order; a
     // thread disabled while queued (e.g. a failed trylock) keeps its slot
     // until re-enabled.
     for (Tid T : Arrivals) {
       if (!Threads.isEnabled(T))
         continue;
-      removeFromQueue(T);
+      removeFromQueueLocked(T);
       return T;
     }
     // Nobody is waiting: first come, first served for the next arrival.
     return AnyTid;
   }
 
+  bool fastPickPossible(const ThreadView &Threads) const override {
+    std::lock_guard<std::mutex> L(ArrivalMu);
+    for (Tid T : Arrivals)
+      if (Threads.isEnabled(T))
+        return true;
+    return false;
+  }
+
 private:
-  void removeFromQueue(Tid T) {
+  void removeFromQueueLocked(Tid T) {
     if (T >= InQueue.size() || !InQueue[T])
       return;
     InQueue[T] = false;
@@ -123,6 +152,7 @@ private:
     Arrivals.erase(It);
   }
 
+  mutable std::mutex ArrivalMu;
   std::deque<Tid> Arrivals;
   std::vector<bool> InQueue;
 };

@@ -47,8 +47,10 @@ public:
   virtual Tid threadCount() const = 0;
 };
 
-/// A scheduling strategy. All hooks are invoked with the scheduler lock
-/// held; implementations must not block.
+/// A scheduling strategy. Hooks are invoked from the scheduler's commit
+/// serialization domain — under the scheduler lock, or from the pipelined
+/// commit path whose gate provides the same total order — with one
+/// exception (onArrive, below); implementations must not block.
 class Strategy {
 public:
   virtual ~Strategy();
@@ -61,8 +63,21 @@ public:
   /// checks for termination or deadlock).
   virtual Tid pickNext(const ThreadView &Threads, Prng &Rng) = 0;
 
-  /// A thread reached Wait() (queue strategy enqueues here).
+  /// A thread reached Wait() (queue strategy enqueues here). Under
+  /// TickCommitMode::Pipelined this is the one hook invoked *outside* the
+  /// commit serialization domain — arriving threads announce themselves
+  /// before spinning on their grant, concurrently with a committer's
+  /// pickNext — so implementations that keep arrival state must
+  /// synchronise it internally (see QueueStrategy's leaf mutex).
   virtual void onArrive(Tid T);
+
+  /// True when pickNext, called right now, would return a *concrete*
+  /// enabled thread — the precondition for the pipelined commit fast
+  /// path, which cannot handle AnyTid/InvalidTid designations (those need
+  /// the mutex: FCFS grants, the deadlock check). Runs in the commit
+  /// serialization domain, like pickNext. The default — any enabled
+  /// thread exists — is exact for every eager strategy.
+  virtual bool fastPickPossible(const ThreadView &Threads) const;
 
   /// True if the strategy designates threads without regard to whether
   /// they have arrived at Wait() yet (random, PCT, delay-bounded,

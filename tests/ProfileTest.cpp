@@ -392,6 +392,15 @@ TEST(ProfileLedger, ContendedMutexShowsHoldWaitAndWakerEdges) {
         for (int I = 0; I != 10; ++I) {
           M.lock();
           ++Shared;
+          // Stretch the critical section past the pipelined commit's
+          // maximum FCFS bypass burst (DESIGN.md §14.4): a hold longer
+          // than one burst always spans a forced handoff to a parked
+          // worker, so some waiter observes the lock held on every
+          // iteration regardless of commit mode or burst alignment —
+          // contention stays structural, not a scheduling accident.
+          Atomic<int> Spin(0);
+          for (int K = 0; K != 20; ++K)
+            Spin.fetchAdd(1);
           Session::current()->work(2000);
           M.unlock();
         }

@@ -8,12 +8,24 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/litmus/Litmus.h"
+#include "apps/pbzip/Pbzip.h"
+#include "runtime/SessionPool.h"
 #include "runtime/Tsr.h"
 #include "sched/Strategy.h"
+#include "support/Demo.h"
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
 
 using namespace tsr;
 
@@ -740,6 +752,252 @@ TEST(SchedWakeup, BroadcastPolicyStillCompletesAndCounts) {
   EXPECT_EQ(R.Desync, DesyncKind::None);
   EXPECT_GT(R.Sched.BroadcastWakeups, 0u);
   EXPECT_EQ(R.Sched.TargetedWakeups, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tick commit pipeline
+//===----------------------------------------------------------------------===//
+
+pbzip::PbzipConfig commitPbzipConfig() {
+  pbzip::PbzipConfig PC;
+  PC.Threads = 3;
+  PC.BlockSize = 256;
+  return PC;
+}
+
+std::vector<uint8_t> commitPbzipInput() {
+  std::vector<uint8_t> Input;
+  for (int I = 0; I != 60; ++I) {
+    const std::string Chunk = "commit payload " + std::to_string(I % 19) + " ";
+    Input.insert(Input.end(), Chunk.begin(), Chunk.end());
+  }
+  return Input;
+}
+
+std::string commitFreshDir(const std::string &Tag) {
+  const std::string Dir = ::testing::TempDir() + "tsr-commit-" + Tag + "-" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+std::vector<uint8_t> commitReadFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Asserts the stream files of \p DirA and \p DirB are byte-equal.
+void expectCommitStreamsIdentical(const std::string &DirA,
+                                  const std::string &DirB) {
+  for (unsigned I = 0; I != NumStreamKinds; ++I) {
+    const std::string Name = streamName(static_cast<StreamKind>(I));
+    const std::vector<uint8_t> A = commitReadFile(DirA + "/" + Name);
+    const std::vector<uint8_t> B = commitReadFile(DirB + "/" + Name);
+    EXPECT_FALSE(A.empty()) << DirA << "/" << Name;
+    EXPECT_EQ(A, B) << Name << " differs between " << DirA << " and " << DirB;
+  }
+}
+
+/// One workload for the cross-mode sweeps: pbzip plus every litmus
+/// benchmark, each with fresh per-run state.
+struct CommitWorkload {
+  std::string Name;
+  std::function<void(Session &)> Setup; ///< may be null
+  std::function<void()> Body;
+};
+
+std::vector<CommitWorkload> commitWorkloads() {
+  std::vector<CommitWorkload> W;
+  W.push_back({"pbzip",
+               [](Session &S) {
+                 S.env().putFile(commitPbzipConfig().InputPath,
+                                 commitPbzipInput());
+               },
+               [] { pbzip::compressFile(commitPbzipConfig()); }});
+  for (const litmus::LitmusTest &T : litmus::suite())
+    W.push_back({T.Name, nullptr, T.Body});
+  return W;
+}
+
+TEST(TickCommit, FastPathCarriesLitmusSweepUnderQueue) {
+  // The pipelined commit must actually absorb the hot path: across the
+  // full litmus suite under the queue strategy, ticks overwhelmingly
+  // commit without touching the scheduler mutex, every tick lands in
+  // exactly one bucket, and the split is published through the metrics
+  // registry under the documented names.
+  uint64_t Fast = 0, Slow = 0, Ticks = 0;
+  for (const litmus::LitmusTest &T : litmus::suite()) {
+    SessionConfig C =
+        fixedSeeds(presets::tsan11rec(StrategyKind::Queue, Mode::Record), 21);
+    C.LivenessIntervalMs = 0;
+    Session S(C);
+    RunReport R = S.run(T.Body);
+    EXPECT_EQ(R.Desync, DesyncKind::None) << T.Name;
+    EXPECT_EQ(R.Sched.SpuriousWakeups, 0u) << T.Name;
+    EXPECT_EQ(R.Metrics.counterOr("sched.fast_path_commits", ~0ull),
+              R.Sched.FastPathCommits)
+        << T.Name;
+    EXPECT_EQ(R.Metrics.counterOr("sched.slow_path_commits", ~0ull),
+              R.Sched.SlowPathCommits)
+        << T.Name;
+    EXPECT_EQ(R.Metrics.counterOr("sched.fast_path_aborts", ~0ull),
+              R.Sched.FastPathAborts)
+        << T.Name;
+    Fast += R.Sched.FastPathCommits;
+    Slow += R.Sched.SlowPathCommits;
+    Ticks += R.Sched.Ticks;
+  }
+  EXPECT_EQ(Fast + Slow, Ticks);
+  EXPECT_GT(static_cast<double>(Fast), 0.9 * static_cast<double>(Ticks));
+}
+
+TEST(TickCommit, CommitModeKeepsRandomRecordingsBitIdentical) {
+  // A random-strategy schedule is a pure function of the seeds, so the
+  // commit mode — which only changes how a decided tick is published —
+  // must not leak into the recording: pbzip and every litmus benchmark
+  // recorded under the pipeline and under the mutex produce byte-equal
+  // on-disk streams, and the recording replays cleanly under both modes.
+  for (const CommitWorkload &W : commitWorkloads()) {
+    std::array<RunReport, 2> Recorded;
+    std::array<std::string, 2> Dirs;
+    const TickCommitMode Modes[2] = {TickCommitMode::Pipelined,
+                                     TickCommitMode::Mutex};
+    for (int I = 0; I != 2; ++I) {
+      SessionConfig C = fixedSeeds(
+          presets::tsan11rec(StrategyKind::Random, Mode::Record,
+                             RecordPolicy::full()),
+          22);
+      C.LivenessIntervalMs = 0;
+      C.TickCommit = Modes[I];
+      Dirs[I] = commitFreshDir(W.Name + (I ? "-mutex" : "-pipe"));
+      C.Flush.Directory = Dirs[I];
+      C.Flush.EveryTicks = 4;
+      Session S(C);
+      if (W.Setup)
+        W.Setup(S);
+      Recorded[I] = S.run(W.Body);
+      ASSERT_EQ(Recorded[I].Desync, DesyncKind::None) << W.Name;
+    }
+    EXPECT_EQ(Recorded[0].Sched.Ticks, Recorded[1].Sched.Ticks) << W.Name;
+    EXPECT_TRUE(Recorded[0].RecordedDemo == Recorded[1].RecordedDemo)
+        << W.Name;
+    expectCommitStreamsIdentical(Dirs[0], Dirs[1]);
+
+    for (const TickCommitMode Replay : Modes) {
+      SessionConfig C = fixedSeeds(
+          presets::tsan11rec(StrategyKind::Random, Mode::Replay,
+                             RecordPolicy::full()),
+          22);
+      C.LivenessIntervalMs = 0;
+      C.TickCommit = Replay;
+      C.ReplayDemo = &Recorded[0].RecordedDemo;
+      Session S(C);
+      if (W.Setup)
+        W.Setup(S);
+      RunReport R = S.run(W.Body);
+      EXPECT_EQ(R.Desync, DesyncKind::None)
+          << W.Name << " replay mode " << static_cast<int>(Replay);
+      EXPECT_EQ(R.Sched.Ticks, Recorded[0].Sched.Ticks) << W.Name;
+    }
+    std::filesystem::remove_all(Dirs[0]);
+    std::filesystem::remove_all(Dirs[1]);
+  }
+}
+
+TEST(TickCommit, CommitModeKeepsQueueReplayIdentical) {
+  // Queue recordings capture first-come-first-served grants, which are
+  // OS-timing dependent by design — two recordings never compare byte
+  // for byte, under any commit mode. The cross-mode contract lives on
+  // the replay side instead: one recording replays desync-free with an
+  // identical tick count whether the replayer commits through the
+  // pipeline or the mutex.
+  for (const CommitWorkload &W : commitWorkloads()) {
+    RunReport Recorded;
+    {
+      SessionConfig C = fixedSeeds(
+          presets::tsan11rec(StrategyKind::Queue, Mode::Record,
+                             RecordPolicy::full()),
+          23);
+      C.LivenessIntervalMs = 0;
+      Session S(C);
+      if (W.Setup)
+        W.Setup(S);
+      Recorded = S.run(W.Body);
+      ASSERT_EQ(Recorded.Desync, DesyncKind::None) << W.Name;
+    }
+    for (const TickCommitMode Replay :
+         {TickCommitMode::Pipelined, TickCommitMode::Mutex}) {
+      SessionConfig C = fixedSeeds(
+          presets::tsan11rec(StrategyKind::Queue, Mode::Replay,
+                             RecordPolicy::full()),
+          23);
+      C.LivenessIntervalMs = 0;
+      C.TickCommit = Replay;
+      C.ReplayDemo = &Recorded.RecordedDemo;
+      Session S(C);
+      if (W.Setup)
+        W.Setup(S);
+      RunReport R = S.run(W.Body);
+      EXPECT_EQ(R.Desync, DesyncKind::None)
+          << W.Name << " replay mode " << static_cast<int>(Replay);
+      EXPECT_EQ(R.Sched.Ticks, Recorded.Sched.Ticks) << W.Name;
+    }
+  }
+}
+
+TEST(TickCommit, PoolRecordingUnderPipelineMatchesSoloUnderMutex) {
+  // The strongest cross-mode identity: a session recorded inside a
+  // SessionPool with the pipelined commit against the same workload
+  // recorded solo with the mutex commit. Random strategy, so the
+  // schedule is seed-determined; any byte of difference would prove the
+  // pipeline (or the pool's shared writer backend) leaked into the
+  // recording.
+  const std::string SoloDir = commitFreshDir("solo");
+  const std::string FleetRoot = commitFreshDir("fleetroot");
+
+  RunReport Solo;
+  {
+    SessionConfig C = fixedSeeds(
+        presets::tsan11rec(StrategyKind::Random, Mode::Record,
+                           RecordPolicy::full()),
+        24);
+    C.LivenessIntervalMs = 0;
+    C.TickCommit = TickCommitMode::Mutex;
+    C.Flush.Directory = SoloDir;
+    C.Flush.EveryTicks = 4;
+    Session S(C);
+    S.env().putFile(commitPbzipConfig().InputPath, commitPbzipInput());
+    Solo = S.run([] { pbzip::compressFile(commitPbzipConfig()); });
+    ASSERT_EQ(Solo.Desync, DesyncKind::None);
+  }
+
+  SessionPool::Options PO;
+  PO.DemoRoot = FleetRoot;
+  PO.FlushEveryTicks = 4;
+  SessionPool Pool(PO);
+  PoolSessionSpec Spec;
+  Spec.Name = "pbzip";
+  Spec.Config = fixedSeeds(
+      presets::tsan11rec(StrategyKind::Random, Mode::Record,
+                         RecordPolicy::full()),
+      24);
+  Spec.Config.LivenessIntervalMs = 0;
+  Spec.Config.TickCommit = TickCommitMode::Pipelined;
+  Spec.Setup = [](Session &S) {
+    S.env().putFile(commitPbzipConfig().InputPath, commitPbzipInput());
+  };
+  Spec.Body = [] { pbzip::compressFile(commitPbzipConfig()); };
+  Pool.submit(std::move(Spec));
+  FleetReport Fleet = Pool.runAll();
+  ASSERT_EQ(Fleet.SessionsRun, 1u);
+  ASSERT_EQ(Fleet.Sessions[0].Report.Desync, DesyncKind::None);
+
+  EXPECT_EQ(Fleet.Sessions[0].Report.Sched.Ticks, Solo.Sched.Ticks);
+  EXPECT_TRUE(Fleet.Sessions[0].Report.RecordedDemo == Solo.RecordedDemo);
+  expectCommitStreamsIdentical(SoloDir, FleetRoot + "/pbzip");
+  std::filesystem::remove_all(SoloDir);
+  std::filesystem::remove_all(FleetRoot);
 }
 
 } // namespace
